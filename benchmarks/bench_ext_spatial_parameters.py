@@ -1,0 +1,73 @@
+"""EXT-1 -- Growth rate as a function of both time and distance (future work).
+
+Section V of the paper proposes letting r, d and K depend on distance as well
+as time, motivated by the interest-distance-5 group that the uniform model
+predicts poorly (Table II).  This benchmark quantifies that extension on the
+reproduction corpus:
+
+1. calibrate the standard (spatially uniform) DL model on story s1 with the
+   shared-interest distance metric;
+2. calibrate the spatially scaled growth rate on top of it
+   (:mod:`repro.core.extensions`);
+3. compare the two models' Table-II-style accuracy.
+
+Expected shape: the spatially scaled model fits the training window at least
+as well as the uniform model and improves the hardest distance group.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.accuracy import build_accuracy_table
+from repro.core.calibration import calibrate_dl_model
+from repro.core.dl_model import DiffusiveLogisticModel
+from repro.core.extensions import calibrate_spatial_scaling
+from repro.core.initial_density import InitialDensity
+from repro.io.tables import format_table, write_csv
+
+TRAINING_HOURS = [float(t) for t in range(1, 7)]
+EVALUATION_HOURS = [float(t) for t in range(2, 7)]
+
+
+def _run_extension_comparison(context):
+    observed = context.dataset.interest_density_surface(
+        "s1", times=context.observation_times()
+    )
+    phi = InitialDensity.from_surface(observed.restrict_times(TRAINING_HOURS))
+
+    uniform = calibrate_dl_model(observed, training_times=TRAINING_HOURS)
+    spatial = calibrate_spatial_scaling(observed, uniform)
+
+    actual = observed.restrict_times(EVALUATION_HOURS)
+    tables = {}
+    for name, calibration in (("uniform", uniform), ("spatially_scaled", spatial)):
+        model = DiffusiveLogisticModel(calibration.parameters, points_per_unit=20, max_step=0.02)
+        predicted = model.predict(phi, EVALUATION_HOURS)
+        tables[name] = build_accuracy_table(predicted, actual, times=EVALUATION_HOURS)
+    return uniform, spatial, tables
+
+
+def test_ext1_spatially_varying_growth_rate(benchmark, bench_context, results_dir):
+    uniform, spatial, tables = run_once(benchmark, _run_extension_comparison, bench_context)
+
+    rows = []
+    for name, table in tables.items():
+        row = {"model": name, "overall": table.overall_average}
+        row.update({f"group {d:g}": table.row_average(float(d)) for d in table.distances})
+        rows.append(row)
+    print()
+    print(format_table(rows, title="EXT-1 -- uniform vs spatially scaled growth rate (s1, interests)"))
+    write_csv(rows, results_dir / "ext1_spatial_parameters.csv")
+
+    # The extension must not fit the training window worse than the base model.
+    assert spatial.loss <= uniform.loss + 1e-9
+
+    uniform_table = tables["uniform"]
+    spatial_table = tables["spatially_scaled"]
+    assert spatial_table.overall_average >= uniform_table.overall_average - 0.02
+
+    # The group the uniform model struggles with most should improve.
+    worst_group = float(
+        uniform_table.distances[int(np.argmin([uniform_table.row_average(float(d)) for d in uniform_table.distances]))]
+    )
+    assert spatial_table.row_average(worst_group) >= uniform_table.row_average(worst_group) - 1e-9

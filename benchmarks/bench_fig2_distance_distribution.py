@@ -1,0 +1,37 @@
+"""FIG-2 -- Distribution of users over friendship-hop distances.
+
+Regenerates Figure 2 of the paper: for each of the four representative
+stories, the fraction of reachable users at hop distance 1..10 from the
+story's initiator.  The paper's headline observations are that the majority
+of users sit at distances 2-5 and that distance 3 alone accounts for the
+largest share (>40% in the original dataset).
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig2_distance_distribution
+from repro.analysis.reports import render_figure_series
+from repro.io.tables import write_csv
+
+
+def test_fig2_distance_distribution(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, run_fig2_distance_distribution, bench_context, 10)
+
+    print()
+    print(render_figure_series(result, x_label="hop distance", title="Figure 2 (reproduced)"))
+
+    rows = []
+    for distance in sorted({d for line in result.values() for d in line}):
+        row = {"distance": distance}
+        row.update({story: result[story].get(distance, 0.0) for story in result})
+        rows.append(row)
+    write_csv(rows, results_dir / "fig2_distance_distribution.csv")
+
+    # Shape assertions mirroring the paper's observations.
+    for story, fractions in result.items():
+        peak = max(fractions, key=fractions.get)
+        assert 2 <= peak <= 5, f"{story}: distance histogram should peak between 2 and 5"
+        bulk = sum(fractions.get(d, 0.0) for d in range(2, 6))
+        assert bulk > 0.6, f"{story}: the bulk of users should sit at distances 2-5"
+        tail = sum(fractions.get(d, 0.0) for d in range(6, 11))
+        assert tail < 0.2, f"{story}: distances 6-10 should hold only a small tail"

@@ -1,0 +1,62 @@
+"""FIG-3 -- Density of influenced users over 50 hours (friendship hops).
+
+Regenerates Figure 3(a-d): for each representative story, the density of
+influenced users at hop distances 1-5 over the 50-hour observation window.
+The paper's five qualitative observations are asserted:
+
+1. densities evolve over time (and are non-decreasing);
+2. for the most popular story s1, the density at distance 3 exceeds the
+   density at distance 2 (the front-page / random-walk channel);
+3. the density at distance 1 dominates every other distance;
+4. popular stories stabilise sooner than less popular ones;
+5. after 50 hours all densities have stabilised.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig3_density_hops
+from repro.analysis.patterns import saturation_time
+from repro.analysis.reports import render_density_surface
+from repro.io.tables import write_csv
+
+
+def test_fig3_density_over_time_hops(benchmark, bench_context, results_dir):
+    surfaces = run_once(benchmark, run_fig3_density_hops, bench_context)
+
+    rows = []
+    print()
+    for story, surface in surfaces.items():
+        print(render_density_surface(
+            surface,
+            times=[1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0],
+            title=f"Figure 3 ({story}) -- density over time, hop distance",
+        ))
+        print()
+        for time in surface.times:
+            row = {"story": story, "t": float(time)}
+            row.update({f"x={d:g}": v for d, v in zip(surface.distances, surface.profile(float(time)))})
+            rows.append(row)
+    write_csv(rows, results_dir / "fig3_density_hops.csv")
+
+    # Observation 1 + 5: monotone growth, stabilised by the end of the window.
+    for story, surface in surfaces.items():
+        assert surface.is_monotone_in_time()
+        late_growth = surface.values[-1].sum() - surface.profile(45.0).sum()
+        assert late_growth < 0.1 * max(surface.values[-1].sum(), 1e-9)
+
+    # Observation 2: s1's distance-3 density exceeds its distance-2 density.
+    s1_final = surfaces["s1"].values[-1]
+    assert s1_final[2] > s1_final[1]
+
+    # Observation 3: distance 1 dominates for every story.
+    for surface in surfaces.values():
+        final = surface.values[-1]
+        assert final[0] == max(final)
+
+    # Observation 4: the most popular story saturates sooner than the second.
+    assert saturation_time(surfaces["s1"], 1.0, 0.9) <= saturation_time(surfaces["s2"], 1.0, 0.9)
+
+    # Scale check: density magnitudes in the same range as the paper (< 25%).
+    assert surfaces["s1"].max_density < 30.0
+    assert np.all(surfaces["s4"].values[-1][1:] < 5.0)

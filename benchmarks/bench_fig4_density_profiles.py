@@ -1,0 +1,42 @@
+"""FIG-4 -- Density profiles over distance, one line per hour (story s1).
+
+Regenerates Figure 4: the density of influenced users of the most popular
+story as a function of distance, with one profile per hour from 1 to 50.
+The figure's purpose in the paper is to show that the hour-over-hour
+increments shrink as time passes, which motivates modelling the growth rate
+r as a decreasing function of time (Equation 7 / Figure 6).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig4_density_profiles
+from repro.io.tables import format_table, write_csv
+
+
+def test_fig4_density_profiles(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, run_fig4_density_profiles, bench_context, "s1")
+    distances = result["distances"]
+    times = result["times"]
+    profiles = result["profiles"]
+
+    shown_hours = [1, 2, 3, 4, 6, 10, 20, 50]
+    rows = []
+    for hour in shown_hours:
+        index = int(np.argmin(np.abs(times - hour)))
+        row = {"t (h)": float(times[index])}
+        row.update({f"x={d:g}": float(v) for d, v in zip(distances, profiles[index])})
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Figure 4 (reproduced) -- density vs distance per hour, s1"))
+    write_csv(rows, results_dir / "fig4_density_profiles.csv")
+
+    # Profiles are ordered: each later hour lies on or above each earlier hour.
+    assert np.all(np.diff(profiles, axis=0) >= -1e-9)
+
+    # The increments shrink with time at every distance: the mean increment
+    # over the first five hours exceeds the mean over the last five hours.
+    increments = np.diff(profiles, axis=0)
+    early = increments[:5].mean(axis=0)
+    late = increments[-5:].mean(axis=0)
+    assert np.all(early >= late - 1e-9)

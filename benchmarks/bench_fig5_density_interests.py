@@ -1,0 +1,46 @@
+"""FIG-5 -- Density of influenced users over 50 hours (shared interests).
+
+Regenerates Figure 5(a-d): the density of influenced users per shared-interest
+distance group (1-5) over the 50-hour window, for all four representative
+stories.  The paper's key observation is that, for every story, the density
+decreases as the interest distance grows -- shared interests are a meaningful
+spatial coordinate for the DL model.
+"""
+
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig5_density_interests
+from repro.analysis.reports import render_density_surface
+from repro.io.tables import write_csv
+
+
+def test_fig5_density_over_time_interests(benchmark, bench_context, results_dir):
+    surfaces = run_once(benchmark, run_fig5_density_interests, bench_context)
+
+    rows = []
+    print()
+    for story, surface in surfaces.items():
+        print(render_density_surface(
+            surface,
+            times=[1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0],
+            title=f"Figure 5 ({story}) -- density over time, interest distance",
+        ))
+        print()
+        for time in surface.times:
+            row = {"story": story, "t": float(time)}
+            row.update({f"group={d:g}": v for d, v in zip(surface.distances, surface.profile(float(time)))})
+            rows.append(row)
+    write_csv(rows, results_dir / "fig5_density_interests.csv")
+
+    for story, surface in surfaces.items():
+        assert surface.is_monotone_in_time()
+        final = surface.values[-1]
+        # The paper's pattern: density decreases with the interest-distance
+        # group.  Group 1 must dominate and group 5 must be the smallest
+        # non-trivial group for every story.
+        assert final[0] == max(final), f"{story}: group 1 should have the highest density"
+        assert final[0] > final[-1], f"{story}: group 5 should have lower density than group 1"
+
+    # For the most popular story the decrease is monotone across all groups.
+    s1_final = surfaces["s1"].values[-1]
+    assert all(s1_final[i] >= s1_final[i + 1] for i in range(len(s1_final) - 1))

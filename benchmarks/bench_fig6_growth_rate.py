@@ -1,0 +1,43 @@
+"""FIG-6 -- The decreasing growth-rate function r(t).
+
+Regenerates Figure 6: the paper's published growth rate for story s1 with
+friendship-hop distance, r(t) = 1.4 exp(-1.5 (t-1)) + 0.25 (Equation 7),
+alongside the growth rate recovered by calibrating the DL model on the
+synthetic corpus's observations.  The reproduction criterion is shape: both
+curves must start high (≈1.2-2.0 at t = 1), decay over the first few hours
+and level off at a small positive floor.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import run_fig6_growth_rate
+from repro.analysis.reports import render_growth_rate_comparison
+from repro.io.tables import write_csv
+
+
+def test_fig6_growth_rate(benchmark, bench_context, results_dir):
+    result = run_once(benchmark, run_fig6_growth_rate, bench_context)
+
+    print()
+    print(render_growth_rate_comparison(result))
+
+    times = np.asarray(result["times"])
+    paper = np.asarray(result["paper_rate"])
+    calibrated = np.asarray(result["calibrated_rate"])
+    rows = [
+        {"t": float(t), "paper_r": float(p), "calibrated_r": float(c)}
+        for t, p, c in zip(times, paper, calibrated)
+    ]
+    write_csv(rows, results_dir / "fig6_growth_rate.csv")
+
+    # Paper curve sanity (Equation 7).
+    assert paper[0] == 1.65
+    assert paper[-1] < 0.3
+
+    # Calibrated curve shape: decreasing, starts well above its floor, and
+    # stays in the same order of magnitude as the paper's curve.
+    assert np.all(np.diff(calibrated) <= 1e-9)
+    assert calibrated[0] > calibrated[-1]
+    assert 0.3 < calibrated[0] < 5.0
+    assert calibrated[-1] < 1.0

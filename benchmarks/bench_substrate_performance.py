@@ -1,0 +1,113 @@
+"""Substrate performance benchmarks.
+
+Not tied to a paper artifact: these time the building blocks that every
+experiment depends on, so regressions in the simulator, the BFS distance
+computation, the density extraction or the PDE solver are caught by the
+benchmark harness rather than showing up as mysteriously slow experiments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascade.density import compute_density_surface
+from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
+from repro.cascade.frontpage import FrontPageModel
+from repro.cascade.simulator import CascadeConfig, CascadeSimulator
+from repro.core.dl_model import DiffusiveLogisticModel
+from repro.core.initial_density import InitialDensity
+from repro.core.parameters import PAPER_S1_HOP_PARAMETERS
+from repro.network.distance import friendship_hop_distances
+from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
+
+
+@pytest.fixture(scope="module")
+def perf_graph():
+    config = DiggLikeGraphConfig(
+        num_users=2000,
+        initial_core=8,
+        follows_per_user=2,
+        reciprocity_probability=0.3,
+        triadic_closure_probability=0.15,
+        preferential_fraction=0.45,
+        recent_window=50,
+        seed=99,
+    )
+    return generate_digg_like_graph(config)
+
+
+def test_perf_graph_generation(benchmark):
+    config = DiggLikeGraphConfig(
+        num_users=1500,
+        follows_per_user=2,
+        preferential_fraction=0.45,
+        recent_window=40,
+        seed=5,
+    )
+    graph = benchmark(generate_digg_like_graph, config)
+    assert graph.num_users == 1500
+
+
+def test_perf_cascade_simulation(benchmark, perf_graph):
+    config = CascadeConfig(
+        follow_hazard=0.05,
+        reinforcement=0.4,
+        interest_decay=0.3,
+        front_page=FrontPageModel(promotion_threshold=3, discovery_rate=40.0, staleness_decay=0.3),
+        horizon_hours=50.0,
+        time_step=0.25,
+    )
+    simulator = CascadeSimulator(perf_graph, config)
+    hub = max(perf_graph.users(), key=perf_graph.out_degree)
+
+    def run():
+        return simulator.simulate(0, hub, np.random.default_rng(1))
+
+    story = benchmark(run)
+    assert story.num_votes > 10
+
+
+def test_perf_hop_distances(benchmark, perf_graph):
+    hub = max(perf_graph.users(), key=perf_graph.out_degree)
+    distances = benchmark(friendship_hop_distances, perf_graph, hub)
+    assert len(distances) > 1000
+
+
+def test_perf_density_extraction(benchmark, perf_graph):
+    config = CascadeConfig(
+        follow_hazard=0.05,
+        reinforcement=0.4,
+        interest_decay=0.3,
+        front_page=FrontPageModel(promotion_threshold=3, discovery_rate=40.0, staleness_decay=0.3),
+        horizon_hours=50.0,
+        time_step=0.25,
+    )
+    hub = max(perf_graph.users(), key=perf_graph.out_degree)
+    story = CascadeSimulator(perf_graph, config).simulate(0, hub, np.random.default_rng(2))
+    distances = friendship_hop_distances(perf_graph, hub)
+    times = np.arange(1.0, 51.0)
+    surface = benchmark(
+        compute_density_surface, story, distances, range(1, 6), times
+    )
+    assert surface.values.shape == (50, 5)
+
+
+def test_perf_corpus_build(benchmark):
+    """Building a small corpus end to end (graph + 4 representative + 10 background cascades).
+
+    A configuration not used anywhere else is chosen so the timing measures a
+    genuine build rather than a hit in the library's corpus cache, and the
+    build is run exactly once (pedantic) since repeated calls would be cached.
+    """
+    config = SyntheticDiggConfig(num_users=800, num_background_stories=10, seed=77)
+    corpus = benchmark.pedantic(
+        build_synthetic_digg_dataset, args=(config,), rounds=1, iterations=1
+    )
+    assert corpus.dataset.num_stories == 14
+
+
+def test_perf_dl_solve(benchmark):
+    phi = InitialDensity([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.5, 1.0])
+    model = DiffusiveLogisticModel(PAPER_S1_HOP_PARAMETERS, points_per_unit=20, max_step=0.02)
+    times = [float(t) for t in range(1, 7)]
+    solution = benchmark(model.solve, phi, times)
+    assert solution.times.size == 6

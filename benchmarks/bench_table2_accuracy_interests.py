@@ -1,0 +1,36 @@
+"""TAB-2 -- Prediction accuracy with shared interests as distance (Table II).
+
+Regenerates Table II of the paper: per-group, per-hour prediction accuracy of
+the DL model for story s1 with the shared-interest distance groups 1-5.
+
+Paper reference values: groups 1-4 are predicted at 91-97% while group 5
+collapses to 39.8% (the paper attributes this to the growth rate needing to
+depend on distance as well as time -- its stated future work).  The
+reproduction criterion: overall accuracy in the 80-95% band with most groups
+predicted well, and at least one boundary group noticeably harder than the
+rest.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.analysis.experiments import run_table2_accuracy_interests
+from repro.io.tables import write_csv
+
+
+def test_table2_prediction_accuracy_interests(benchmark, bench_context, results_dir):
+    table = run_once(benchmark, run_table2_accuracy_interests, bench_context)
+
+    print()
+    print(table.render("Table II (reproduced) -- prediction accuracy, shared interests, story s1"))
+    write_csv(table.to_rows(), results_dir / "table2_accuracy_interests.csv")
+
+    row_averages = [table.row_average(float(d)) for d in table.distances]
+
+    assert table.overall_average > 0.75, "overall accuracy should be comparable to the paper's ~83%"
+    # Most groups predicted well...
+    assert sum(average > 0.8 for average in row_averages) >= 3
+    # ...but the hardest group is clearly worse than the best one, mirroring
+    # the paper's group-5 breakdown (97% best row vs 40% worst row).
+    assert min(row_averages) < max(row_averages) - 0.1
+    assert np.all(np.isfinite(table.accuracies))

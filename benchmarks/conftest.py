@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs against the *benchmark corpus*: the default
+``SyntheticDiggConfig`` (6,000 users, 60 background stories, 50-hour
+observation window, seed 2009).  The corpus is built once per session and
+cached by the library, so individual benchmarks only pay for their own
+experiment.
+
+Each benchmark prints the regenerated table/figure series (the same rows the
+paper reports) and also writes them to ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md can be refreshed from disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import ExperimentContext
+from repro.cascade.digg import SyntheticDiggConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCHMARK_CORPUS_CONFIG = SyntheticDiggConfig()
+"""The canonical corpus every experiment benchmark runs on."""
+
+
+@pytest.fixture(scope="session")
+def bench_context() -> ExperimentContext:
+    """Experiment context bound to the benchmark corpus (built lazily, cached)."""
+    return ExperimentContext(config=BENCHMARK_CORPUS_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmarks drop their regenerated tables/series."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment benchmarks measure end-to-end experiment latency (corpus
+    queries + PDE solves + fitting); they are deterministic, so a single round
+    is representative and keeps the whole harness fast.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Quickstart: predict information diffusion with the Diffusive Logistic model.
+
+This is the shortest end-to-end tour of the library:
+
+1. build a (small) synthetic Digg-like corpus,
+2. extract the density surface I(x, t) of the most popular story with
+   friendship hops as the distance metric,
+3. anchor the DL model to the hour-1 snapshot using the paper's published
+   parameters for story s1 (d = 0.01, K = 25, r(t) = 1.4 e^{-1.5(t-1)} + 0.25),
+4. predict hours 2-6 and print the paper-style accuracy table.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    PAPER_S1_HOP_PARAMETERS,
+    DiffusionPredictor,
+    SyntheticDiggConfig,
+    build_synthetic_digg_dataset,
+)
+from repro.analysis.reports import render_prediction_comparison
+
+
+def main() -> None:
+    # A reduced corpus keeps the quickstart fast; drop the config argument to
+    # use the full benchmark corpus (6,000 users).
+    corpus = build_synthetic_digg_dataset(
+        SyntheticDiggConfig(num_users=2000, num_background_stories=30, seed=42)
+    )
+    print(f"Built synthetic corpus: {corpus.dataset!r}")
+
+    observed = corpus.hop_density_surface("s1")
+    print(
+        f"Observed density surface for s1: {observed.values.shape[0]} hours x "
+        f"{observed.values.shape[1]} distances, max density {observed.max_density:.1f}%"
+    )
+
+    predictor = DiffusionPredictor(parameters=PAPER_S1_HOP_PARAMETERS)
+    predictor.fit(observed)
+
+    result = predictor.evaluate(observed)
+    print()
+    print(render_prediction_comparison(result, title="DL prediction vs observations (story s1)"))
+    print()
+    print(result.accuracy_table.render("Prediction accuracy by distance and hour"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical build configuration lives in pyproject.toml; this file only
+enables legacy editable installs (`pip install -e .`) on offline machines
+where the PEP 517 editable-wheel path is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Analysis layer: pattern characterisation, experiment harness and reports.
+
+* :mod:`repro.analysis.patterns` -- the empirical characterisations of
+  Section III-B (saturation times, density orderings, shrinking increments).
+* :mod:`repro.analysis.experiments` -- one entry point per paper table/figure;
+  the benchmarks and EXPERIMENTS.md are generated from these.
+* :mod:`repro.analysis.reports` -- text rendering of figure series and tables.
+"""
+
+from repro.analysis.patterns import (
+    density_increments,
+    distance_ordering,
+    increments_are_shrinking,
+    saturation_time,
+)
+from repro.analysis.experiments import (
+    ExperimentContext,
+    run_ablation_baselines,
+    run_fig2_distance_distribution,
+    run_fig3_density_hops,
+    run_fig4_density_profiles,
+    run_fig5_density_interests,
+    run_fig6_growth_rate,
+    run_fig7_predicted_vs_actual,
+    run_table1_accuracy_hops,
+    run_table2_accuracy_interests,
+)
+from repro.analysis.reports import (
+    render_density_surface,
+    render_figure_series,
+    render_prediction_comparison,
+)
+
+__all__ = [
+    "saturation_time",
+    "density_increments",
+    "increments_are_shrinking",
+    "distance_ordering",
+    "ExperimentContext",
+    "run_fig2_distance_distribution",
+    "run_fig3_density_hops",
+    "run_fig4_density_profiles",
+    "run_fig5_density_interests",
+    "run_fig6_growth_rate",
+    "run_fig7_predicted_vs_actual",
+    "run_table1_accuracy_hops",
+    "run_table2_accuracy_interests",
+    "run_ablation_baselines",
+    "render_density_surface",
+    "render_figure_series",
+    "render_prediction_comparison",
+]

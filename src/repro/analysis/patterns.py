@@ -1,0 +1,106 @@
+"""Temporal and spatial pattern characterisation (Section III-B).
+
+The paper lists five empirical observations about the density surfaces of the
+four representative stories (Figures 3-5).  The functions here quantify those
+observations so both the test-suite and the figure benchmarks can assert that
+the synthetic corpus reproduces them:
+
+* densities evolve over time and eventually stabilise
+  (:func:`saturation_time`);
+* popular stories stabilise sooner than unpopular ones (compare saturation
+  times across stories);
+* the hour-over-hour increments shrink as the story ages, motivating the
+  decreasing growth rate r(t) (:func:`increments_are_shrinking`);
+* the density at distance 1 dominates, and for the most popular story the
+  density at hop distance 3 exceeds the density at distance 2
+  (:func:`distance_ordering`);
+* with the shared-interest metric the density decreases monotonically with
+  the group index (:func:`profile_is_decreasing`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+
+
+def saturation_time(
+    surface: DensitySurface, distance: "float | None" = None, fraction: float = 0.95
+) -> float:
+    """Earliest hour at which the density reaches ``fraction`` of its final value.
+
+    Parameters
+    ----------
+    surface:
+        The observed density surface.
+    distance:
+        A single distance to analyse; ``None`` requires *every* distance to
+        have reached the threshold.
+    fraction:
+        Fraction of the final (last observed) density that counts as
+        "stable".
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    if distance is not None:
+        series = surface.time_series(distance)
+        final = series[-1]
+        if final <= 0:
+            return float(surface.times[0])
+        reached = np.nonzero(series >= fraction * final)[0]
+        return float(surface.times[reached[0]])
+    # All distances must have reached the threshold.
+    times = [saturation_time(surface, float(d), fraction) for d in surface.distances]
+    return max(times)
+
+
+def density_increments(surface: DensitySurface, distance: float) -> np.ndarray:
+    """Hour-over-hour increments of the density at one distance."""
+    return np.diff(surface.time_series(distance))
+
+
+def increments_are_shrinking(
+    surface: DensitySurface,
+    distance: float,
+    window: int = 5,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check that early increments are larger than late increments.
+
+    The paper's Figure 4 observation ("the increment of densities at t and
+    t+1 decreases as time elapses") motivates the decreasing growth rate.  On
+    stochastic data the increments are not strictly monotone, so the check
+    compares the mean increment over the first ``window`` hours with the mean
+    over the last ``window`` hours.
+    """
+    increments = density_increments(surface, distance)
+    if increments.size < 2 * window:
+        window = max(1, increments.size // 2)
+    early = float(np.mean(increments[:window]))
+    late = float(np.mean(increments[-window:]))
+    return early >= late - tolerance
+
+
+def distance_ordering(surface: DensitySurface, time: float) -> list[float]:
+    """Distances sorted by decreasing density at the given time."""
+    profile = surface.profile(time)
+    order = np.argsort(-profile)
+    return [float(surface.distances[i]) for i in order]
+
+
+def profile_is_decreasing(surface: DensitySurface, time: float, tolerance: float = 1e-9) -> bool:
+    """True when the density decreases (weakly) with distance at ``time``."""
+    profile = surface.profile(time)
+    return bool(np.all(np.diff(profile) <= tolerance))
+
+
+def dominant_distance(surface: DensitySurface, time: float) -> float:
+    """The distance with the highest density at ``time``."""
+    return distance_ordering(surface, time)[0]
+
+
+def final_density_by_distance(surface: DensitySurface) -> dict[float, float]:
+    """Final (last observed) density per distance."""
+    final = surface.values[-1]
+    return {float(d): float(v) for d, v in zip(surface.distances, final)}

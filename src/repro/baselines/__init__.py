@@ -1,0 +1,34 @@
+"""Baseline models the DL model is compared against.
+
+The paper positions the DL model against two families of prior work:
+
+* **temporal-only models** that ignore the spatial dimension -- represented
+  here by the per-distance independent logistic model
+  (:mod:`repro.baselines.logistic`), the SIS epidemic model
+  (:mod:`repro.baselines.sis`) and a Linear-Influence-style counting model
+  (:mod:`repro.baselines.linear_influence`);
+* **network diffusion models** operating directly on the graph -- the
+  Independent Cascade and Linear Threshold models from Kempe et al.
+  (:mod:`repro.baselines.independent_cascade`,
+  :mod:`repro.baselines.linear_threshold`), which the related-work section
+  cites as the standard alternatives.
+
+The density-surface baselines implement the same ``fit(observed) /
+predict(times)`` shape as the DL predictor so the ablation benchmark can
+score them with the identical accuracy machinery.
+"""
+
+from repro.baselines.logistic import PerDistanceLogisticBaseline
+from repro.baselines.sis import SISBaseline, SISParameters
+from repro.baselines.linear_influence import LinearInfluenceBaseline
+from repro.baselines.independent_cascade import independent_cascade
+from repro.baselines.linear_threshold import linear_threshold
+
+__all__ = [
+    "PerDistanceLogisticBaseline",
+    "SISBaseline",
+    "SISParameters",
+    "LinearInfluenceBaseline",
+    "independent_cascade",
+    "linear_threshold",
+]

@@ -1,0 +1,98 @@
+"""Linear Threshold (LT) diffusion model.
+
+The second classic diffusion model from Kempe, Kleinberg and Tardos (cited as
+[23] in the paper): every user draws a random threshold in [0, 1]; a user
+becomes active once the total incoming influence weight from their active
+followees exceeds their threshold.  Influence weights into a user sum to at
+most 1; by default each followee contributes ``1 / in_degree``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.network.graph import SocialGraph
+
+
+def linear_threshold(
+    graph: SocialGraph,
+    seeds: "set[int] | list[int]",
+    influence_weights: "Mapping[tuple[int, int], float] | None" = None,
+    thresholds: "Mapping[int, float] | None" = None,
+    rng: "np.random.Generator | None" = None,
+    max_rounds: "int | None" = None,
+) -> dict[int, int]:
+    """Run the Linear Threshold process.
+
+    Parameters
+    ----------
+    graph:
+        Follower graph; influence flows along out-edges (followee -> follower).
+    seeds:
+        Initially active users.
+    influence_weights:
+        Optional mapping ``(source, target) -> weight``.  Defaults to
+        ``1 / in_degree(target)`` for every edge, the canonical uniform choice.
+    thresholds:
+        Optional per-user thresholds in [0, 1]; users not listed draw a
+        uniform random threshold.
+    rng:
+        Random generator used for missing thresholds.
+    max_rounds:
+        Optional cap on the number of rounds.
+
+    Returns
+    -------
+    dict
+        Mapping of activated user -> activation round (seeds are round 0).
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    seeds = set(int(s) for s in seeds)
+    for seed in seeds:
+        if not graph.has_user(seed):
+            raise KeyError(f"seed user {seed} is not in the graph")
+
+    def weight(source: int, target: int) -> float:
+        if influence_weights is not None:
+            return float(influence_weights.get((source, target), 0.0))
+        in_degree = graph.in_degree(target)
+        return 1.0 / in_degree if in_degree > 0 else 0.0
+
+    def threshold(user: int) -> float:
+        if thresholds is not None and user in thresholds:
+            value = float(thresholds[user])
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"threshold for user {user} must be in [0, 1], got {value}")
+            return value
+        return float(rng.random())
+
+    drawn_thresholds: dict[int, float] = {}
+    activation_round: dict[int, int] = {seed: 0 for seed in seeds}
+    frontier = set(seeds)
+    round_index = 0
+    while frontier:
+        if max_rounds is not None and round_index >= max_rounds:
+            break
+        round_index += 1
+        # Users that might newly activate: followers of the current frontier.
+        candidates: set[int] = set()
+        for user in frontier:
+            candidates.update(graph.followers(user))
+        candidates -= set(activation_round)
+
+        next_frontier: set[int] = set()
+        for candidate in candidates:
+            incoming = sum(
+                weight(followee, candidate)
+                for followee in graph.followees(candidate)
+                if followee in activation_round
+            )
+            if candidate not in drawn_thresholds:
+                drawn_thresholds[candidate] = threshold(candidate)
+            if incoming >= drawn_thresholds[candidate]:
+                activation_round[candidate] = round_index
+                next_frontier.add(candidate)
+        frontier = next_frontier
+    return activation_round

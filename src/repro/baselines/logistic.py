@@ -1,0 +1,107 @@
+"""Per-distance independent logistic baseline (temporal-only, no diffusion).
+
+This is the natural ablation of the DL model: keep the growth process (the
+logistic term) but drop the diffusion term, i.e. fit an independent logistic
+curve to every distance group's time series.  Prior temporal-only models the
+paper cites reduce to exactly this when applied per distance group.
+
+Because each distance evolves independently the baseline cannot transfer
+information across distances -- which is the capability the DL model's Fick
+term adds -- so it needs more training data per distance and degrades when
+the early snapshot at a distance is unrepresentative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+from repro.numerics.ode import LogisticCurve, fit_logistic_curve
+
+
+@dataclass
+class _FittedDistance:
+    distance: float
+    curve: "LogisticCurve | None"
+    constant_value: float
+
+
+class PerDistanceLogisticBaseline:
+    """Fits one logistic curve per distance group, ignoring spatial coupling.
+
+    Parameters
+    ----------
+    carrying_capacity_cap:
+        Upper bound applied to each fitted K (prevents the optimiser from
+        extrapolating unbounded growth from a short training window).
+    """
+
+    def __init__(self, carrying_capacity_cap: float = 200.0) -> None:
+        if carrying_capacity_cap <= 0:
+            raise ValueError("carrying_capacity_cap must be positive")
+        self._carrying_capacity_cap = carrying_capacity_cap
+        self._fits: list[_FittedDistance] = []
+        self._unit = "percent"
+
+    def fit(
+        self,
+        observed: DensitySurface,
+        training_times: "Sequence[float] | None" = None,
+    ) -> "PerDistanceLogisticBaseline":
+        """Fit one curve per distance from the training window.
+
+        Distances whose training series is all zero (or has fewer than three
+        positive observations) fall back to a constant extrapolation of the
+        last training value.
+        """
+        if training_times is None:
+            training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
+        training = observed.restrict_times(sorted(float(t) for t in training_times))
+        self._unit = observed.unit
+        self._fits = []
+        for distance in training.distances:
+            series = training.time_series(distance)
+            constant = float(series[-1])
+            curve: "LogisticCurve | None" = None
+            if series[0] > 0 and series.size >= 3:
+                try:
+                    curve = fit_logistic_curve(
+                        training.times,
+                        series,
+                        carrying_capacity_bounds=(1e-6, self._carrying_capacity_cap),
+                    )
+                except (ValueError, RuntimeError):
+                    curve = None
+            self._fits.append(
+                _FittedDistance(distance=float(distance), curve=curve, constant_value=constant)
+            )
+        return self
+
+    @property
+    def fitted_distances(self) -> list[float]:
+        """Distances the baseline has been fitted for."""
+        return [fit.distance for fit in self._fits]
+
+    def predict(self, times: Sequence[float]) -> DensitySurface:
+        """Predict the density surface at the requested times."""
+        if not self._fits:
+            raise RuntimeError("the baseline has not been fitted yet; call fit() first")
+        times = sorted(float(t) for t in times)
+        distances = np.asarray([fit.distance for fit in self._fits])
+        values = np.zeros((len(times), distances.size))
+        for j, fit in enumerate(self._fits):
+            if fit.curve is not None:
+                values[:, j] = np.asarray(fit.curve(np.asarray(times)), dtype=float)
+            else:
+                values[:, j] = fit.constant_value
+        return DensitySurface(
+            distances=distances,
+            times=np.asarray(times),
+            values=np.maximum(values, 0.0),
+            group_sizes=np.ones(distances.size),
+            unit=self._unit,
+            metadata={"source": "per_distance_logistic_baseline"},
+        )

@@ -1,0 +1,44 @@
+"""Cascade substrate: votes, stories, simulation and density extraction.
+
+This package is the stand-in for the Digg 2009 dataset used by the paper.  It
+provides:
+
+* :mod:`repro.cascade.events` -- the ``Vote`` and ``Story`` record types.
+* :mod:`repro.cascade.dataset` -- the ``CascadeDataset`` container (follower
+  graph + stories + votes) with JSON round-trip.
+* :mod:`repro.cascade.simulator` -- a stochastic cascade simulator with the
+  two Digg information channels: follower-feed spreading and front-page
+  random discovery.
+* :mod:`repro.cascade.frontpage` -- the front-page promotion model.
+* :mod:`repro.cascade.digg` -- builds the synthetic Digg-like corpus including
+  the four representative stories s1-s4 of the evaluation section.
+* :mod:`repro.cascade.density` -- turns votes + distances into the density
+  surface ``I(x, t)`` consumed by the DL model.
+"""
+
+from repro.cascade.events import Story, Vote
+from repro.cascade.dataset import CascadeDataset
+from repro.cascade.frontpage import FrontPageModel
+from repro.cascade.simulator import CascadeConfig, CascadeSimulator
+from repro.cascade.digg import (
+    REPRESENTATIVE_STORY_VOTES,
+    SyntheticDiggConfig,
+    SyntheticDiggDataset,
+    build_synthetic_digg_dataset,
+)
+from repro.cascade.density import DensitySurface, compute_density_surface
+
+__all__ = [
+    "Vote",
+    "Story",
+    "CascadeDataset",
+    "FrontPageModel",
+    "CascadeConfig",
+    "CascadeSimulator",
+    "SyntheticDiggConfig",
+    "SyntheticDiggDataset",
+    "build_synthetic_digg_dataset",
+    "REPRESENTATIVE_STORY_VOTES",
+    "DensitySurface",
+    "compute_density_surface",
+]

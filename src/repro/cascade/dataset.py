@@ -1,0 +1,150 @@
+"""The cascade dataset container.
+
+``CascadeDataset`` plays the role of the Digg 2009 dataset in the paper's
+pipeline: a directed follower graph plus a collection of stories, each with a
+timestamped vote cascade.  It supports JSON round-trips so that the synthetic
+corpus used by the benchmarks can be regenerated and inspected, and exposes
+the voting-history view (user -> set of stories voted) needed by the
+shared-interest distance metric.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.cascade.events import Story, Vote
+from repro.network.graph import SocialGraph
+
+
+class CascadeDataset:
+    """A follower graph together with a set of story cascades.
+
+    Parameters
+    ----------
+    graph:
+        The directed follower graph (edges point in the direction of
+        information flow).
+    stories:
+        Stories, keyed by story id after construction.
+    """
+
+    def __init__(self, graph: SocialGraph, stories: Iterable[Story] = ()) -> None:
+        self._graph = graph
+        self._stories: dict[int, Story] = {}
+        for story in stories:
+            self.add_story(story)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> SocialGraph:
+        """The follower graph."""
+        return self._graph
+
+    @property
+    def num_stories(self) -> int:
+        """Number of stories in the dataset."""
+        return len(self._stories)
+
+    @property
+    def num_votes(self) -> int:
+        """Total number of votes across all stories."""
+        return sum(story.num_votes for story in self._stories.values())
+
+    def story_ids(self) -> list[int]:
+        """Sorted story ids."""
+        return sorted(self._stories)
+
+    def story(self, story_id: int) -> Story:
+        """Look up a story by id."""
+        if story_id not in self._stories:
+            raise KeyError(f"story {story_id} is not in the dataset")
+        return self._stories[story_id]
+
+    def stories(self) -> list[Story]:
+        """All stories, ordered by id."""
+        return [self._stories[sid] for sid in self.story_ids()]
+
+    def add_story(self, story: Story) -> None:
+        """Add a story; ids must be unique."""
+        if story.story_id in self._stories:
+            raise ValueError(f"story {story.story_id} already exists in the dataset")
+        self._stories[story.story_id] = story
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+    def user_voting_histories(self) -> dict[int, set[int]]:
+        """Mapping user -> set of story ids the user has voted on.
+
+        This is the ``C_a`` content set of the shared-interest distance
+        (Equation 1): the full voting history of each user across the corpus.
+        """
+        histories: dict[int, set[int]] = {}
+        for story in self._stories.values():
+            for vote in story.votes:
+                histories.setdefault(vote.user, set()).add(story.story_id)
+        return histories
+
+    def stories_by_popularity(self) -> list[Story]:
+        """Stories sorted by total vote count, most popular first."""
+        return sorted(self._stories.values(), key=lambda s: s.num_votes, reverse=True)
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> dict:
+        """Serialize the dataset (graph + stories) to a JSON-friendly dict."""
+        return {
+            "num_users": self._graph.num_users,
+            "edges": sorted(self._graph.edges()),
+            "stories": [
+                {
+                    "story_id": story.story_id,
+                    "initiator": story.initiator,
+                    "votes": [[vote.time, vote.user] for vote in story.votes],
+                }
+                for story in self.stories()
+            ],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping) -> "CascadeDataset":
+        """Rebuild a dataset from :meth:`to_json_dict` output."""
+        graph = SocialGraph(int(payload["num_users"]))
+        for source, target in payload["edges"]:
+            graph.add_follow(int(source), int(target))
+        stories = []
+        for story_payload in payload["stories"]:
+            votes = [
+                Vote(time=float(time), user=int(user))
+                for time, user in story_payload["votes"]
+            ]
+            stories.append(
+                Story(
+                    story_id=int(story_payload["story_id"]),
+                    initiator=int(story_payload["initiator"]),
+                    votes=votes,
+                )
+            )
+        return cls(graph, stories)
+
+    def save(self, path: "str | Path") -> None:
+        """Write the dataset to a JSON file."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json_dict()))
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "CascadeDataset":
+        """Read a dataset previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls.from_json_dict(payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"CascadeDataset(users={self._graph.num_users}, "
+            f"stories={self.num_stories}, votes={self.num_votes})"
+        )

@@ -1,0 +1,455 @@
+"""Synthetic Digg-like corpus: the substitution for the Digg 2009 dataset.
+
+The paper evaluates the DL model on a crawl of Digg from June 2009 (3553
+front-page stories, ~3 million votes, 139,409 users) and reports detailed
+results for four representative stories:
+
+========  ==============  =================
+story     votes (paper)   role
+========  ==============  =================
+``s1``    24,099          most popular story
+``s2``    8,521           second most popular
+``s3``    5,988           mid-size story
+``s4``    1,618           small story
+========  ==============  =================
+
+That crawl is not redistributable, so this module builds a *synthetic*
+Digg-like corpus with the same moving parts: a follower graph
+(:func:`repro.network.generators.generate_digg_like_graph`), a population of
+background stories that gives every active user a voting history (needed by
+the shared-interest metric), and four representative stories whose cascade
+parameters are chosen so the resulting density surfaces have the qualitative
+structure reported in Figures 2-5:
+
+* most users sit at hop distance 2-5 from the initiators, peaking at 3;
+* densities grow over time and saturate -- fast for popular stories (~10 h
+  for s1), slower for less popular ones;
+* for s1, the density at hop distance 3 exceeds the density at distance 2
+  (the front-page channel), while for s4 density decreases monotonically
+  with distance (follower links dominate);
+* with the shared-interest metric the density decreases monotonically with
+  the interest-distance group for every story.
+
+The corpus is scaled down (thousands rather than 139k users); the DL model
+only consumes densities, which are scale-free ratios, so the reduction does
+not change which code paths are exercised.  See DESIGN.md for the full
+substitution rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.dataset import CascadeDataset
+from repro.cascade.density import DensitySurface, compute_density_surface
+from repro.cascade.events import Story
+from repro.cascade.frontpage import FrontPageModel
+from repro.cascade.simulator import CascadeConfig, CascadeSimulator
+from repro.network.distance import distance_histogram, friendship_hop_distances
+from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
+from repro.network.graph import SocialGraph
+from repro.network.interests import interest_distance_groups, interest_distances_from_source
+
+REPRESENTATIVE_STORY_VOTES: dict[str, int] = {
+    "s1": 24099,
+    "s2": 8521,
+    "s3": 5988,
+    "s4": 1618,
+}
+"""Vote counts of the four representative stories in the original dataset."""
+
+REPRESENTATIVE_STORY_NAMES: tuple[str, ...] = tuple(REPRESENTATIVE_STORY_VOTES)
+
+
+@dataclass(frozen=True)
+class SyntheticDiggConfig:
+    """Configuration of the synthetic corpus.
+
+    Attributes
+    ----------
+    num_users:
+        Number of users in the follower graph (scaled down from 139,409).
+    num_background_stories:
+        Number of additional small stories simulated only to give users a
+        voting history for the shared-interest metric.
+    horizon_hours:
+        Observation window per story (the paper uses 50 hours).
+    seed:
+        Master seed; every cascade derives its own child generator from it.
+    graph_config:
+        Parameters of the follower-graph generator; ``None`` uses a
+        Digg-like default scaled to ``num_users``.
+    """
+
+    num_users: int = 6000
+    num_background_stories: int = 60
+    horizon_hours: float = 50.0
+    seed: int = 2009
+    graph_config: "DiggLikeGraphConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.num_users < 100:
+            raise ValueError("the synthetic corpus needs at least 100 users")
+        if self.num_background_stories < 0:
+            raise ValueError("num_background_stories must be non-negative")
+        if self.horizon_hours <= 1:
+            raise ValueError("horizon_hours must exceed 1 hour")
+
+    def resolved_graph_config(self) -> DiggLikeGraphConfig:
+        """The graph configuration actually used (default scaled to num_users)."""
+        if self.graph_config is not None:
+            return self.graph_config
+        return DiggLikeGraphConfig(
+            num_users=self.num_users,
+            initial_core=8,
+            follows_per_user=2,
+            reciprocity_probability=0.3,
+            triadic_closure_probability=0.15,
+            preferential_fraction=0.45,
+            recent_window=max(30, self.num_users // 40),
+            seed=self.seed,
+        )
+
+
+def _story_cascade_config(name: str, num_users: int, horizon_hours: float) -> CascadeConfig:
+    """Per-story cascade parameters reproducing the paper's qualitative shapes.
+
+    The hazards and front-page rates are chosen so that, on the default
+    2,500-user corpus, the resulting density surfaces match the scale and
+    ordering of Figures 3 and 5: the most popular story s1 peaks around
+    15-20% density at hop distance 1 and saturates within ~10 hours, while
+    the small story s4 stays below a few percent and keeps growing for most
+    of the 50-hour window.
+    """
+    population = float(num_users)
+    if name == "s1":
+        front_page = FrontPageModel(
+            promotion_threshold=2,
+            discovery_rate=0.035 * population,
+            staleness_decay=0.40,
+        )
+        return CascadeConfig(
+            follow_hazard=0.050,
+            reinforcement=0.4,
+            interest_decay=0.40,
+            front_page=front_page,
+            horizon_hours=horizon_hours,
+            time_step=0.25,
+        )
+    if name == "s2":
+        front_page = FrontPageModel(
+            promotion_threshold=4,
+            discovery_rate=0.005 * population,
+            staleness_decay=0.18,
+        )
+        return CascadeConfig(
+            follow_hazard=0.035,
+            reinforcement=0.35,
+            interest_decay=0.22,
+            front_page=front_page,
+            horizon_hours=horizon_hours,
+            time_step=0.25,
+        )
+    if name == "s3":
+        front_page = FrontPageModel(
+            promotion_threshold=6,
+            discovery_rate=0.0035 * population,
+            staleness_decay=0.13,
+        )
+        return CascadeConfig(
+            follow_hazard=0.007,
+            reinforcement=0.35,
+            interest_decay=0.14,
+            front_page=front_page,
+            horizon_hours=horizon_hours,
+            time_step=0.25,
+        )
+    if name == "s4":
+        front_page = FrontPageModel(
+            promotion_threshold=3,
+            discovery_rate=0.0009 * population,
+            staleness_decay=0.08,
+        )
+        return CascadeConfig(
+            follow_hazard=0.004,
+            reinforcement=0.3,
+            interest_decay=0.07,
+            front_page=front_page,
+            horizon_hours=horizon_hours,
+            time_step=0.25,
+        )
+    raise KeyError(f"unknown representative story {name!r}")
+
+
+def _background_cascade_config(num_users: int, horizon_hours: float) -> CascadeConfig:
+    """Mid-size cascades that give users a voting history for the interest metric.
+
+    The paper's corpus averages ~21 votes per user across 3,553 stories; with
+    only a few dozen background stories the reproduction needs each of them
+    to reach a reasonable share of the population so that voting histories
+    are rich enough for the Jaccard interest distance to be informative.
+    """
+    front_page = FrontPageModel(
+        promotion_threshold=2,
+        discovery_rate=0.02 * num_users,
+        staleness_decay=0.15,
+    )
+    return CascadeConfig(
+        follow_hazard=0.035,
+        reinforcement=0.3,
+        interest_decay=0.15,
+        front_page=front_page,
+        horizon_hours=min(horizon_hours, 24.0),
+        time_step=0.5,
+    )
+
+
+class SyntheticDiggDataset:
+    """The synthetic corpus plus the derived views used by the experiments.
+
+    Use :func:`build_synthetic_digg_dataset` to obtain a (cached) instance.
+    """
+
+    def __init__(
+        self,
+        config: SyntheticDiggConfig,
+        dataset: CascadeDataset,
+        representative_ids: dict[str, int],
+    ) -> None:
+        self._config = config
+        self._dataset = dataset
+        self._representative_ids = dict(representative_ids)
+        self._hop_distance_cache: dict[str, dict[int, int]] = {}
+        self._interest_group_cache: dict[tuple[str, int], dict[int, int]] = {}
+        self._voting_histories: "dict[int, set[int]] | None" = None
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SyntheticDiggConfig:
+        """The configuration this corpus was built from."""
+        return self._config
+
+    @property
+    def dataset(self) -> CascadeDataset:
+        """The underlying :class:`CascadeDataset` (graph + all stories)."""
+        return self._dataset
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The follower graph."""
+        return self._dataset.graph
+
+    @property
+    def story_names(self) -> tuple[str, ...]:
+        """Names of the representative stories (s1..s4)."""
+        return tuple(self._representative_ids)
+
+    def story(self, name: str) -> Story:
+        """The representative story with the given name ('s1'..'s4')."""
+        if name not in self._representative_ids:
+            raise KeyError(f"unknown story {name!r}; expected one of {self.story_names}")
+        return self._dataset.story(self._representative_ids[name])
+
+    def initiator(self, name: str) -> int:
+        """Initiator user id of a representative story."""
+        return self.story(name).initiator
+
+    # ------------------------------------------------------------------ #
+    # Distance views
+    # ------------------------------------------------------------------ #
+    def hop_distances(self, name: str) -> dict[int, int]:
+        """Friendship-hop distance from the story's initiator to every reachable user."""
+        if name not in self._hop_distance_cache:
+            story = self.story(name)
+            self._hop_distance_cache[name] = friendship_hop_distances(
+                self.graph, story.initiator
+            )
+        return self._hop_distance_cache[name]
+
+    def hop_distance_histogram(self, name: str, max_distance: int = 10) -> dict[int, int]:
+        """Figure 2 view: number of users at each hop distance from the initiator."""
+        return distance_histogram(self.hop_distances(name), max_distance=max_distance)
+
+    def voting_histories(self) -> dict[int, set[int]]:
+        """User -> set of story ids voted on, across the whole corpus."""
+        if self._voting_histories is None:
+            self._voting_histories = self._dataset.user_voting_histories()
+        return self._voting_histories
+
+    def interest_groups(self, name: str, num_groups: int = 5) -> dict[int, int]:
+        """Shared-interest distance groups (1..num_groups) from the story's initiator.
+
+        Only users with a non-empty voting history are considered, mirroring
+        the paper's dataset where every user voted at least once (Equation 1
+        is computed over each user's full voting history across the corpus,
+        exactly as in the paper).
+        """
+        key = (name, num_groups)
+        if key not in self._interest_group_cache:
+            story = self.story(name)
+            histories = self.voting_histories()
+            if story.initiator not in histories:
+                raise RuntimeError("initiator has no voting history; corpus is inconsistent")
+            raw_distances = interest_distances_from_source(story.initiator, histories)
+            self._interest_group_cache[key] = interest_distance_groups(
+                raw_distances, num_groups=num_groups
+            )
+        return self._interest_group_cache[key]
+
+    # ------------------------------------------------------------------ #
+    # Density surfaces
+    # ------------------------------------------------------------------ #
+    def hop_density_surface(
+        self,
+        name: str,
+        max_distance: int = 5,
+        times: "Sequence[float] | None" = None,
+        unit: str = "percent",
+    ) -> DensitySurface:
+        """I(x, t) with friendship hops as the distance metric (Figure 3)."""
+        times = times if times is not None else np.arange(1.0, self._config.horizon_hours + 1.0)
+        return compute_density_surface(
+            story=self.story(name),
+            user_distances=self.hop_distances(name),
+            distance_values=range(1, max_distance + 1),
+            times=times,
+            unit=unit,
+            metadata={"story": name, "distance_metric": "friendship_hops"},
+        )
+
+    def interest_density_surface(
+        self,
+        name: str,
+        num_groups: int = 5,
+        times: "Sequence[float] | None" = None,
+        unit: str = "percent",
+    ) -> DensitySurface:
+        """I(x, t) with shared-interest groups as the distance metric (Figure 5)."""
+        times = times if times is not None else np.arange(1.0, self._config.horizon_hours + 1.0)
+        return compute_density_surface(
+            story=self.story(name),
+            user_distances=self.interest_groups(name, num_groups=num_groups),
+            distance_values=range(1, num_groups + 1),
+            times=times,
+            unit=unit,
+            metadata={"story": name, "distance_metric": "shared_interests"},
+        )
+
+
+def _choose_initiators(graph: SocialGraph, rng: np.random.Generator) -> dict[str, int]:
+    """Pick well-connected initiators so Figure 2's distance histogram peaks at 2-3."""
+    by_audience = sorted(graph.users(), key=graph.out_degree, reverse=True)
+    # The four representative stories are all front-page hits submitted by
+    # influential users; use distinct high-audience users.
+    return {
+        "s1": by_audience[0],
+        "s2": by_audience[1],
+        "s3": by_audience[2],
+        "s4": by_audience[4],
+    }
+
+
+def _discovery_bias_for_story(
+    name: str, graph: SocialGraph, initiator: int
+) -> "dict[int, float] | None":
+    """Front-page discovery weights per user.
+
+    For the most popular story the paper observes that the density at hop
+    distance 3 exceeds the density at distance 2 (Figure 3a) -- front-page
+    browsing is not uniform over the distance groups.  We reproduce that by
+    biasing random discovery toward the (large) distance-3 group for s1 and,
+    more weakly, for s2.  The smaller stories get unbiased discovery.
+    """
+    if name not in ("s1", "s2"):
+        return None
+    if name == "s1":
+        weight_by_distance = {1: 1.5, 2: 0.9, 3: 1.8, 4: 1.0, 5: 0.7}
+        default_weight = 0.5
+    else:
+        weight_by_distance = {3: 1.5}
+        default_weight = 1.0
+    distances = friendship_hop_distances(graph, initiator)
+    return {
+        user: weight_by_distance.get(distance, default_weight)
+        for user, distance in distances.items()
+    }
+
+
+def _build(config: SyntheticDiggConfig) -> SyntheticDiggDataset:
+    master_rng = np.random.default_rng(config.seed)
+    graph = generate_digg_like_graph(config.resolved_graph_config(), rng=master_rng)
+    initiators = _choose_initiators(graph, master_rng)
+
+    dataset = CascadeDataset(graph)
+    representative_ids: dict[str, int] = {}
+
+    story_id = 0
+    for name in REPRESENTATIVE_STORY_NAMES:
+        cascade_config = _story_cascade_config(name, config.num_users, config.horizon_hours)
+        simulator = CascadeSimulator(graph, cascade_config)
+        bias = _discovery_bias_for_story(name, graph, initiators[name])
+        story = simulator.simulate(
+            story_id=story_id,
+            initiator=initiators[name],
+            rng=np.random.default_rng(config.seed + 1000 + story_id),
+            discovery_bias=bias,
+        )
+        dataset.add_story(story)
+        representative_ids[name] = story_id
+        story_id += 1
+
+    background_config = _background_cascade_config(config.num_users, config.horizon_hours)
+    background_simulator = CascadeSimulator(graph, background_config)
+    users = list(graph.users())
+    representative_initiators = [initiators[name] for name in REPRESENTATIVE_STORY_NAMES]
+    # Activity bias for background front-page discovery: well-connected users
+    # are the heavy Digg users -- they browse and vote far more than average.
+    # This gives hub users (including the four representative initiators) the
+    # rich voting histories the shared-interest metric relies on; the real
+    # corpus averages ~21 votes per user.
+    activity_bias = {
+        user: 1.0 + 0.08 * min(graph.out_degree(user), 75) for user in graph.users()
+    }
+    for background_index in range(config.num_background_stories):
+        # Active submitters author many stories: the first few background
+        # stories are initiated by the representative initiators themselves,
+        # which gives them the rich voting history the shared-interest metric
+        # needs; the rest come from random users.
+        if background_index < 3 * len(representative_initiators):
+            initiator = representative_initiators[background_index % len(representative_initiators)]
+        else:
+            initiator = int(users[int(master_rng.integers(len(users)))])
+        story = background_simulator.simulate(
+            story_id=story_id,
+            initiator=initiator,
+            rng=np.random.default_rng(config.seed + 1000 + story_id),
+            discovery_bias=activity_bias,
+        )
+        dataset.add_story(story)
+        story_id += 1
+
+    return SyntheticDiggDataset(config, dataset, representative_ids)
+
+
+@lru_cache(maxsize=4)
+def _cached_build(config: SyntheticDiggConfig) -> SyntheticDiggDataset:
+    return _build(config)
+
+
+def build_synthetic_digg_dataset(
+    config: "SyntheticDiggConfig | None" = None,
+) -> SyntheticDiggDataset:
+    """Build (or fetch from cache) the synthetic Digg-like corpus.
+
+    The corpus is deterministic given the configuration, and building it is
+    the most expensive step of the experiment pipeline, so identical
+    configurations are cached for the lifetime of the process.
+    """
+    config = config if config is not None else SyntheticDiggConfig()
+    return _cached_build(config)

@@ -1,0 +1,97 @@
+"""Event and story record types for the cascade layer.
+
+These mirror the structure of the Digg 2009 dataset described in Section
+III-A of the paper: each story has an initiator (the first voter who brought
+the news to the site) and a list of timestamped votes; timestamps are
+reported in hours since submission (the paper's dataset has one-second
+granularity; hours are what the density surface is computed on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Vote:
+    """A single vote (a "digg") on a story.
+
+    Attributes
+    ----------
+    time:
+        Hours since the story was submitted; non-negative.  The initiator's
+        own vote is at time 0.0.
+    user:
+        Id of the voting user.
+    """
+
+    time: float
+    user: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"vote time must be non-negative, got {self.time}")
+        if self.user < 0:
+            raise ValueError(f"user id must be non-negative, got {self.user}")
+
+
+@dataclass
+class Story:
+    """A news story and its cascade of votes.
+
+    Attributes
+    ----------
+    story_id:
+        Unique identifier of the story.
+    initiator:
+        User id of the submitter (the information source ``s``).
+    votes:
+        All votes, including the initiator's vote at time 0; kept sorted by
+        time by :meth:`add_vote`.
+    """
+
+    story_id: int
+    initiator: int
+    votes: list[Vote] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.story_id < 0:
+            raise ValueError(f"story_id must be non-negative, got {self.story_id}")
+        if self.initiator < 0:
+            raise ValueError(f"initiator id must be non-negative, got {self.initiator}")
+        self.votes = sorted(self.votes)
+
+    def add_vote(self, vote: Vote) -> None:
+        """Append a vote, keeping the vote list sorted by time."""
+        self.votes.append(vote)
+        if len(self.votes) > 1 and vote.time < self.votes[-2].time:
+            self.votes.sort()
+
+    @property
+    def num_votes(self) -> int:
+        """Total number of votes, including the initiator's."""
+        return len(self.votes)
+
+    @property
+    def voters(self) -> set[int]:
+        """Set of distinct users who voted on this story."""
+        return {vote.user for vote in self.votes}
+
+    def votes_until(self, time: float) -> list[Vote]:
+        """All votes cast at or before ``time`` (hours)."""
+        return [vote for vote in self.votes if vote.time <= time]
+
+    def voters_until(self, time: float) -> set[int]:
+        """Distinct voters up to and including ``time``."""
+        return {vote.user for vote in self.votes if vote.time <= time}
+
+    def vote_times(self) -> list[float]:
+        """Sorted list of all vote timestamps."""
+        return [vote.time for vote in self.votes]
+
+    def first_vote_time(self, user: int) -> "float | None":
+        """Time of the user's first vote, or None if the user never voted."""
+        for vote in self.votes:
+            if vote.user == user:
+                return vote.time
+        return None

@@ -1,0 +1,202 @@
+"""Command-line interface for the reproduction.
+
+Four subcommands cover the common workflows without writing any Python:
+
+``build-corpus``
+    Build the synthetic Digg-like corpus and save it to a JSON file.
+``characterize``
+    Print the Section III-B characterisation (distance histogram, density
+    surfaces, saturation times) for one story.
+``predict``
+    Run the paper's prediction protocol (Table I / Table II) for one story
+    and distance metric.
+``report``
+    Run every registered experiment and print a compact paper-vs-measured
+    summary (a quick, text-only version of the benchmark harness).
+
+Run ``python -m repro --help`` for the full argument reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.experiments import (
+    ExperimentContext,
+    run_ablation_baselines,
+    run_fig2_distance_distribution,
+    run_table1_accuracy_hops,
+    run_table2_accuracy_interests,
+)
+from repro.analysis.patterns import saturation_time
+from repro.analysis.reports import render_density_surface, render_figure_series
+from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
+from repro.core.prediction import DiffusionPredictor
+from repro.io.tables import format_table
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=2000, help="number of users in the corpus")
+    parser.add_argument(
+        "--background-stories", type=int, default=40, help="number of background stories"
+    )
+    parser.add_argument("--seed", type=int, default=2009, help="corpus random seed")
+    parser.add_argument(
+        "--horizon", type=float, default=50.0, help="observation window in hours"
+    )
+
+
+def _corpus_config(args: argparse.Namespace) -> SyntheticDiggConfig:
+    return SyntheticDiggConfig(
+        num_users=args.users,
+        num_background_stories=args.background_stories,
+        horizon_hours=args.horizon,
+        seed=args.seed,
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the Diffusive Logistic information-diffusion model (ICDCS 2012).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build-corpus", help="build and save a synthetic Digg-like corpus")
+    _add_corpus_arguments(build)
+    build.add_argument("--output", required=True, help="path of the JSON file to write")
+
+    characterize = subparsers.add_parser(
+        "characterize", help="print the temporal/spatial diffusion patterns of one story"
+    )
+    _add_corpus_arguments(characterize)
+    characterize.add_argument("--story", default="s1", choices=["s1", "s2", "s3", "s4"])
+    characterize.add_argument(
+        "--metric", default="hops", choices=["hops", "interests"], help="distance metric"
+    )
+
+    predict = subparsers.add_parser(
+        "predict", help="run the paper's prediction protocol and print the accuracy table"
+    )
+    _add_corpus_arguments(predict)
+    predict.add_argument("--story", default="s1", choices=["s1", "s2", "s3", "s4"])
+    predict.add_argument("--metric", default="hops", choices=["hops", "interests"])
+    predict.add_argument(
+        "--hours", type=int, default=6, help="length of the training/evaluation window in hours"
+    )
+
+    report = subparsers.add_parser(
+        "report", help="run the main experiments and print a compact summary"
+    )
+    _add_corpus_arguments(report)
+
+    return parser
+
+
+def _command_build_corpus(args: argparse.Namespace) -> int:
+    corpus = build_synthetic_digg_dataset(_corpus_config(args))
+    corpus.dataset.save(args.output)
+    print(
+        f"wrote {corpus.dataset.num_stories} stories, {corpus.dataset.num_votes} votes, "
+        f"{corpus.graph.num_users} users to {args.output}"
+    )
+    return 0
+
+
+def _observed_surface(corpus, story: str, metric: str):
+    if metric == "hops":
+        return corpus.hop_density_surface(story)
+    return corpus.interest_density_surface(story)
+
+
+def _command_characterize(args: argparse.Namespace) -> int:
+    corpus = build_synthetic_digg_dataset(_corpus_config(args))
+    surface = _observed_surface(corpus, args.story, args.metric)
+
+    histogram = corpus.hop_distance_histogram(args.story, max_distance=10)
+    total = sum(histogram.values()) or 1
+    print(render_figure_series(
+        {args.story: {d: c / total for d, c in histogram.items()}},
+        x_label="hop distance",
+        title=f"Distribution of users around the initiator of {args.story}",
+    ))
+    print()
+    print(render_density_surface(
+        surface,
+        times=[1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0],
+        title=f"Density of influenced users, {args.story}, {args.metric}",
+    ))
+    print()
+    print(f"votes: {corpus.story(args.story).num_votes}")
+    print(f"saturation time (95% of final density at distance 1): "
+          f"{saturation_time(surface, float(surface.distances[0])):.0f} h")
+    return 0
+
+
+def _command_predict(args: argparse.Namespace) -> int:
+    corpus = build_synthetic_digg_dataset(_corpus_config(args))
+    observed = _observed_surface(corpus, args.story, args.metric)
+    training_times = [float(t) for t in range(1, args.hours + 1)]
+    if observed.profile(1.0).sum() <= 0:
+        print(
+            "error: the first observed hour has no influenced users at any distance; "
+            "try a different story, metric or seed",
+            file=sys.stderr,
+        )
+        return 1
+    predictor = DiffusionPredictor().fit(observed, training_times=training_times)
+    result = predictor.evaluate(observed, times=training_times[1:])
+    print(result.accuracy_table.render(
+        f"Prediction accuracy -- {args.story}, {args.metric}, hours 2-{args.hours}"
+    ))
+    print(f"calibrated parameters: {predictor.parameters}")
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    context = ExperimentContext(config=_corpus_config(args))
+
+    print("== FIG-2: distribution of users over hop distances ==")
+    fig2 = run_fig2_distance_distribution(context)
+    print(render_figure_series(fig2, x_label="hop distance"))
+    print()
+
+    print("== TAB-1: prediction accuracy, friendship hops (paper overall ~92.8%) ==")
+    table1 = run_table1_accuracy_hops(context)
+    print(table1.render())
+    print()
+
+    print("== TAB-2: prediction accuracy, shared interests (paper overall ~83.1%) ==")
+    table2 = run_table2_accuracy_interests(context)
+    print(table2.render())
+    print()
+
+    print("== ABL-1: forecast accuracy vs baselines (train hours 1-4, forecast 5-12) ==")
+    ablation = run_ablation_baselines(context)
+    rows = [
+        {"model": name, "overall_accuracy": table.overall_average}
+        for name, table in sorted(ablation.items(), key=lambda kv: -kv[1].overall_average)
+    ]
+    print(format_table(rows))
+    return 0
+
+
+_COMMANDS = {
+    "build-corpus": _command_build_corpus,
+    "characterize": _command_characterize,
+    "predict": _command_predict,
+    "report": _command_report,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,270 @@
+"""Calibration of the DL-model parameters from early observations.
+
+Section II-D of the paper gives guidelines for choosing the parameters
+("growth rate r controls the gap between I(x, t) and I(x, t+1) ...; diffusion
+rate d controls the slope of I; carrying capacity K controls the upper bound
+of I") and the evaluation section then reports hand-chosen values for story
+s1.  To make the reproduction usable on arbitrary cascades, this module adds
+automated calibration:
+
+* :func:`choose_carrying_capacity` -- the paper's heuristic ("K is set to 25
+  since ... the density of s1 is always below 25"), generalised to any
+  observed surface.
+* :func:`fit_growth_rate` -- least-squares fit of the exponential-decay growth
+  rate ``r(t) = a e^{-b (t - 1)} + c`` with d and K held fixed.
+* :func:`calibrate_dl_model` -- joint coarse-grid + local-refinement fit of
+  (d, a, b, c), with K chosen by the heuristic.
+
+All fits compare DL-model predictions against the observed density surface on
+a *training window* of early hours, exactly like the paper's setup where only
+the initial phase of the cascade is assumed known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+from repro.core.dl_model import DiffusiveLogisticModel
+from repro.core.initial_density import InitialDensity
+from repro.core.parameters import DLParameters, ExponentialDecayGrowthRate
+from repro.numerics.optimization import FitResult, grid_search, least_squares_fit
+
+
+@dataclass
+class CalibrationResult:
+    """Outcome of a DL-model calibration.
+
+    Attributes
+    ----------
+    parameters:
+        The calibrated :class:`DLParameters`.
+    loss:
+        Final sum-of-squares loss on the training window.
+    training_times:
+        The hours used for fitting.
+    details:
+        Optimiser diagnostics (grid-search result, local-fit result, ...).
+    """
+
+    parameters: DLParameters
+    loss: float
+    training_times: tuple[float, ...]
+    details: dict = field(default_factory=dict)
+
+
+def choose_carrying_capacity(
+    surface: DensitySurface, margin: float = 1.25, minimum: float = 1.0
+) -> float:
+    """Pick K as a rounded-up multiple of the largest observed density.
+
+    The paper sets K = 25 for story s1 (hop distance) after observing that
+    the density never exceeds 25, and K = 60 for the interest metric.  The
+    generalisation here takes the maximum observed density, multiplies by a
+    safety margin and rounds up to the next multiple of 5 (so the published
+    values are recovered on surfaces with maxima just below 20 / 48).
+    """
+    if margin < 1.0:
+        raise ValueError(f"margin must be >= 1, got {margin}")
+    raw = max(surface.max_density * margin, minimum)
+    return float(np.ceil(raw / 5.0) * 5.0)
+
+
+def _training_surface(surface: DensitySurface, training_times: Sequence[float]) -> DensitySurface:
+    times = sorted(float(t) for t in training_times)
+    if len(times) < 2:
+        raise ValueError("at least two training times are required (initial + one target)")
+    return surface.restrict_times(times)
+
+
+def _prediction_residuals(
+    parameters: DLParameters,
+    initial_density: InitialDensity,
+    observed: DensitySurface,
+    target_times: Sequence[float],
+    points_per_unit: int,
+    max_step: float,
+) -> np.ndarray:
+    """Relative residuals over every (distance, target time) cell.
+
+    Residuals are normalised by the observed value (floored at 5% of the
+    surface maximum so near-zero cells do not dominate).  This matches the
+    paper's evaluation metric -- Equation 8 scores *relative* error -- so the
+    calibration optimises the same quantity the tables report, rather than
+    letting the high-density distance-1 cells dominate the fit.
+    """
+    model = DiffusiveLogisticModel(
+        parameters, points_per_unit=points_per_unit, max_step=max_step
+    )
+    predicted = model.predict(initial_density, list(target_times), observed.distances)
+    floor = max(0.05 * observed.max_density, 1e-9)
+    residuals = []
+    for time in target_times:
+        actual = observed.profile(time)
+        scale = np.maximum(np.abs(actual), floor)
+        residuals.append((predicted.profile(time) - actual) / scale)
+    return np.concatenate(residuals)
+
+
+def fit_growth_rate(
+    observed: DensitySurface,
+    diffusion_rate: float,
+    carrying_capacity: float,
+    training_times: "Sequence[float] | None" = None,
+    points_per_unit: int = 8,
+    max_step: float = 0.05,
+) -> CalibrationResult:
+    """Fit the exponential-decay growth rate with d and K fixed.
+
+    Parameters
+    ----------
+    observed:
+        The observed density surface (training data is sliced from it).
+    diffusion_rate, carrying_capacity:
+        Fixed d and K.
+    training_times:
+        Hours used for fitting; defaults to the first six observed hours
+        (hour 1 provides phi, hours 2..6 provide the targets), matching the
+        paper's first-six-hours evaluation protocol.
+    points_per_unit, max_step:
+        Solver resolution during fitting (kept coarse for speed; the final
+        prediction can use a finer grid).
+    """
+    if training_times is None:
+        training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
+    training = _training_surface(observed, training_times)
+    initial_density = InitialDensity.from_surface(training)
+    target_times = [float(t) for t in training.times[1:]]
+
+    def residual(theta: np.ndarray) -> np.ndarray:
+        amplitude, decay, floor = theta
+        parameters = DLParameters(
+            diffusion_rate=diffusion_rate,
+            growth_rate=ExponentialDecayGrowthRate(
+                amplitude=max(amplitude, 0.0),
+                decay=max(decay, 0.0),
+                floor=max(floor, 0.0),
+                reference_time=initial_density.initial_time,
+            ),
+            carrying_capacity=carrying_capacity,
+        )
+        return _prediction_residuals(
+            parameters, initial_density, training, target_times, points_per_unit, max_step
+        )
+
+    # The bounds encode the paper's qualitative prior on r(t): a decreasing
+    # function with a modest long-run floor (the published fits use floors of
+    # 0.25 and 0.1).  Leaving the floor unbounded lets short training windows
+    # push the long-run growth rate far too high, which wrecks forecasts.
+    fit = least_squares_fit(
+        residual,
+        initial_guess=[1.0, 1.0, 0.1],
+        bounds=([0.0, 0.05, 0.0], [6.0, 6.0, 0.6]),
+        names=("amplitude", "decay", "floor"),
+    )
+    amplitude, decay, floor = fit.parameters
+    parameters = DLParameters(
+        diffusion_rate=diffusion_rate,
+        growth_rate=ExponentialDecayGrowthRate(
+            amplitude=float(amplitude),
+            decay=float(decay),
+            floor=float(floor),
+            reference_time=initial_density.initial_time,
+        ),
+        carrying_capacity=carrying_capacity,
+    )
+    return CalibrationResult(
+        parameters=parameters,
+        loss=fit.loss,
+        training_times=tuple(float(t) for t in training.times),
+        details={"growth_rate_fit": fit},
+    )
+
+
+def calibrate_dl_model(
+    observed: DensitySurface,
+    training_times: "Sequence[float] | None" = None,
+    carrying_capacity: "float | None" = None,
+    diffusion_candidates: Sequence[float] = (0.005, 0.01, 0.02, 0.05, 0.1),
+    points_per_unit: int = 8,
+    max_step: float = 0.05,
+) -> CalibrationResult:
+    """Joint calibration of (d, r(t)-parameters) with K from the heuristic.
+
+    The diffusion rate is chosen by a coarse grid search (the loss is cheap to
+    evaluate once per candidate because the growth-rate fit is nested inside),
+    then the growth-rate parameters are refined for the winning d.
+    """
+    if carrying_capacity is None:
+        carrying_capacity = choose_carrying_capacity(observed)
+    if training_times is None:
+        training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
+
+    best: "CalibrationResult | None" = None
+    per_candidate: dict[float, float] = {}
+    for candidate in diffusion_candidates:
+        result = fit_growth_rate(
+            observed,
+            diffusion_rate=float(candidate),
+            carrying_capacity=carrying_capacity,
+            training_times=training_times,
+            points_per_unit=points_per_unit,
+            max_step=max_step,
+        )
+        per_candidate[float(candidate)] = result.loss
+        if best is None or result.loss < best.loss:
+            best = result
+    assert best is not None  # diffusion_candidates is validated non-empty below
+    if not per_candidate:
+        raise ValueError("diffusion_candidates must not be empty")
+    best.details["diffusion_grid"] = per_candidate
+    best.details["carrying_capacity"] = carrying_capacity
+    return best
+
+
+def growth_rate_grid_result(
+    observed: DensitySurface,
+    diffusion_rate: float,
+    carrying_capacity: float,
+    amplitude_grid: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    decay_grid: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    floor_grid: Sequence[float] = (0.05, 0.1, 0.25, 0.5),
+    training_times: "Sequence[float] | None" = None,
+    points_per_unit: int = 6,
+    max_step: float = 0.1,
+) -> FitResult:
+    """Coarse grid search over (a, b, c) -- used to seed or sanity-check fits.
+
+    Exposed separately because the FIG-6 benchmark reports how close the
+    recovered growth-rate curve is to the paper's published Equation 7.
+    """
+    if training_times is None:
+        training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
+    training = _training_surface(observed, training_times)
+    initial_density = InitialDensity.from_surface(training)
+    target_times = [float(t) for t in training.times[1:]]
+
+    def objective(theta: np.ndarray) -> float:
+        amplitude, decay, floor = theta
+        parameters = DLParameters(
+            diffusion_rate=diffusion_rate,
+            growth_rate=ExponentialDecayGrowthRate(
+                amplitude=float(amplitude),
+                decay=float(decay),
+                floor=float(floor),
+                reference_time=initial_density.initial_time,
+            ),
+            carrying_capacity=carrying_capacity,
+        )
+        residuals = _prediction_residuals(
+            parameters, initial_density, training, target_times, points_per_unit, max_step
+        )
+        return float(0.5 * np.dot(residuals, residuals))
+
+    return grid_search(
+        objective,
+        {"amplitude": amplitude_grid, "decay": decay_grid, "floor": floor_grid},
+    )

@@ -1,0 +1,193 @@
+"""The Diffusive Logistic model (Equation 4 of the paper).
+
+``DiffusiveLogisticModel`` combines
+
+* the **growth process** -- logistic growth of the density within a distance
+  group, ``r(t) * I * (1 - I / K)``, and
+* the **diffusion process** -- Fick's-law spreading of information across
+  distance groups, ``d * d2I/dx2`` with no-flux (Neumann) boundaries,
+
+and integrates the resulting PDE forward from the initial density function
+phi using the method-of-lines solver in :mod:`repro.numerics.pde_solver`.
+
+The solution is returned as a :class:`DLSolution`, which can be sampled at the
+integer distances where densities are actually meaningful in a social
+network, and converted to a :class:`~repro.cascade.density.DensitySurface`
+for direct comparison against observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+from repro.core.initial_density import InitialDensity
+from repro.core.parameters import DLParameters
+from repro.numerics.grid import UniformGrid
+from repro.numerics.integrators import TimeIntegrator
+from repro.numerics.pde_solver import (
+    PDESolution,
+    ReactionDiffusionProblem,
+    ReactionDiffusionSolver,
+)
+
+
+@dataclass
+class DLSolution:
+    """A solved DL model: dense PDE solution plus the modelling context.
+
+    Attributes
+    ----------
+    pde_solution:
+        The underlying dense-in-space solution.
+    parameters:
+        The DL parameters used.
+    initial_density:
+        The phi the solve started from.
+    """
+
+    pde_solution: PDESolution
+    parameters: DLParameters
+    initial_density: InitialDensity
+
+    @property
+    def times(self) -> np.ndarray:
+        """Output times of the solve."""
+        return self.pde_solution.times.copy()
+
+    @property
+    def grid(self) -> UniformGrid:
+        """The spatial grid the PDE was solved on."""
+        return self.pde_solution.grid
+
+    def density_at(self, distance: float, time: float) -> float:
+        """Predicted density at one (distance, time) pair."""
+        return float(self.pde_solution.sample([distance], time)[0])
+
+    def profile(self, time: float, distances: "np.ndarray | None" = None) -> np.ndarray:
+        """Predicted density over distance at one output time.
+
+        ``distances`` defaults to the observation distances of phi (the
+        integer distances where density is meaningful).
+        """
+        if distances is None:
+            distances = self.initial_density.distances
+        return self.pde_solution.sample(np.asarray(distances, dtype=float), time)
+
+    def to_surface(self, distances: "np.ndarray | None" = None, unit: str = "percent") -> DensitySurface:
+        """Sample the solution at integer distances into a DensitySurface."""
+        if distances is None:
+            distances = self.initial_density.distances
+        distances = np.asarray(distances, dtype=float)
+        values = self.pde_solution.sample_surface(distances)
+        return DensitySurface(
+            distances=distances,
+            times=self.pde_solution.times.copy(),
+            values=np.maximum(values, 0.0),
+            group_sizes=np.ones(distances.size),
+            unit=unit,
+            metadata={"source": "dl_model_prediction"},
+        )
+
+
+class DiffusiveLogisticModel:
+    """The paper's PDE model for spatio-temporal information diffusion.
+
+    Parameters
+    ----------
+    parameters:
+        The DL parameters (d, r, K).
+    points_per_unit:
+        Spatial resolution of the solve: grid intervals per unit of distance.
+    integrator:
+        Optional time integrator; defaults to Crank-Nicolson.
+    max_step:
+        Maximum internal time step in hours.
+    backend:
+        ``"internal"`` or ``"scipy"`` (see
+        :class:`~repro.numerics.pde_solver.ReactionDiffusionSolver`).
+    """
+
+    def __init__(
+        self,
+        parameters: DLParameters,
+        points_per_unit: int = 20,
+        integrator: "TimeIntegrator | None" = None,
+        max_step: float = 0.02,
+        backend: str = "internal",
+    ) -> None:
+        if points_per_unit < 2:
+            raise ValueError("points_per_unit must be at least 2")
+        self._parameters = parameters
+        self._points_per_unit = points_per_unit
+        self._solver = ReactionDiffusionSolver(
+            integrator=integrator, max_step=max_step, backend=backend
+        )
+
+    @property
+    def parameters(self) -> DLParameters:
+        """The DL parameters."""
+        return self._parameters
+
+    @property
+    def solver(self) -> ReactionDiffusionSolver:
+        """The underlying reaction-diffusion solver."""
+        return self._solver
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def build_problem(
+        self, initial_density: InitialDensity, grid: "UniformGrid | None" = None
+    ) -> ReactionDiffusionProblem:
+        """Assemble the reaction-diffusion problem for a given phi."""
+        grid = grid if grid is not None else initial_density.default_grid(self._points_per_unit)
+        parameters = self._parameters
+
+        def reaction(density: np.ndarray, positions: np.ndarray, time: float) -> np.ndarray:
+            return parameters.reaction(density, positions, time)
+
+        return ReactionDiffusionProblem(
+            grid=grid,
+            initial_condition=initial_density.sample(grid),
+            diffusion=parameters.diffusion_rate,
+            reaction=reaction,
+            start_time=initial_density.initial_time,
+        )
+
+    def solve(
+        self,
+        initial_density: InitialDensity,
+        times: "np.ndarray | list[float]",
+        grid: "UniformGrid | None" = None,
+    ) -> DLSolution:
+        """Integrate the DL equation from phi and sample it at ``times``.
+
+        ``times`` may or may not include the initial time; it is always added
+        so the returned solution contains the initial profile as well.
+        """
+        times = sorted(set(float(t) for t in times) | {initial_density.initial_time})
+        problem = self.build_problem(initial_density, grid)
+        pde_solution = self._solver.solve(problem, times)
+        return DLSolution(
+            pde_solution=pde_solution,
+            parameters=self._parameters,
+            initial_density=initial_density,
+        )
+
+    def predict(
+        self,
+        initial_density: InitialDensity,
+        times: "np.ndarray | list[float]",
+        distances: "np.ndarray | list[float] | None" = None,
+    ) -> DensitySurface:
+        """Convenience wrapper: solve and sample at integer distances.
+
+        Returns a :class:`DensitySurface` whose rows are the requested times
+        (plus the initial time) and whose columns are ``distances``
+        (defaulting to phi's observation distances).
+        """
+        solution = self.solve(initial_density, times)
+        return solution.to_surface(distances)

@@ -1,0 +1,183 @@
+"""Construction and validation of the initial density function phi(x).
+
+Section II-D of the paper imposes three requirements on phi:
+
+1. phi is twice continuously differentiable,
+2. phi'(l) = phi'(L) = 0 (compatible with the Neumann boundary condition),
+3. d * phi'' + r * phi * (1 - phi / K) >= 0 (phi is a *lower time-independent
+   solution*, which by the comparison principle makes I(x, t) strictly
+   increasing in time).
+
+Requirements 1 and 2 are satisfied by construction through
+:class:`repro.numerics.spline.FlatEndDensityInterpolator` (cubic spline with
+clamped zero slopes).  Requirement 3 depends on the chosen parameters; the
+paper argues it holds when phi is mostly convex, K is large and d is small
+relative to r.  :meth:`InitialDensity.lower_solution_report` evaluates the
+inequality on a fine grid and reports where (if anywhere) it fails, so both
+the tests and the calibration code can check it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+from repro.core.parameters import DLParameters
+from repro.numerics.grid import UniformGrid
+from repro.numerics.spline import FlatEndDensityInterpolator
+
+
+@dataclass(frozen=True)
+class LowerSolutionReport:
+    """Outcome of checking the lower-solution inequality (Equation 6).
+
+    Attributes
+    ----------
+    satisfied:
+        True when the inequality holds (up to ``tolerance``) at every checked
+        point.
+    min_value:
+        The smallest value of ``d phi'' + r phi (1 - phi/K)`` encountered.
+    violating_positions:
+        Grid positions where the inequality fails, empty when satisfied.
+    tolerance:
+        Allowed negative slack.
+    """
+
+    satisfied: bool
+    min_value: float
+    violating_positions: tuple[float, ...]
+    tolerance: float
+
+
+class InitialDensity:
+    """The initial density function phi built from an hour-1 snapshot.
+
+    Parameters
+    ----------
+    distances:
+        Integer distances where densities were observed (e.g. 1..5).
+    densities:
+        Observed densities at those distances at the initial time.
+    initial_time:
+        The time of the snapshot (the paper uses t = 1 hour).
+    """
+
+    def __init__(
+        self,
+        distances: Sequence[float],
+        densities: Sequence[float],
+        initial_time: float = 1.0,
+    ) -> None:
+        distances = np.asarray(list(distances), dtype=float)
+        densities = np.asarray(list(densities), dtype=float)
+        if distances.size != densities.size:
+            raise ValueError("distances and densities must have equal length")
+        if distances.size < 2:
+            raise ValueError("at least two observation points are required")
+        self._distances = distances
+        self._densities = densities
+        self._initial_time = float(initial_time)
+        self._interpolator = FlatEndDensityInterpolator(distances, densities)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_surface(cls, surface: DensitySurface) -> "InitialDensity":
+        """Build phi from the earliest snapshot of an observed density surface."""
+        return cls(
+            distances=surface.distances,
+            densities=surface.initial_profile(),
+            initial_time=float(surface.times[0]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def distances(self) -> np.ndarray:
+        """Observation distances (copy)."""
+        return self._distances.copy()
+
+    @property
+    def densities(self) -> np.ndarray:
+        """Observed densities at the observation distances (copy)."""
+        return self._densities.copy()
+
+    @property
+    def initial_time(self) -> float:
+        """The snapshot time t0 (usually 1 hour)."""
+        return self._initial_time
+
+    @property
+    def lower(self) -> float:
+        """Left end l of the distance interval."""
+        return float(self._distances[0])
+
+    @property
+    def upper(self) -> float:
+        """Right end L of the distance interval."""
+        return float(self._distances[-1])
+
+    def __call__(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate phi(x)."""
+        return self._interpolator(x)
+
+    def derivative(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """phi'(x)."""
+        return self._interpolator.derivative(x)
+
+    def second_derivative(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """phi''(x)."""
+        return self._interpolator.second_derivative(x)
+
+    def sample(self, grid: UniformGrid) -> np.ndarray:
+        """phi evaluated on every node of a grid."""
+        return self._interpolator.sample(grid.nodes)
+
+    def default_grid(self, points_per_unit: int = 20) -> UniformGrid:
+        """A refined grid spanning the observation interval."""
+        return UniformGrid.from_integer_distances(self._distances, points_per_unit)
+
+    # ------------------------------------------------------------------ #
+    # Requirement checks
+    # ------------------------------------------------------------------ #
+    def boundary_slopes(self) -> tuple[float, float]:
+        """phi'(l) and phi'(L); both should be (numerically) zero."""
+        return (
+            float(self.derivative(self.lower)),
+            float(self.derivative(self.upper)),
+        )
+
+    def lower_solution_report(
+        self,
+        parameters: DLParameters,
+        num_check_points: int = 201,
+        tolerance: float = 1e-8,
+    ) -> LowerSolutionReport:
+        """Check Equation 6: ``d phi'' + r phi (1 - phi/K) >= 0``.
+
+        The growth rate is evaluated at the initial time (the inequality in
+        the paper is stated for the time-independent comparison function, so
+        the relevant rate is the one active at the start of the prediction).
+        """
+        positions = np.linspace(self.lower, self.upper, num_check_points)
+        phi = np.asarray(self(positions), dtype=float)
+        phi_second = np.asarray(self.second_derivative(positions), dtype=float)
+        rates = parameters.growth_rate(positions, self._initial_time)
+        expression = (
+            parameters.diffusion_rate * phi_second
+            + rates * phi * (1.0 - phi / parameters.carrying_capacity)
+        )
+        min_value = float(expression.min())
+        violating = tuple(float(x) for x in positions[expression < -tolerance])
+        return LowerSolutionReport(
+            satisfied=len(violating) == 0,
+            min_value=min_value,
+            violating_positions=violating,
+            tolerance=tolerance,
+        )

@@ -1,0 +1,206 @@
+"""Parameters of the Diffusive Logistic model.
+
+The DL equation has three parameters:
+
+* ``d`` -- the diffusion rate: how fast information travels *across*
+  distances (the random-walk channel).
+* ``r`` -- the intrinsic growth rate: how fast information spreads *within* a
+  distance group.  The paper observes that the increment of the density
+  shrinks hour over hour (Figure 4) and therefore uses a decreasing function
+  of time, ``r(t) = a * exp(-b * (t - 1)) + c`` (Figure 6).
+* ``K`` -- the carrying capacity: the maximum possible density at any
+  distance.
+
+Section II-D notes that all three "can be constants or functions of time t
+and distance x"; the future-work section proposes exploring the
+space-and-time dependent case.  This module supports all of these:
+constants, time-dependent growth rates, and fully space-time dependent
+growth rates (:class:`SpaceTimeGrowthRate`, exercised by the EXT-1 benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+class GrowthRate:
+    """Base class for growth-rate functions r(x, t).
+
+    Subclasses implement :meth:`__call__` taking the grid positions and the
+    time and returning per-position growth rates.  Purely temporal rates
+    simply broadcast over the positions.
+    """
+
+    def __call__(self, positions: np.ndarray, time: float) -> np.ndarray:
+        raise NotImplementedError
+
+    def at_time(self, time: float) -> float:
+        """Scalar rate at a given time for spatially uniform rates."""
+        value = self(np.asarray([0.0]), time)
+        return float(np.asarray(value).ravel()[0])
+
+
+@dataclass(frozen=True)
+class ConstantGrowthRate(GrowthRate):
+    """A growth rate that does not change with time or distance."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"growth rate must be non-negative, got {self.rate}")
+
+    def __call__(self, positions: np.ndarray, time: float) -> np.ndarray:
+        return np.full(np.asarray(positions, dtype=float).shape, self.rate)
+
+
+@dataclass(frozen=True)
+class ExponentialDecayGrowthRate(GrowthRate):
+    """The paper's decreasing growth rate ``r(t) = a * exp(-b * (t - t0)) + c``.
+
+    For story s1 with friendship hops the paper uses ``a = 1.4``, ``b = 1.5``,
+    ``c = 0.25`` and ``t0 = 1`` (Equation 7, Figure 6); with shared interests
+    it uses ``a = 1.6``, ``b = 1.0``, ``c = 0.1``.
+    """
+
+    amplitude: float
+    decay: float
+    floor: float
+    reference_time: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be non-negative, got {self.amplitude}")
+        if self.decay < 0:
+            raise ValueError(f"decay must be non-negative, got {self.decay}")
+        if self.floor < 0:
+            raise ValueError(f"floor must be non-negative, got {self.floor}")
+
+    def __call__(self, positions: np.ndarray, time: float) -> np.ndarray:
+        rate = self.scalar(time)
+        return np.full(np.asarray(positions, dtype=float).shape, rate)
+
+    def scalar(self, time: float) -> float:
+        """Evaluate r(t) as a scalar."""
+        return self.amplitude * float(np.exp(-self.decay * (time - self.reference_time))) + self.floor
+
+    def at_time(self, time: float) -> float:
+        return self.scalar(time)
+
+
+@dataclass(frozen=True)
+class SpaceTimeGrowthRate(GrowthRate):
+    """A growth rate depending on both distance and time (future-work extension).
+
+    Wraps an arbitrary vectorised callable ``rate(x, t)``.  Used by the EXT-1
+    benchmark, which explores the refinement the paper proposes for the
+    interest-distance-5 group (Section III-C / V).
+    """
+
+    rate_function: Callable[[np.ndarray, float], np.ndarray]
+
+    def __call__(self, positions: np.ndarray, time: float) -> np.ndarray:
+        positions = np.asarray(positions, dtype=float)
+        values = np.asarray(self.rate_function(positions, time), dtype=float)
+        if values.shape != positions.shape:
+            values = np.broadcast_to(values, positions.shape).copy()
+        if np.any(values < 0):
+            raise ValueError("growth rate function returned negative values")
+        return values
+
+
+def _as_growth_rate(rate: "GrowthRate | float | Callable[[float], float]") -> GrowthRate:
+    """Coerce floats and scalar callables r(t) into GrowthRate objects."""
+    if isinstance(rate, GrowthRate):
+        return rate
+    if isinstance(rate, (int, float)):
+        return ConstantGrowthRate(float(rate))
+    if callable(rate):
+        def vectorised(positions: np.ndarray, time: float, _rate=rate) -> np.ndarray:
+            return np.full(np.asarray(positions, dtype=float).shape, float(_rate(time)))
+
+        return SpaceTimeGrowthRate(vectorised)
+    raise TypeError(f"cannot interpret {rate!r} as a growth rate")
+
+
+@dataclass(frozen=True)
+class DLParameters:
+    """Complete parameter set of the DL equation.
+
+    Attributes
+    ----------
+    diffusion_rate:
+        The diffusion coefficient ``d`` (> 0).
+    growth_rate:
+        A :class:`GrowthRate` (or float / scalar callable, coerced on
+        construction via :func:`dl_parameters`).
+    carrying_capacity:
+        ``K`` (> 0), in the same unit as the densities being modelled
+        (percent by default throughout this repository).
+    """
+
+    diffusion_rate: float
+    growth_rate: GrowthRate
+    carrying_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.diffusion_rate <= 0:
+            raise ValueError(f"diffusion rate must be positive, got {self.diffusion_rate}")
+        if self.carrying_capacity <= 0:
+            raise ValueError(
+                f"carrying capacity must be positive, got {self.carrying_capacity}"
+            )
+        if not isinstance(self.growth_rate, GrowthRate):
+            raise TypeError("growth_rate must be a GrowthRate; use dl_parameters() to coerce")
+
+    def reaction(self, density: np.ndarray, positions: np.ndarray, time: float) -> np.ndarray:
+        """The logistic reaction term ``r(x, t) * I * (1 - I / K)``."""
+        rates = self.growth_rate(positions, time)
+        return rates * density * (1.0 - density / self.carrying_capacity)
+
+    def with_carrying_capacity(self, carrying_capacity: float) -> "DLParameters":
+        """Copy with a different K."""
+        return DLParameters(self.diffusion_rate, self.growth_rate, carrying_capacity)
+
+    def with_diffusion_rate(self, diffusion_rate: float) -> "DLParameters":
+        """Copy with a different d."""
+        return DLParameters(diffusion_rate, self.growth_rate, self.carrying_capacity)
+
+    def with_growth_rate(
+        self, growth_rate: "GrowthRate | float | Callable[[float], float]"
+    ) -> "DLParameters":
+        """Copy with a different growth rate (floats / r(t) callables coerced)."""
+        return DLParameters(
+            self.diffusion_rate, _as_growth_rate(growth_rate), self.carrying_capacity
+        )
+
+
+def dl_parameters(
+    diffusion_rate: float,
+    growth_rate: "GrowthRate | float | Callable[[float], float]",
+    carrying_capacity: float,
+) -> DLParameters:
+    """Convenience constructor coercing plain floats / callables for r."""
+    return DLParameters(
+        diffusion_rate=diffusion_rate,
+        growth_rate=_as_growth_rate(growth_rate),
+        carrying_capacity=carrying_capacity,
+    )
+
+
+PAPER_S1_HOP_PARAMETERS = DLParameters(
+    diffusion_rate=0.01,
+    growth_rate=ExponentialDecayGrowthRate(amplitude=1.4, decay=1.5, floor=0.25),
+    carrying_capacity=25.0,
+)
+"""The parameters the paper reports for story s1 with friendship-hop distance."""
+
+PAPER_S1_INTEREST_PARAMETERS = DLParameters(
+    diffusion_rate=0.05,
+    growth_rate=ExponentialDecayGrowthRate(amplitude=1.6, decay=1.0, floor=0.1),
+    carrying_capacity=60.0,
+)
+"""The parameters the paper reports for story s1 with shared-interest distance."""

@@ -1,0 +1,247 @@
+"""End-to-end prediction pipeline: observe the first hour, predict the rest.
+
+This is the workflow of Section III-C of the paper:
+
+1. take the observed density surface of a story,
+2. build the initial density function phi from the hour-1 snapshot,
+3. choose (or calibrate) the DL parameters,
+4. integrate the DL equation forward,
+5. compare the prediction against the actual densities at hours 2..6 with the
+   paper's accuracy metric (Tables I and II).
+
+:class:`DiffusionPredictor` packages steps 2-4;
+:meth:`DiffusionPredictor.evaluate` adds step 5 and returns a
+:class:`PredictionResult` that the benchmarks and examples render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+from repro.core.accuracy import AccuracyTable, build_accuracy_table
+from repro.core.calibration import calibrate_dl_model
+from repro.core.dl_model import DiffusiveLogisticModel, DLSolution
+from repro.core.initial_density import InitialDensity
+from repro.core.parameters import DLParameters
+from repro.core.properties import check_solution_bounds, check_strictly_increasing
+
+
+@dataclass
+class PredictionResult:
+    """Everything produced by one prediction run.
+
+    Attributes
+    ----------
+    predicted:
+        The DL model's predicted density surface at the evaluation times.
+    actual:
+        The observed surface restricted to the same times.
+    accuracy_table:
+        Per-distance, per-time accuracies (the paper's Tables I / II).
+    parameters:
+        The DL parameters used.
+    initial_density:
+        The phi the prediction started from.
+    solution:
+        The full DL solution (dense in space), for plotting Figure 7.
+    diagnostics:
+        Self-checks: bounds / monotonicity of the computed solution.
+    """
+
+    predicted: DensitySurface
+    actual: DensitySurface
+    accuracy_table: AccuracyTable
+    parameters: DLParameters
+    initial_density: InitialDensity
+    solution: DLSolution
+    diagnostics: dict = field(default_factory=dict)
+
+    @property
+    def overall_accuracy(self) -> float:
+        """Average accuracy over all scored cells (the paper's headline number)."""
+        return self.accuracy_table.overall_average
+
+    def accuracy_at_distance(self, distance: float) -> float:
+        """Average accuracy over the prediction times for one distance."""
+        return self.accuracy_table.row_average(distance)
+
+
+class DiffusionPredictor:
+    """Predict a story's density surface from its initial spreading phase.
+
+    Parameters
+    ----------
+    parameters:
+        DL parameters to use.  When omitted, :meth:`fit` calibrates them from
+        the training window.
+    points_per_unit:
+        Spatial resolution of the final prediction solve.
+    max_step:
+        Maximum internal time step (hours) of the final solve.
+    backend:
+        PDE solver backend (``"internal"`` or ``"scipy"``).
+    """
+
+    def __init__(
+        self,
+        parameters: "DLParameters | None" = None,
+        points_per_unit: int = 20,
+        max_step: float = 0.02,
+        backend: str = "internal",
+    ) -> None:
+        self._configured_parameters = parameters
+        self._points_per_unit = points_per_unit
+        self._max_step = max_step
+        self._backend = backend
+        self._fitted_parameters: "DLParameters | None" = None
+        self._initial_density: "InitialDensity | None" = None
+        self._calibration_details: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        observed: DensitySurface,
+        training_times: "Sequence[float] | None" = None,
+    ) -> "DiffusionPredictor":
+        """Build phi from the first observed hour and resolve the parameters.
+
+        When the predictor was constructed without explicit parameters, the
+        training window (default: the first six observed hours) is used to
+        calibrate them; otherwise the supplied parameters are kept and only
+        phi is (re)built.
+        """
+        if training_times is None:
+            training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
+        training_times = sorted(float(t) for t in training_times)
+        if not training_times:
+            raise ValueError("at least one training time is required")
+
+        initial_time = training_times[0]
+        initial_profile = observed.profile(initial_time)
+        self._initial_density = InitialDensity(
+            distances=observed.distances,
+            densities=initial_profile,
+            initial_time=initial_time,
+        )
+
+        if self._configured_parameters is not None:
+            self._fitted_parameters = self._configured_parameters
+            self._calibration_details = {"calibrated": False}
+        else:
+            calibration = calibrate_dl_model(observed, training_times=training_times)
+            self._fitted_parameters = calibration.parameters
+            self._calibration_details = {
+                "calibrated": True,
+                "loss": calibration.loss,
+                "details": calibration.details,
+            }
+        return self
+
+    @property
+    def parameters(self) -> DLParameters:
+        """The parameters that will be used for prediction (after :meth:`fit`)."""
+        if self._fitted_parameters is None:
+            raise RuntimeError("the predictor has not been fitted yet; call fit() first")
+        return self._fitted_parameters
+
+    @property
+    def initial_density(self) -> InitialDensity:
+        """The phi built by :meth:`fit`."""
+        if self._initial_density is None:
+            raise RuntimeError("the predictor has not been fitted yet; call fit() first")
+        return self._initial_density
+
+    @property
+    def calibration_details(self) -> dict:
+        """Diagnostics from the calibration step (empty before fit)."""
+        return dict(self._calibration_details)
+
+    # ------------------------------------------------------------------ #
+    # Prediction & evaluation
+    # ------------------------------------------------------------------ #
+    def _build_model(self) -> DiffusiveLogisticModel:
+        return DiffusiveLogisticModel(
+            self.parameters,
+            points_per_unit=self._points_per_unit,
+            max_step=self._max_step,
+            backend=self._backend,
+        )
+
+    def predict(
+        self,
+        times: Sequence[float],
+        distances: "Sequence[float] | None" = None,
+    ) -> DensitySurface:
+        """Predict densities at the requested times (and integer distances)."""
+        solution = self.solve(times)
+        target = distances if distances is not None else self.initial_density.distances
+        return solution.to_surface(np.asarray(target, dtype=float))
+
+    def solve(self, times: Sequence[float]) -> DLSolution:
+        """Run the DL solve and return the dense solution."""
+        model = self._build_model()
+        return model.solve(self.initial_density, list(times))
+
+    def evaluate(
+        self,
+        actual: DensitySurface,
+        times: "Sequence[float] | None" = None,
+        distances: "Sequence[float] | None" = None,
+    ) -> PredictionResult:
+        """Predict and score against the observed surface.
+
+        Parameters
+        ----------
+        actual:
+            The full observed surface (must contain the evaluation times).
+        times:
+            Evaluation times; default is hours 2..6 relative to the first
+            observed hour, the window the paper reports.
+        distances:
+            Distances to score; default is every distance of the observed
+            surface.
+        """
+        if times is None:
+            start = float(actual.times[0])
+            candidates = [start + offset for offset in range(1, 6)]
+            times = [t for t in candidates if np.any(np.isclose(actual.times, t))]
+            if not times:
+                raise ValueError("the observed surface has no evaluation times after the first hour")
+        times = sorted(float(t) for t in times)
+
+        solution = self.solve(times)
+        target_distances = (
+            np.asarray(distances, dtype=float) if distances is not None else actual.distances
+        )
+        predicted = solution.to_surface(target_distances, unit=actual.unit)
+        actual_restricted = actual.restrict_times(
+            [self.initial_density.initial_time] + times
+        ).restrict_distances(target_distances)
+
+        table = build_accuracy_table(
+            predicted,
+            actual_restricted,
+            times=times,
+            distances=target_distances,
+            metadata={"parameters": repr(self.parameters)},
+        )
+        diagnostics = {
+            "bounds_ok": check_solution_bounds(solution),
+            "monotone_in_time": check_strictly_increasing(solution),
+            "calibration": self.calibration_details,
+        }
+        return PredictionResult(
+            predicted=predicted,
+            actual=actual_restricted,
+            accuracy_table=table,
+            parameters=self.parameters,
+            initial_density=self.initial_density,
+            solution=solution,
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,108 @@
+"""Numeric verification of the DL model's theoretical properties.
+
+Section II-C of the paper proves two properties of the DL equation:
+
+* **Unique property** -- the model has a unique positive solution with
+  ``0 <= I(x, t) <= K`` (the equilibria 0 and K are lower/upper solutions).
+* **Strictly increasing property** -- if the initial density phi is a lower
+  time-independent solution (Equation 5), the solution is strictly increasing
+  in time.
+
+These cannot be "proved" numerically, but they *can* be checked on every
+computed solution, and the paper explicitly notes that the experiments verify
+them.  The functions here perform those checks; they are used by the
+test-suite (including property-based tests) and by the prediction pipeline's
+self-diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dl_model import DLSolution
+from repro.core.parameters import DLParameters
+from repro.numerics.finite_difference import second_derivative
+from repro.numerics.grid import UniformGrid
+
+
+def check_solution_bounds(solution: DLSolution, tolerance: float = 1e-6) -> bool:
+    """Check the unique property's bounds: ``0 <= I(x, t) <= K`` everywhere.
+
+    ``tolerance`` absorbs discretisation error; the continuous solution is
+    strictly inside the bounds whenever phi is.
+    """
+    states = solution.pde_solution.states
+    capacity = solution.parameters.carrying_capacity
+    lower_ok = bool(np.all(states >= -tolerance))
+    upper_ok = bool(np.all(states <= capacity + tolerance))
+    return lower_ok and upper_ok
+
+
+def check_strictly_increasing(solution: DLSolution, tolerance: float = 1e-9) -> bool:
+    """Check the strictly increasing property along the time axis.
+
+    Returns True when, at every grid node, the solution is non-decreasing
+    between consecutive output times (up to ``tolerance``).  Strictness is
+    deliberately relaxed to non-strict monotonicity because nodes already at
+    the carrying capacity stop growing.
+    """
+    states = solution.pde_solution.states
+    if states.shape[0] < 2:
+        return True
+    increments = np.diff(states, axis=0)
+    return bool(np.all(increments >= -tolerance))
+
+
+def is_lower_time_independent_solution(
+    values: np.ndarray,
+    grid: UniformGrid,
+    parameters: DLParameters,
+    time: float = 1.0,
+    tolerance: float = 1e-8,
+) -> bool:
+    """Check Definition 1: ``d u'' + r u (1 - u/K) >= 0`` with flat ends.
+
+    Parameters
+    ----------
+    values:
+        Nodal values of the candidate lower solution u(x) on ``grid``.
+    grid:
+        The spatial grid.
+    parameters:
+        DL parameters supplying d, r and K; r is evaluated at ``time``.
+    time:
+        Time at which to evaluate a time-dependent growth rate.
+    tolerance:
+        Allowed negative slack from discretisation error.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.shape != (grid.num_points,):
+        raise ValueError(
+            f"values must have one entry per grid node ({grid.num_points}), got {values.shape}"
+        )
+    curvature = second_derivative(values, grid.spacing)
+    rates = parameters.growth_rate(grid.nodes, time)
+    expression = (
+        parameters.diffusion_rate * curvature
+        + rates * values * (1.0 - values / parameters.carrying_capacity)
+    )
+    return bool(np.all(expression >= -tolerance))
+
+
+def equilibrium_residual(
+    values: np.ndarray, grid: UniformGrid, parameters: DLParameters, time: float = 1.0
+) -> float:
+    """Max-norm residual of the steady-state equation ``d u'' + r u (1 - u/K) = 0``.
+
+    Useful for verifying that the constant states 0 and K are equilibria of
+    the discretised system (they are the lower and upper solutions used in the
+    paper's uniqueness argument).
+    """
+    values = np.asarray(values, dtype=float)
+    curvature = second_derivative(values, grid.spacing)
+    rates = parameters.growth_rate(grid.nodes, time)
+    residual = (
+        parameters.diffusion_rate * curvature
+        + rates * values * (1.0 - values / parameters.carrying_capacity)
+    )
+    return float(np.max(np.abs(residual)))

@@ -1,0 +1,5 @@
+"""Small I/O helpers: ASCII tables and CSV export used by reports and benches."""
+
+from repro.io.tables import format_table, write_csv
+
+__all__ = ["format_table", "write_csv"]

@@ -1,0 +1,77 @@
+"""ASCII table rendering and CSV export.
+
+The benchmark harness regenerates the paper's tables and figure series as
+text so the reproduction can be inspected without any plotting dependency
+(matplotlib is not available in the offline environment).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: "Sequence[str] | None" = None,
+    float_format: str = "{:.4g}",
+    title: "str | None" = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        The table rows; each a mapping column -> value.
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        Format applied to float values.
+    title:
+        Optional title emitted above the table.
+    """
+    if not rows:
+        return title or ""
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render_cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render_cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).rjust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    rows: Sequence[Mapping[str, object]],
+    path: "str | Path",
+    columns: "Sequence[str] | None" = None,
+) -> Path:
+    """Write row dictionaries to a CSV file and return the path."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return path
+    if columns is None:
+        columns = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({column: row.get(column, "") for column in columns})
+    return path

@@ -1,0 +1,61 @@
+"""Social-network substrate: directed follower graphs and distance metrics.
+
+The paper defines the spatial dimension of the DL model through two distance
+metrics on a directed follower graph (Digg's "following" relation):
+
+* **friendship hops** -- shortest-path length from the story's initiator
+  (:mod:`repro.network.distance`);
+* **shared interests** -- a Jaccard-style distance over the sets of stories
+  two users have voted on, binned into five groups
+  (:mod:`repro.network.interests`).
+
+:mod:`repro.network.graph` provides the directed-graph container,
+:mod:`repro.network.generators` builds synthetic Digg-like follower graphs
+(the substitution for the unavailable Digg 2009 crawl), and
+:mod:`repro.network.metrics` computes the structural statistics used to
+sanity-check the synthetic graphs against the paper's description (heavy-tail
+degrees, strong triadic closure, most users within 2-5 hops of a popular
+initiator).
+"""
+
+from repro.network.graph import SocialGraph
+from repro.network.generators import (
+    DiggLikeGraphConfig,
+    generate_digg_like_graph,
+    generate_random_follower_graph,
+    generate_small_world_graph,
+)
+from repro.network.distance import (
+    breadth_first_distances,
+    distance_histogram,
+    friendship_hop_distances,
+)
+from repro.network.interests import (
+    interest_distance,
+    interest_distance_groups,
+    interest_distances_from_source,
+)
+from repro.network.metrics import (
+    average_clustering_coefficient,
+    degree_histogram,
+    reciprocity,
+    triad_count,
+)
+
+__all__ = [
+    "SocialGraph",
+    "DiggLikeGraphConfig",
+    "generate_digg_like_graph",
+    "generate_random_follower_graph",
+    "generate_small_world_graph",
+    "breadth_first_distances",
+    "friendship_hop_distances",
+    "distance_histogram",
+    "interest_distance",
+    "interest_distances_from_source",
+    "interest_distance_groups",
+    "degree_histogram",
+    "average_clustering_coefficient",
+    "reciprocity",
+    "triad_count",
+]

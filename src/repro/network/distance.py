@@ -1,0 +1,106 @@
+"""Friendship-hop distance: BFS shortest paths in the follower graph.
+
+The paper's first distance metric is "the length of the shortest path,
+measured by the number of hops from one user to another in the social network
+graph", with distance measured from the story's initiator along the direction
+of information flow (initiator -> followers -> their followers -> ...).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Iterable, Mapping
+
+from repro.network.graph import SocialGraph
+
+
+def breadth_first_distances(
+    graph: SocialGraph, source: int, max_distance: "int | None" = None
+) -> dict[int, int]:
+    """Shortest hop distance from ``source`` to every reachable user.
+
+    Parameters
+    ----------
+    graph:
+        The follower graph; edges point in the direction of information flow.
+    source:
+        User id of the story initiator.
+    max_distance:
+        If given, the search stops after this many hops (users further away
+        are omitted from the result).
+
+    Returns
+    -------
+    dict
+        Mapping user id -> hop distance; the source itself maps to 0.
+    """
+    if not graph.has_user(source):
+        raise KeyError(f"source user {source} is not in the graph")
+    if max_distance is not None and max_distance < 0:
+        raise ValueError(f"max_distance must be non-negative, got {max_distance}")
+
+    distances: dict[int, int] = {source: 0}
+    frontier: deque[int] = deque([source])
+    while frontier:
+        user = frontier.popleft()
+        current = distances[user]
+        if max_distance is not None and current >= max_distance:
+            continue
+        for follower in graph.followers(user):
+            if follower not in distances:
+                distances[follower] = current + 1
+                frontier.append(follower)
+    return distances
+
+
+def friendship_hop_distances(
+    graph: SocialGraph, source: int, max_distance: "int | None" = None
+) -> dict[int, int]:
+    """Hop distances from the initiator to all *other* reachable users.
+
+    Identical to :func:`breadth_first_distances` but the source itself is
+    excluded, matching the paper's usage where distance-x groups U_x start at
+    x = 1 (the initiator is not a member of any group).
+    """
+    distances = breadth_first_distances(graph, source, max_distance)
+    return {user: hops for user, hops in distances.items() if user != source}
+
+
+def distance_histogram(
+    distances: Mapping[int, int], max_distance: "int | None" = None
+) -> dict[int, int]:
+    """Count how many users sit at each hop distance.
+
+    Used to regenerate Figure 2 (distribution of users over distances 1..10).
+    """
+    counts = Counter(distances.values())
+    if max_distance is None:
+        return dict(sorted(counts.items()))
+    return {d: counts.get(d, 0) for d in range(1, max_distance + 1)}
+
+
+def group_users_by_distance(
+    distances: Mapping[int, int], distance_values: "Iterable[int] | None" = None
+) -> dict[int, set[int]]:
+    """Partition users into the paper's distance groups U_x.
+
+    Parameters
+    ----------
+    distances:
+        Mapping user -> distance (hops or interest group).
+    distance_values:
+        Which distance values to include; defaults to every value present.
+
+    Returns
+    -------
+    dict
+        Mapping distance value -> set of user ids at that distance.
+    """
+    groups: dict[int, set[int]] = {}
+    if distance_values is not None:
+        groups = {int(d): set() for d in distance_values}
+    for user, distance in distances.items():
+        if distance_values is not None and distance not in groups:
+            continue
+        groups.setdefault(int(distance), set()).add(user)
+    return groups

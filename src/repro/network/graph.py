@@ -1,0 +1,185 @@
+"""Directed social graph container.
+
+``SocialGraph`` models the Digg "following" relation: an edge ``u -> v``
+means *v follows u*, i.e. when ``u`` votes for a story, ``v`` sees it in
+their feed and may vote next.  Storing the edge in the direction of
+information flow keeps cascade simulation and hop-distance computation
+straightforward: information travels along out-edges.
+
+The class is a thin adjacency-set implementation (no networkx dependency at
+runtime) with conversion helpers to/from :class:`networkx.DiGraph` used by the
+test-suite for cross-validation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class SocialGraph:
+    """A directed graph of users connected by follow relationships.
+
+    Nodes are integer user ids.  An edge ``(u, v)`` means information flows
+    from ``u`` to ``v`` (``v`` follows ``u`` and sees ``u``'s votes).
+    """
+
+    def __init__(self, num_users: int = 0) -> None:
+        if num_users < 0:
+            raise ValueError(f"num_users must be non-negative, got {num_users}")
+        self._successors: dict[int, set[int]] = {u: set() for u in range(num_users)}
+        self._predecessors: dict[int, set[int]] = {u: set() for u in range(num_users)}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_user(self, user: "int | None" = None) -> int:
+        """Add a user and return its id.
+
+        If ``user`` is omitted the next unused integer id is assigned.
+        Adding an existing user is a no-op.
+        """
+        if user is None:
+            user = len(self._successors)
+            while user in self._successors:
+                user += 1
+        if user < 0:
+            raise ValueError(f"user ids must be non-negative, got {user}")
+        if user not in self._successors:
+            self._successors[user] = set()
+            self._predecessors[user] = set()
+        return user
+
+    def add_follow(self, source: int, follower: int) -> None:
+        """Record that ``follower`` follows ``source``.
+
+        This creates the information-flow edge ``source -> follower``.
+        Self-loops are rejected; duplicate edges are ignored.
+        """
+        if source == follower:
+            raise ValueError("a user cannot follow themselves")
+        self.add_user(source)
+        self.add_user(follower)
+        if follower not in self._successors[source]:
+            self._successors[source].add(follower)
+            self._predecessors[follower].add(source)
+            self._num_edges += 1
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Alias for :meth:`add_follow` using edge terminology."""
+        self.add_follow(source, target)
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]], num_users: int = 0) -> "SocialGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs."""
+        graph = cls(num_users)
+        for source, target in edges:
+            graph.add_follow(source, target)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        """Number of users (nodes)."""
+        return len(self._successors)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed follow edges."""
+        return self._num_edges
+
+    def users(self) -> Iterator[int]:
+        """Iterate over all user ids."""
+        return iter(self._successors)
+
+    def has_user(self, user: int) -> bool:
+        """Return True if ``user`` exists in the graph."""
+        return user in self._successors
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Return True if information flows directly from ``source`` to ``target``."""
+        return source in self._successors and target in self._successors[source]
+
+    def followers(self, user: int) -> frozenset[int]:
+        """Users who follow ``user`` (receive information from them)."""
+        self._require_user(user)
+        return frozenset(self._successors[user])
+
+    def followees(self, user: int) -> frozenset[int]:
+        """Users that ``user`` follows (sources of information for them)."""
+        self._require_user(user)
+        return frozenset(self._predecessors[user])
+
+    def out_degree(self, user: int) -> int:
+        """Number of followers of ``user``."""
+        self._require_user(user)
+        return len(self._successors[user])
+
+    def in_degree(self, user: int) -> int:
+        """Number of users that ``user`` follows."""
+        self._require_user(user)
+        return len(self._predecessors[user])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over directed edges ``(source, target)``."""
+        for source, targets in self._successors.items():
+            for target in targets:
+                yield (source, target)
+
+    def _require_user(self, user: int) -> None:
+        if user not in self._successors:
+            raise KeyError(f"user {user} is not in the graph")
+
+    # ------------------------------------------------------------------ #
+    # Interop / export
+    # ------------------------------------------------------------------ #
+    def to_networkx(self):
+        """Convert to a :class:`networkx.DiGraph` (for validation/plotting)."""
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_nodes_from(self._successors)
+        nx_graph.add_edges_from(self.edges())
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph) -> "SocialGraph":
+        """Build a SocialGraph from a networkx directed graph."""
+        graph = cls()
+        for node in nx_graph.nodes():
+            graph.add_user(int(node))
+        for source, target in nx_graph.edges():
+            graph.add_follow(int(source), int(target))
+        return graph
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense adjacency matrix (rows: sources, columns: targets).
+
+        Only suitable for small graphs (tests and examples); the cascade
+        simulator never materialises this.
+        """
+        ids = sorted(self._successors)
+        index = {user: i for i, user in enumerate(ids)}
+        matrix = np.zeros((len(ids), len(ids)), dtype=np.int8)
+        for source, target in self.edges():
+            matrix[index[source], index[target]] = 1
+        return matrix
+
+    def subgraph(self, users: Iterable[int]) -> "SocialGraph":
+        """Induced subgraph on the given users."""
+        selected = set(users)
+        graph = SocialGraph()
+        for user in selected:
+            if user in self._successors:
+                graph.add_user(user)
+        for source, target in self.edges():
+            if source in selected and target in selected:
+                graph.add_follow(source, target)
+        return graph
+
+    def __repr__(self) -> str:
+        return f"SocialGraph(num_users={self.num_users}, num_edges={self.num_edges})"

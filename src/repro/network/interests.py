@@ -1,0 +1,132 @@
+"""Shared-interest distance (Equation 1 of the paper).
+
+For two users ``a`` and ``b`` with voted-content sets ``Ca`` and ``Cb``::
+
+    d(a, b) = 1 - |Ca ∩ Cb| / |Ca ∪ Cb|
+
+so users with identical voting histories are at distance 0 and users with no
+overlap are at distance 1.  To make the spatial axis comparable with the
+friendship-hop metric, the paper sorts users into **five disjoint groups** by
+their interest distance from the initiator and labels the groups 1..5; those
+group labels are then used as the distance coordinate x of the DL model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def interest_distance(contents_a: "set[int] | frozenset[int]", contents_b: "set[int] | frozenset[int]") -> float:
+    """Jaccard-style interest distance between two users (Equation 1).
+
+    Both arguments are the sets of content ids (stories) each user has
+    interacted with.  When both sets are empty the users share no observable
+    interests and the distance is defined as 1.0 (maximally distant).
+    """
+    union = len(contents_a | contents_b)
+    if union == 0:
+        return 1.0
+    intersection = len(contents_a & contents_b)
+    return 1.0 - intersection / union
+
+
+def interest_distances_from_source(
+    source: int, user_contents: Mapping[int, "set[int] | frozenset[int]"]
+) -> dict[int, float]:
+    """Interest distance from the initiator to every other user.
+
+    Parameters
+    ----------
+    source:
+        Initiator user id; must be present in ``user_contents``.
+    user_contents:
+        Mapping user id -> set of content ids the user has voted on.
+
+    Returns
+    -------
+    dict
+        Mapping user id -> interest distance in [0, 1]; the source is omitted.
+    """
+    if source not in user_contents:
+        raise KeyError(f"source user {source} has no recorded interests")
+    source_contents = user_contents[source]
+    return {
+        user: interest_distance(source_contents, contents)
+        for user, contents in user_contents.items()
+        if user != source
+    }
+
+
+def interest_distance_groups(
+    distances: Mapping[int, float],
+    num_groups: int = 5,
+    boundaries: "Sequence[float] | None" = None,
+) -> dict[int, int]:
+    """Bin continuous interest distances into discrete groups 1..num_groups.
+
+    The paper "classif[ies] the users into five disjoint groups based on their
+    interest ranges" and assigns values 1-5, but does not publish the range
+    boundaries.  Two binning strategies are supported:
+
+    * ``boundaries`` given -- fixed group edges: group g contains distances in
+      ``(boundaries[g-1], boundaries[g]]`` with ``boundaries[0]`` implicit 0.
+    * ``boundaries`` omitted -- equal-population (rank / quantile) binning:
+      users are sorted by interest distance and split into ``num_groups``
+      contiguous chunks of (nearly) equal size.  Ties are broken by user id,
+      which keeps the assignment deterministic and guarantees that no group
+      is empty even when many users share the same distance (e.g. the large
+      block of users at distance exactly 1.0 who share no content with the
+      source).  The group label still increases monotonically with the
+      interest distance.
+
+    Returns
+    -------
+    dict
+        Mapping user id -> group label in ``{1, ..., num_groups}``.
+    """
+    if num_groups < 1:
+        raise ValueError(f"num_groups must be >= 1, got {num_groups}")
+    if not distances:
+        return {}
+
+    users = list(distances.keys())
+    values = np.asarray([distances[u] for u in users], dtype=float)
+    if np.any(values < 0) or np.any(values > 1 + 1e-12):
+        raise ValueError("interest distances must lie in [0, 1]")
+
+    if boundaries is not None:
+        edges = np.asarray(list(boundaries), dtype=float)
+        if edges.size != num_groups:
+            raise ValueError(
+                f"expected {num_groups} boundary values (upper edges), got {edges.size}"
+            )
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("boundaries must be strictly increasing")
+        groups: dict[int, int] = {}
+        for user, value in zip(users, values):
+            group = int(np.searchsorted(edges, value, side="left")) + 1
+            groups[user] = min(group, num_groups)
+        return groups
+
+    # Equal-population binning with deterministic tie-breaking by user id.
+    order = sorted(range(len(users)), key=lambda i: (values[i], users[i]))
+    group_count = min(num_groups, len(users))
+    assignments: dict[int, int] = {}
+    for rank, index in enumerate(order):
+        group = int(rank * group_count / len(users)) + 1
+        assignments[users[index]] = min(group, num_groups)
+    return assignments
+
+
+def build_user_contents(votes: Iterable[tuple[int, int]]) -> dict[int, set[int]]:
+    """Build the user -> voted-content-set mapping from (user, story) pairs.
+
+    Convenience used by the dataset layer; the shared-interest metric needs
+    each user's full voting history across the corpus, not just one story.
+    """
+    contents: dict[int, set[int]] = {}
+    for user, story in votes:
+        contents.setdefault(int(user), set()).add(int(story))
+    return contents

@@ -1,0 +1,68 @@
+"""Numerical substrate for the Diffusive Logistic reproduction.
+
+This package implements, from scratch, every numerical tool the paper relies
+on:
+
+* :mod:`repro.numerics.grid` -- uniform spatial grids over the distance axis.
+* :mod:`repro.numerics.spline` -- natural/clamped cubic-spline interpolation
+  (the paper uses Matlab's cubic spline package to build the initial density
+  function phi).
+* :mod:`repro.numerics.finite_difference` -- second-order spatial operators
+  with Neumann (no-flux) boundary conditions.
+* :mod:`repro.numerics.integrators` -- explicit Euler, RK4 and Crank-Nicolson
+  time steppers.
+* :mod:`repro.numerics.pde_solver` -- a method-of-lines reaction-diffusion
+  solver used by the DL model.
+* :mod:`repro.numerics.ode` -- the scalar logistic equation (analytic and
+  numeric), used both by the growth-process model and by the temporal-only
+  baseline.
+* :mod:`repro.numerics.optimization` -- least-squares fitting utilities used
+  for parameter calibration.
+"""
+
+from repro.numerics.grid import UniformGrid
+from repro.numerics.spline import CubicSpline, FlatEndDensityInterpolator
+from repro.numerics.finite_difference import (
+    NeumannLaplacian,
+    laplacian_matrix,
+    second_derivative,
+)
+from repro.numerics.integrators import (
+    CrankNicolsonIntegrator,
+    ExplicitEulerIntegrator,
+    RungeKutta4Integrator,
+    TimeIntegrator,
+)
+from repro.numerics.pde_solver import PDESolution, ReactionDiffusionProblem, ReactionDiffusionSolver
+from repro.numerics.ode import LogisticCurve, fit_logistic_curve, solve_logistic_ode
+from repro.numerics.optimization import (
+    FitResult,
+    grid_search,
+    least_squares_fit,
+    mean_relative_error,
+    sum_of_squares,
+)
+
+__all__ = [
+    "UniformGrid",
+    "CubicSpline",
+    "FlatEndDensityInterpolator",
+    "NeumannLaplacian",
+    "laplacian_matrix",
+    "second_derivative",
+    "TimeIntegrator",
+    "ExplicitEulerIntegrator",
+    "RungeKutta4Integrator",
+    "CrankNicolsonIntegrator",
+    "ReactionDiffusionProblem",
+    "ReactionDiffusionSolver",
+    "PDESolution",
+    "LogisticCurve",
+    "solve_logistic_ode",
+    "fit_logistic_curve",
+    "FitResult",
+    "least_squares_fit",
+    "grid_search",
+    "sum_of_squares",
+    "mean_relative_error",
+]

@@ -1,0 +1,112 @@
+"""Finite-difference spatial operators with Neumann (no-flux) boundaries.
+
+The DL model imposes ``dI/dx = 0`` at both ends of the distance interval
+("no flux of information across the boundaries").  The standard second-order
+discretisation of the 1-D Laplacian with Neumann conditions uses ghost points
+mirrored across the boundary, which is equivalent to the matrix
+
+    [[-2  2  0 ...]
+     [ 1 -2  1 ...]
+     [ ...        ]
+     [ ...  2 -2 ]] / h**2
+
+This module provides both a dense matrix form (used by the Crank-Nicolson
+integrator) and a matrix-free application (used by explicit integrators and
+the scipy method-of-lines backend).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.numerics.grid import UniformGrid
+
+
+def laplacian_matrix(num_points: int, spacing: float) -> np.ndarray:
+    """Dense second-order Neumann Laplacian matrix.
+
+    Parameters
+    ----------
+    num_points:
+        Number of grid nodes (>= 2).
+    spacing:
+        Grid spacing ``h`` (> 0).
+
+    Returns
+    -------
+    numpy.ndarray
+        A ``(num_points, num_points)`` matrix ``A`` such that ``A @ u``
+        approximates ``u_xx`` with mirrored ghost points at the boundaries.
+    """
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    matrix = np.zeros((num_points, num_points))
+    inv_h2 = 1.0 / (spacing * spacing)
+    for i in range(1, num_points - 1):
+        matrix[i, i - 1] = inv_h2
+        matrix[i, i] = -2.0 * inv_h2
+        matrix[i, i + 1] = inv_h2
+    # Neumann boundaries via mirrored ghost nodes: u_{-1} = u_{1}, u_{n} = u_{n-2}.
+    matrix[0, 0] = -2.0 * inv_h2
+    matrix[0, 1] = 2.0 * inv_h2
+    matrix[-1, -1] = -2.0 * inv_h2
+    matrix[-1, -2] = 2.0 * inv_h2
+    return matrix
+
+
+def second_derivative(values: np.ndarray, spacing: float) -> np.ndarray:
+    """Matrix-free second derivative with Neumann boundary conditions.
+
+    Equivalent to ``laplacian_matrix(len(values), spacing) @ values`` but
+    without building the matrix.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("values must be one-dimensional")
+    if values.size < 2:
+        raise ValueError("at least two values are required")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    result = np.empty_like(values)
+    inv_h2 = 1.0 / (spacing * spacing)
+    result[1:-1] = (values[2:] - 2.0 * values[1:-1] + values[:-2]) * inv_h2
+    result[0] = 2.0 * (values[1] - values[0]) * inv_h2
+    result[-1] = 2.0 * (values[-2] - values[-1]) * inv_h2
+    return result
+
+
+class NeumannLaplacian:
+    """Reusable Neumann Laplacian bound to a specific grid.
+
+    Caches the dense matrix (needed by implicit integrators) and exposes a
+    fast matrix-free :meth:`apply` for explicit stepping.
+    """
+
+    def __init__(self, grid: UniformGrid) -> None:
+        self._grid = grid
+        self._matrix: "np.ndarray | None" = None
+
+    @property
+    def grid(self) -> UniformGrid:
+        """The grid this operator is bound to."""
+        return self._grid
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Dense matrix representation (computed lazily, cached)."""
+        if self._matrix is None:
+            self._matrix = laplacian_matrix(self._grid.num_points, self._grid.spacing)
+        return self._matrix
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Apply the operator to a state vector without forming the matrix."""
+        if len(values) != self._grid.num_points:
+            raise ValueError(
+                f"state vector has {len(values)} entries, expected {self._grid.num_points}"
+            )
+        return second_derivative(values, self._grid.spacing)
+
+    def __call__(self, values: np.ndarray) -> np.ndarray:
+        return self.apply(values)

@@ -1,0 +1,209 @@
+"""Time integrators for the semi-discrete reaction-diffusion system.
+
+After spatial discretisation (method of lines) the DL equation becomes a
+system of ODEs
+
+    du/dt = d * A u + f(u, t)
+
+where ``A`` is the Neumann Laplacian and ``f`` the logistic reaction term.
+Three integrators are provided:
+
+* :class:`ExplicitEulerIntegrator` -- first order, cheap, requires a small
+  time step for stability (``dt <= h**2 / (2 d)``).
+* :class:`RungeKutta4Integrator` -- classic fourth-order explicit scheme.
+* :class:`CrankNicolsonIntegrator` -- second-order, unconditionally stable
+  IMEX scheme treating the stiff diffusion term implicitly and the logistic
+  reaction term explicitly (with a trapezoidal correction via a fixed-point
+  iteration).
+
+All integrators share the :class:`TimeIntegrator` interface so the PDE solver
+and the solver-ablation benchmark can swap them freely.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+ReactionFunction = Callable[[np.ndarray, float], np.ndarray]
+"""Signature of the reaction term f(u, t) -> du/dt contribution."""
+
+
+class TimeIntegrator(ABC):
+    """Interface shared by all time-stepping schemes.
+
+    An integrator advances the semi-discrete state ``u`` from ``t`` to
+    ``t + dt`` for the system ``du/dt = diffusion_matrix @ u * <implicit or
+    explicit handling> + reaction(u, t)``.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def step(
+        self,
+        state: np.ndarray,
+        time: float,
+        dt: float,
+        diffusion_matrix: np.ndarray,
+        reaction: ReactionFunction,
+    ) -> np.ndarray:
+        """Advance ``state`` by one step of size ``dt`` and return the new state."""
+
+    def prepare(self, diffusion_matrix: np.ndarray, dt: float) -> None:
+        """Optional hook to precompute factorisations for a fixed ``dt``."""
+
+    def suggested_dt(self, diffusion_matrix: np.ndarray, dt: float) -> float:
+        """Return a stable step size no larger than ``dt`` for this scheme."""
+        return dt
+
+
+def _explicit_rhs(
+    state: np.ndarray,
+    time: float,
+    diffusion_matrix: np.ndarray,
+    reaction: ReactionFunction,
+) -> np.ndarray:
+    return diffusion_matrix @ state + reaction(state, time)
+
+
+class ExplicitEulerIntegrator(TimeIntegrator):
+    """Forward Euler: ``u_{n+1} = u_n + dt * rhs(u_n, t_n)``."""
+
+    name = "explicit_euler"
+
+    def step(
+        self,
+        state: np.ndarray,
+        time: float,
+        dt: float,
+        diffusion_matrix: np.ndarray,
+        reaction: ReactionFunction,
+    ) -> np.ndarray:
+        return state + dt * _explicit_rhs(state, time, diffusion_matrix, reaction)
+
+    def suggested_dt(self, diffusion_matrix: np.ndarray, dt: float) -> float:
+        # Stability limit for the diffusion part: dt <= 2 / |lambda_max|.
+        # For the Neumann Laplacian scaled by d, |lambda_max| <= 4 d / h^2,
+        # which equals twice the largest absolute diagonal entry.
+        max_diag = float(np.max(np.abs(np.diag(diffusion_matrix))))
+        if max_diag <= 0:
+            return dt
+        stable = 1.0 / max_diag  # = h^2 / (2 d) for the standard Laplacian
+        return min(dt, 0.9 * stable)
+
+
+class RungeKutta4Integrator(TimeIntegrator):
+    """Classic explicit fourth-order Runge-Kutta scheme."""
+
+    name = "rk4"
+
+    def step(
+        self,
+        state: np.ndarray,
+        time: float,
+        dt: float,
+        diffusion_matrix: np.ndarray,
+        reaction: ReactionFunction,
+    ) -> np.ndarray:
+        k1 = _explicit_rhs(state, time, diffusion_matrix, reaction)
+        k2 = _explicit_rhs(state + 0.5 * dt * k1, time + 0.5 * dt, diffusion_matrix, reaction)
+        k3 = _explicit_rhs(state + 0.5 * dt * k2, time + 0.5 * dt, diffusion_matrix, reaction)
+        k4 = _explicit_rhs(state + dt * k3, time + dt, diffusion_matrix, reaction)
+        return state + dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+
+    def suggested_dt(self, diffusion_matrix: np.ndarray, dt: float) -> float:
+        max_diag = float(np.max(np.abs(np.diag(diffusion_matrix))))
+        if max_diag <= 0:
+            return dt
+        # RK4 stability interval on the negative real axis is ~[-2.78, 0].
+        stable = 2.78 / (2.0 * max_diag)
+        return min(dt, 0.9 * stable)
+
+
+class CrankNicolsonIntegrator(TimeIntegrator):
+    """Second-order IMEX Crank-Nicolson scheme.
+
+    The linear diffusion part is treated with the trapezoidal rule (implicit),
+    the nonlinear reaction term with a fixed-point (Picard) iteration on the
+    trapezoidal average.  For the mildly nonlinear logistic reaction of the DL
+    model a handful of iterations converges to machine precision.
+    """
+
+    name = "crank_nicolson"
+
+    def __init__(self, max_picard_iterations: int = 12, tolerance: float = 1e-10) -> None:
+        if max_picard_iterations < 1:
+            raise ValueError("max_picard_iterations must be >= 1")
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self._max_picard_iterations = max_picard_iterations
+        self._tolerance = tolerance
+        self._cached_dt: "float | None" = None
+        self._cached_matrix_id: "int | None" = None
+        self._lhs_factor: "tuple[np.ndarray, np.ndarray] | None" = None
+
+    def _factorise(self, diffusion_matrix: np.ndarray, dt: float) -> tuple[np.ndarray, np.ndarray]:
+        """LU-factorise ``(I - dt/2 A)`` once per (matrix, dt) pair."""
+        from scipy.linalg import lu_factor
+
+        if (
+            self._lhs_factor is not None
+            and self._cached_dt == dt
+            and self._cached_matrix_id == id(diffusion_matrix)
+        ):
+            return self._lhs_factor
+        n = diffusion_matrix.shape[0]
+        lhs = np.eye(n) - 0.5 * dt * diffusion_matrix
+        self._lhs_factor = lu_factor(lhs)
+        self._cached_dt = dt
+        self._cached_matrix_id = id(diffusion_matrix)
+        return self._lhs_factor
+
+    def prepare(self, diffusion_matrix: np.ndarray, dt: float) -> None:
+        self._factorise(diffusion_matrix, dt)
+
+    def step(
+        self,
+        state: np.ndarray,
+        time: float,
+        dt: float,
+        diffusion_matrix: np.ndarray,
+        reaction: ReactionFunction,
+    ) -> np.ndarray:
+        from scipy.linalg import lu_solve
+
+        factor = self._factorise(diffusion_matrix, dt)
+        explicit_part = state + 0.5 * dt * (diffusion_matrix @ state)
+        reaction_old = reaction(state, time)
+
+        new_state = state.copy()
+        for _ in range(self._max_picard_iterations):
+            reaction_new = reaction(new_state, time + dt)
+            rhs = explicit_part + 0.5 * dt * (reaction_old + reaction_new)
+            candidate = lu_solve(factor, rhs)
+            change = float(np.max(np.abs(candidate - new_state)))
+            new_state = candidate
+            if change < self._tolerance:
+                break
+        return new_state
+
+
+def make_integrator(name: str) -> TimeIntegrator:
+    """Factory used by configuration-driven code and benchmarks.
+
+    Parameters
+    ----------
+    name:
+        One of ``"explicit_euler"``, ``"rk4"``, ``"crank_nicolson"``.
+    """
+    registry: dict[str, Callable[[], TimeIntegrator]] = {
+        "explicit_euler": ExplicitEulerIntegrator,
+        "rk4": RungeKutta4Integrator,
+        "crank_nicolson": CrankNicolsonIntegrator,
+    }
+    if name not in registry:
+        raise ValueError(f"unknown integrator {name!r}; expected one of {sorted(registry)}")
+    return registry[name]()

@@ -1,0 +1,200 @@
+"""The scalar logistic equation.
+
+The growth process of the DL model -- information spreading among users at the
+*same* distance from the source -- is the classic logistic model
+
+    N' = r N (1 - N / K)
+
+whose analytic solution through ``N(t0) = N0`` is
+
+    N(t) = K / (1 + (K/N0 - 1) exp(-r (t - t0)))
+
+This module provides the analytic solution, a numeric solver for
+time-dependent growth rates, and least-squares fitting of (r, K) to observed
+trajectories.  The same code powers the temporal-only baseline
+(:mod:`repro.baselines.logistic`), which fits an independent logistic curve at
+every distance and therefore ignores the spatial diffusion term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogisticCurve:
+    """Analytic logistic trajectory ``N(t)``.
+
+    Attributes
+    ----------
+    growth_rate:
+        Intrinsic growth rate ``r``.
+    carrying_capacity:
+        Carrying capacity ``K`` (> 0), the upper bound of the trajectory.
+    initial_value:
+        ``N(t0)``; must satisfy ``0 < initial_value``.
+    initial_time:
+        Reference time ``t0``.
+    """
+
+    growth_rate: float
+    carrying_capacity: float
+    initial_value: float
+    initial_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.carrying_capacity <= 0:
+            raise ValueError(f"carrying capacity must be positive, got {self.carrying_capacity}")
+        if self.initial_value <= 0:
+            raise ValueError(
+                f"initial value must be positive for the analytic solution, got {self.initial_value}"
+            )
+
+    def __call__(self, times: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate the trajectory at one or many times."""
+        t = np.asarray(times, dtype=float)
+        ratio = self.carrying_capacity / self.initial_value - 1.0
+        value = self.carrying_capacity / (
+            1.0 + ratio * np.exp(-self.growth_rate * (t - self.initial_time))
+        )
+        if np.isscalar(times):
+            return float(value)
+        return value
+
+    def derivative(self, times: "float | np.ndarray") -> "float | np.ndarray":
+        """dN/dt evaluated along the analytic trajectory."""
+        n = self(times)
+        return self.growth_rate * n * (1.0 - n / self.carrying_capacity)
+
+    @property
+    def inflection_time(self) -> float:
+        """Time at which the trajectory crosses K/2 (fastest growth)."""
+        ratio = self.carrying_capacity / self.initial_value - 1.0
+        if ratio <= 0:
+            return self.initial_time
+        return self.initial_time + np.log(ratio) / self.growth_rate
+
+
+def solve_logistic_ode(
+    initial_value: float,
+    times: Sequence[float],
+    growth_rate: "float | Callable[[float], float]",
+    carrying_capacity: float,
+    steps_per_unit: int = 200,
+) -> np.ndarray:
+    """Numerically integrate ``N' = r(t) N (1 - N/K)`` with RK4.
+
+    Unlike :class:`LogisticCurve`, this supports a time-dependent growth rate
+    -- which the paper uses (``r(t) = 1.4 e^{-1.5 (t-1)} + 0.25``).
+
+    Parameters
+    ----------
+    initial_value:
+        ``N`` at ``times[0]``.
+    times:
+        Non-decreasing output times; the first entry is the initial time.
+    growth_rate:
+        Constant ``r`` or callable ``r(t)``.
+    carrying_capacity:
+        ``K`` > 0.
+    steps_per_unit:
+        Internal RK4 steps per unit of time.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``N`` evaluated at each entry of ``times``.
+    """
+    if carrying_capacity <= 0:
+        raise ValueError(f"carrying capacity must be positive, got {carrying_capacity}")
+    times = np.asarray(times, dtype=float)
+    if times.size == 0:
+        raise ValueError("at least one output time is required")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("output times must be non-decreasing")
+    if steps_per_unit < 1:
+        raise ValueError("steps_per_unit must be >= 1")
+
+    def rate(t: float) -> float:
+        return growth_rate(t) if callable(growth_rate) else float(growth_rate)
+
+    def rhs(n: float, t: float) -> float:
+        return rate(t) * n * (1.0 - n / carrying_capacity)
+
+    values = np.empty(times.size)
+    values[0] = initial_value
+    n = float(initial_value)
+    for i in range(1, times.size):
+        t0, t1 = times[i - 1], times[i]
+        span = t1 - t0
+        if span == 0:
+            values[i] = n
+            continue
+        steps = max(1, int(np.ceil(span * steps_per_unit)))
+        dt = span / steps
+        t = t0
+        for _ in range(steps):
+            k1 = rhs(n, t)
+            k2 = rhs(n + 0.5 * dt * k1, t + 0.5 * dt)
+            k3 = rhs(n + 0.5 * dt * k2, t + 0.5 * dt)
+            k4 = rhs(n + dt * k3, t + dt)
+            n += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+            t += dt
+        values[i] = n
+    return values
+
+
+def fit_logistic_curve(
+    times: Sequence[float],
+    observations: Sequence[float],
+    carrying_capacity_bounds: tuple[float, float] = (1e-6, 1e6),
+    growth_rate_bounds: tuple[float, float] = (1e-6, 50.0),
+) -> LogisticCurve:
+    """Least-squares fit of an analytic logistic curve to observations.
+
+    The initial value is anchored to the first observation (as the paper
+    anchors its prediction to the hour-1 snapshot) and ``(r, K)`` are fitted
+    with ``scipy.optimize.curve_fit`` within the given bounds.
+
+    Raises
+    ------
+    ValueError
+        If fewer than three observations are provided or the first
+        observation is not strictly positive.
+    """
+    from scipy.optimize import curve_fit
+
+    times = np.asarray(times, dtype=float)
+    observations = np.asarray(observations, dtype=float)
+    if times.size != observations.size:
+        raise ValueError("times and observations must have equal length")
+    if times.size < 3:
+        raise ValueError("at least three observations are required to fit r and K")
+    if observations[0] <= 0:
+        raise ValueError("the first observation must be strictly positive")
+
+    initial_value = float(observations[0])
+    initial_time = float(times[0])
+
+    def model(t: np.ndarray, r: float, k: float) -> np.ndarray:
+        curve = LogisticCurve(r, k, initial_value, initial_time)
+        return np.asarray(curve(t), dtype=float)
+
+    max_obs = float(observations.max())
+    k_guess = max(max_obs * 1.2, initial_value * 2.0)
+    r_guess = 0.5
+    lower = (growth_rate_bounds[0], max(carrying_capacity_bounds[0], max_obs))
+    upper = (growth_rate_bounds[1], carrying_capacity_bounds[1])
+    k_guess = min(max(k_guess, lower[1] * 1.0001), upper[1])
+    popt, _ = curve_fit(
+        model,
+        times,
+        observations,
+        p0=(r_guess, k_guess),
+        bounds=(lower, upper),
+        maxfev=20000,
+    )
+    return LogisticCurve(float(popt[0]), float(popt[1]), initial_value, initial_time)

@@ -1,0 +1,196 @@
+"""Least-squares fitting utilities used for DL-model calibration.
+
+Section II-D of the paper gives only guidelines for choosing the parameters
+(r, d, K); the evaluation section then reports hand-chosen values for story
+s1.  For the reproduction we additionally provide automated calibration
+(:mod:`repro.core.calibration`) built on the utilities here:
+
+* :func:`least_squares_fit` -- a thin, bounded wrapper around
+  ``scipy.optimize.least_squares`` returning a structured :class:`FitResult`.
+* :func:`grid_search` -- coarse exhaustive search used to seed the local
+  optimiser (the DL objective is non-convex in (d, r-parameters, K)).
+* loss helpers (:func:`sum_of_squares`, :func:`mean_relative_error`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+ResidualFunction = Callable[[np.ndarray], np.ndarray]
+"""Maps a parameter vector to a residual vector (not squared)."""
+
+ScalarObjective = Callable[[np.ndarray], float]
+"""Maps a parameter vector to a scalar loss."""
+
+
+def sum_of_squares(residuals: np.ndarray) -> float:
+    """0.5 * sum of squared residuals (the canonical least-squares loss)."""
+    residuals = np.asarray(residuals, dtype=float)
+    return 0.5 * float(np.dot(residuals, residuals))
+
+
+def mean_relative_error(predicted: np.ndarray, actual: np.ndarray, epsilon: float = 1e-12) -> float:
+    """Mean of |predicted - actual| / |actual| over all finite entries.
+
+    This mirrors the paper's prediction-accuracy definition (Equation 8) with
+    accuracy = 1 - relative error; see :mod:`repro.core.accuracy` for the
+    exact reproduction of the paper's tables.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    denominator = np.maximum(np.abs(actual), epsilon)
+    return float(np.mean(np.abs(predicted - actual) / denominator))
+
+
+@dataclass
+class FitResult:
+    """Outcome of a parameter fit.
+
+    Attributes
+    ----------
+    parameters:
+        Best parameter vector found.
+    loss:
+        Final scalar loss (0.5 * sum of squared residuals for least squares).
+    success:
+        Whether the optimiser reported convergence.
+    n_evaluations:
+        Number of objective/residual evaluations.
+    message:
+        Human-readable optimiser status.
+    names:
+        Optional parameter names, aligned with ``parameters``.
+    """
+
+    parameters: np.ndarray
+    loss: float
+    success: bool
+    n_evaluations: int = 0
+    message: str = ""
+    names: tuple[str, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict[str, float]:
+        """Return a name -> value mapping (requires ``names`` to be set)."""
+        if len(self.names) != len(self.parameters):
+            raise ValueError("parameter names are not available for this fit")
+        return {name: float(value) for name, value in zip(self.names, self.parameters)}
+
+
+def least_squares_fit(
+    residual: ResidualFunction,
+    initial_guess: Sequence[float],
+    bounds: "tuple[Sequence[float], Sequence[float]] | None" = None,
+    names: "Sequence[str] | None" = None,
+    max_evaluations: int = 5000,
+) -> FitResult:
+    """Bounded nonlinear least squares via scipy's trust-region reflective solver.
+
+    Parameters
+    ----------
+    residual:
+        Function returning the residual vector for a parameter vector.
+    initial_guess:
+        Starting point; its length defines the parameter dimension.
+    bounds:
+        Optional ``(lower, upper)`` bound sequences of the same length.
+    names:
+        Optional parameter names recorded on the result.
+    max_evaluations:
+        Cap on residual evaluations.
+    """
+    from scipy.optimize import least_squares as scipy_least_squares
+
+    x0 = np.asarray(initial_guess, dtype=float)
+    if x0.ndim != 1 or x0.size == 0:
+        raise ValueError("initial_guess must be a non-empty 1-D sequence")
+    if bounds is None:
+        scipy_bounds = (-np.inf, np.inf)
+    else:
+        lower = np.asarray(bounds[0], dtype=float)
+        upper = np.asarray(bounds[1], dtype=float)
+        if lower.shape != x0.shape or upper.shape != x0.shape:
+            raise ValueError("bounds must match the length of the initial guess")
+        x0 = np.clip(x0, lower, upper)
+        scipy_bounds = (lower, upper)
+
+    result = scipy_least_squares(
+        residual,
+        x0,
+        bounds=scipy_bounds,
+        max_nfev=max_evaluations,
+    )
+    return FitResult(
+        parameters=np.asarray(result.x, dtype=float),
+        loss=sum_of_squares(result.fun),
+        success=bool(result.success),
+        n_evaluations=int(result.nfev),
+        message=str(result.message),
+        names=tuple(names) if names is not None else tuple(),
+    )
+
+
+def grid_search(
+    objective: ScalarObjective,
+    parameter_grid: Mapping[str, Sequence[float]],
+) -> FitResult:
+    """Exhaustive search over a Cartesian product of parameter values.
+
+    Used to seed :func:`least_squares_fit` when calibrating the DL model,
+    whose loss surface has multiple local minima in (d, K, growth-rate
+    parameters).
+
+    Parameters
+    ----------
+    objective:
+        Scalar loss evaluated on a parameter vector (ordered as the keys of
+        ``parameter_grid``).
+    parameter_grid:
+        Mapping from parameter name to the candidate values to try.
+
+    Returns
+    -------
+    FitResult
+        The best point found; ``success`` is True whenever the grid is
+        non-empty and at least one evaluation returned a finite loss.
+    """
+    names = tuple(parameter_grid.keys())
+    if not names:
+        raise ValueError("parameter_grid must not be empty")
+    value_lists = [list(parameter_grid[name]) for name in names]
+    if any(len(values) == 0 for values in value_lists):
+        raise ValueError("every parameter must have at least one candidate value")
+
+    best_loss = np.inf
+    best_params: "np.ndarray | None" = None
+    evaluations = 0
+    for combination in product(*value_lists):
+        params = np.asarray(combination, dtype=float)
+        loss = float(objective(params))
+        evaluations += 1
+        if np.isfinite(loss) and loss < best_loss:
+            best_loss = loss
+            best_params = params
+
+    if best_params is None:
+        return FitResult(
+            parameters=np.asarray([values[0] for values in value_lists], dtype=float),
+            loss=np.inf,
+            success=False,
+            n_evaluations=evaluations,
+            message="no finite loss found on the grid",
+            names=names,
+        )
+    return FitResult(
+        parameters=best_params,
+        loss=best_loss,
+        success=True,
+        n_evaluations=evaluations,
+        message="grid search complete",
+        names=names,
+    )

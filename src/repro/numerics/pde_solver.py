@@ -1,0 +1,314 @@
+"""Method-of-lines solver for 1-D reaction-diffusion problems.
+
+This is the numerical engine behind the Diffusive Logistic model: it solves
+
+    u_t = d(x, t) * u_xx + f(u, x, t),    x in [l, L]
+    u_x(l, t) = u_x(L, t) = 0             (Neumann)
+    u(x, t0) = u0(x)
+
+on a :class:`~repro.numerics.grid.UniformGrid` using one of the integrators
+from :mod:`repro.numerics.integrators`, or scipy's ``solve_ivp`` as an
+alternative backend (used for cross-validation and the solver ablation
+benchmark).
+
+The solver is written against a generic reaction callable so the same engine
+also serves the SIS baseline and the extended (future-work) parameterisations
+where the growth rate depends on both time and distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.numerics.finite_difference import NeumannLaplacian
+from repro.numerics.grid import UniformGrid
+from repro.numerics.integrators import CrankNicolsonIntegrator, TimeIntegrator
+
+DiffusionCoefficient = Callable[[np.ndarray, float], np.ndarray]
+"""d(x, t): vectorised over the grid nodes, returns per-node diffusion rates."""
+
+ReactionTerm = Callable[[np.ndarray, np.ndarray, float], np.ndarray]
+"""f(u, x, t): vectorised reaction term."""
+
+
+@dataclass(frozen=True)
+class ReactionDiffusionProblem:
+    """A fully specified 1-D reaction-diffusion initial-boundary-value problem.
+
+    Attributes
+    ----------
+    grid:
+        Spatial grid on ``[l, L]``.
+    initial_condition:
+        Callable ``u0(x)`` evaluated on the grid nodes, or an array of nodal
+        values of matching length.
+    diffusion:
+        Either a constant diffusion rate ``d`` or a callable ``d(x, t)``.
+    reaction:
+        Callable ``f(u, x, t)`` giving the reaction contribution to ``u_t``.
+    start_time:
+        Initial time ``t0`` (the paper uses t = 1 hour).
+    """
+
+    grid: UniformGrid
+    initial_condition: "Callable[[np.ndarray], np.ndarray] | np.ndarray"
+    diffusion: "float | DiffusionCoefficient"
+    reaction: ReactionTerm
+    start_time: float = 1.0
+
+    def initial_state(self) -> np.ndarray:
+        """Evaluate the initial condition on the grid."""
+        nodes = self.grid.nodes
+        if callable(self.initial_condition):
+            state = np.asarray(self.initial_condition(nodes), dtype=float)
+        else:
+            state = np.asarray(self.initial_condition, dtype=float)
+        if state.shape != nodes.shape:
+            raise ValueError(
+                f"initial condition has shape {state.shape}, expected {nodes.shape}"
+            )
+        return state.copy()
+
+    def diffusion_at(self, time: float) -> np.ndarray:
+        """Per-node diffusion coefficients at ``time``."""
+        nodes = self.grid.nodes
+        if callable(self.diffusion):
+            values = np.asarray(self.diffusion(nodes, time), dtype=float)
+            if values.shape != nodes.shape:
+                raise ValueError(
+                    f"diffusion coefficient has shape {values.shape}, expected {nodes.shape}"
+                )
+            return values
+        return np.full(nodes.shape, float(self.diffusion))
+
+    @property
+    def diffusion_is_constant(self) -> bool:
+        """True when the diffusion rate does not depend on x or t."""
+        return not callable(self.diffusion)
+
+
+@dataclass
+class PDESolution:
+    """Dense-in-space solution sampled at requested output times.
+
+    Attributes
+    ----------
+    grid:
+        The spatial grid the problem was solved on.
+    times:
+        Output times, shape ``(n_times,)``.
+    states:
+        Solution values, shape ``(n_times, n_nodes)``.
+    """
+
+    grid: UniformGrid
+    times: np.ndarray
+    states: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.states = np.asarray(self.states, dtype=float)
+        if self.states.shape != (self.times.size, self.grid.num_points):
+            raise ValueError(
+                f"states shape {self.states.shape} does not match "
+                f"(n_times={self.times.size}, n_nodes={self.grid.num_points})"
+            )
+
+    def at_time(self, time: float) -> np.ndarray:
+        """Return the spatial profile at the output time closest to ``time``."""
+        index = int(np.argmin(np.abs(self.times - time)))
+        if abs(self.times[index] - time) > 1e-9 + 1e-6 * max(1.0, abs(time)):
+            raise ValueError(
+                f"time {time} was not an output time; closest is {self.times[index]}"
+            )
+        return self.states[index].copy()
+
+    def sample(self, positions: Sequence[float], time: float) -> np.ndarray:
+        """Linearly interpolate the solution at arbitrary positions for one time."""
+        profile = self.at_time(time)
+        return np.interp(np.asarray(positions, dtype=float), self.grid.nodes, profile)
+
+    def sample_surface(self, positions: Sequence[float]) -> np.ndarray:
+        """Sample all output times at the given positions -> (n_times, n_positions)."""
+        positions = np.asarray(positions, dtype=float)
+        surface = np.empty((self.times.size, positions.size))
+        for i in range(self.times.size):
+            surface[i] = np.interp(positions, self.grid.nodes, self.states[i])
+        return surface
+
+    @property
+    def final_state(self) -> np.ndarray:
+        """Spatial profile at the last output time."""
+        return self.states[-1].copy()
+
+
+class ReactionDiffusionSolver:
+    """Method-of-lines solver with pluggable time integration.
+
+    Parameters
+    ----------
+    integrator:
+        A :class:`~repro.numerics.integrators.TimeIntegrator`; defaults to
+        Crank-Nicolson, which is unconditionally stable for the diffusion
+        part and therefore robust across the parameter sweeps in the
+        benchmarks.
+    max_step:
+        Upper bound on the internal time step (in the same units as the
+        output times, i.e. hours for the DL model).
+    backend:
+        ``"internal"`` uses the integrators in this package; ``"scipy"``
+        delegates to :func:`scipy.integrate.solve_ivp` (LSODA), which is used
+        for cross-validation in tests and the solver ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        integrator: "TimeIntegrator | None" = None,
+        max_step: float = 0.05,
+        backend: str = "internal",
+    ) -> None:
+        if max_step <= 0:
+            raise ValueError(f"max_step must be positive, got {max_step}")
+        if backend not in ("internal", "scipy"):
+            raise ValueError(f"unknown backend {backend!r}; expected 'internal' or 'scipy'")
+        self._integrator = integrator if integrator is not None else CrankNicolsonIntegrator()
+        self._max_step = max_step
+        self._backend = backend
+
+    @property
+    def integrator(self) -> TimeIntegrator:
+        """The time integrator in use (internal backend only)."""
+        return self._integrator
+
+    @property
+    def backend(self) -> str:
+        """Either ``"internal"`` or ``"scipy"``."""
+        return self._backend
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def solve(
+        self, problem: ReactionDiffusionProblem, output_times: Sequence[float]
+    ) -> PDESolution:
+        """Solve the problem and sample the solution at ``output_times``.
+
+        ``output_times`` must be non-decreasing and start at or after the
+        problem's ``start_time``.  The initial time itself may be included and
+        is returned verbatim as the initial condition.
+        """
+        times = np.asarray(sorted(set(float(t) for t in output_times)), dtype=float)
+        if times.size == 0:
+            raise ValueError("at least one output time is required")
+        if times[0] < problem.start_time - 1e-12:
+            raise ValueError(
+                f"output times start at {times[0]}, before the problem start time "
+                f"{problem.start_time}"
+            )
+        if self._backend == "scipy":
+            return self._solve_scipy(problem, times)
+        return self._solve_internal(problem, times)
+
+    # ------------------------------------------------------------------ #
+    # Internal backend
+    # ------------------------------------------------------------------ #
+    def _solve_internal(
+        self, problem: ReactionDiffusionProblem, times: np.ndarray
+    ) -> PDESolution:
+        grid = problem.grid
+        laplacian = NeumannLaplacian(grid)
+        nodes = grid.nodes
+        state = problem.initial_state()
+        current_time = problem.start_time
+
+        outputs = np.empty((times.size, grid.num_points))
+        output_index = 0
+        # Emit any output times that coincide with the start time.
+        while output_index < times.size and abs(times[output_index] - current_time) < 1e-12:
+            outputs[output_index] = state
+            output_index += 1
+
+        steps_taken = 0
+        constant_diffusion = problem.diffusion_is_constant
+        diffusion_matrix = None
+        if constant_diffusion:
+            diffusion_matrix = float(problem.diffusion) * laplacian.matrix
+            self._integrator.prepare(diffusion_matrix, self._max_step)
+
+        def reaction(u: np.ndarray, t: float) -> np.ndarray:
+            return problem.reaction(u, nodes, t)
+
+        while output_index < times.size:
+            target = times[output_index]
+            while current_time < target - 1e-12:
+                if not constant_diffusion:
+                    d_values = problem.diffusion_at(current_time)
+                    diffusion_matrix = d_values[:, None] * laplacian.matrix
+                assert diffusion_matrix is not None
+                dt = min(self._max_step, target - current_time)
+                dt = self._integrator.suggested_dt(diffusion_matrix, dt)
+                state = self._integrator.step(
+                    state, current_time, dt, diffusion_matrix, reaction
+                )
+                current_time += dt
+                steps_taken += 1
+            outputs[output_index] = state
+            output_index += 1
+
+        return PDESolution(
+            grid=grid,
+            times=times,
+            states=outputs,
+            metadata={
+                "backend": "internal",
+                "integrator": self._integrator.name,
+                "steps": steps_taken,
+                "max_step": self._max_step,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # scipy backend
+    # ------------------------------------------------------------------ #
+    def _solve_scipy(
+        self, problem: ReactionDiffusionProblem, times: np.ndarray
+    ) -> PDESolution:
+        from scipy.integrate import solve_ivp
+
+        grid = problem.grid
+        laplacian = NeumannLaplacian(grid)
+        nodes = grid.nodes
+        state0 = problem.initial_state()
+
+        def rhs(t: float, u: np.ndarray) -> np.ndarray:
+            d_values = problem.diffusion_at(t)
+            return d_values * laplacian.apply(u) + problem.reaction(u, nodes, t)
+
+        t_span = (problem.start_time, float(times[-1]))
+        if t_span[1] <= t_span[0]:
+            # Degenerate case: only the initial time was requested.
+            states = np.tile(state0, (times.size, 1))
+            return PDESolution(grid=grid, times=times, states=states, metadata={"backend": "scipy"})
+
+        result = solve_ivp(
+            rhs,
+            t_span,
+            state0,
+            t_eval=times,
+            method="LSODA",
+            max_step=self._max_step,
+            rtol=1e-7,
+            atol=1e-9,
+        )
+        if not result.success:
+            raise RuntimeError(f"scipy solve_ivp failed: {result.message}")
+        return PDESolution(
+            grid=grid,
+            times=np.asarray(result.t, dtype=float),
+            states=np.asarray(result.y.T, dtype=float),
+            metadata={"backend": "scipy", "nfev": int(result.nfev)},
+        )

@@ -1,0 +1,300 @@
+"""Cubic-spline interpolation implemented from scratch.
+
+The paper constructs the initial density function ``phi(x)`` by cubic-spline
+interpolation of the discrete density observations at hour ``t = 1`` and then
+flattens both ends so that ``phi'(l) = phi'(L) = 0`` (the Neumann boundary
+condition of the DL model).  This module provides:
+
+* :class:`CubicSpline` -- a piecewise-cubic interpolant with either *natural*
+  (zero second derivative) or *clamped* (prescribed first derivative) end
+  conditions, built by solving the classic tridiagonal system for the knot
+  second derivatives.
+* :class:`FlatEndDensityInterpolator` -- the paper's phi construction: clamped
+  spline with zero slope at both ends, guaranteed twice continuously
+  differentiable on the interior and flat at the boundaries.
+
+Only ``numpy`` is used; scipy's spline is cross-checked in the test-suite but
+never required at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+EndCondition = Literal["natural", "clamped"]
+
+
+def _solve_tridiagonal(
+    lower: np.ndarray, diag: np.ndarray, upper: np.ndarray, rhs: np.ndarray
+) -> np.ndarray:
+    """Solve a tridiagonal linear system with the Thomas algorithm.
+
+    Parameters
+    ----------
+    lower:
+        Sub-diagonal of length ``n`` (``lower[0]`` is unused).
+    diag:
+        Main diagonal of length ``n``.
+    upper:
+        Super-diagonal of length ``n`` (``upper[-1]`` is unused).
+    rhs:
+        Right-hand side of length ``n``.
+    """
+    n = diag.size
+    c_prime = np.zeros(n)
+    d_prime = np.zeros(n)
+    c_prime[0] = upper[0] / diag[0]
+    d_prime[0] = rhs[0] / diag[0]
+    for i in range(1, n):
+        denom = diag[i] - lower[i] * c_prime[i - 1]
+        if abs(denom) < 1e-15:
+            raise np.linalg.LinAlgError("tridiagonal system is singular")
+        c_prime[i] = upper[i] / denom
+        d_prime[i] = (rhs[i] - lower[i] * d_prime[i - 1]) / denom
+    solution = np.zeros(n)
+    solution[-1] = d_prime[-1]
+    for i in range(n - 2, -1, -1):
+        solution[i] = d_prime[i] - c_prime[i] * solution[i + 1]
+    return solution
+
+
+class CubicSpline:
+    """Piecewise cubic interpolant through ``(x_i, y_i)`` knots.
+
+    On each interval ``[x_i, x_{i+1}]`` the spline is represented as::
+
+        S_i(x) = a_i + b_i * dx + c_i * dx**2 + d_i * dx**3,   dx = x - x_i
+
+    The interpolant is C2-continuous across knots, which satisfies the DL
+    model's requirement that phi be twice continuously differentiable.
+
+    Parameters
+    ----------
+    knots:
+        Strictly increasing knot locations.
+    values:
+        Function values at the knots.
+    end_condition:
+        ``"natural"`` sets the second derivative to zero at both ends;
+        ``"clamped"`` prescribes the first derivatives ``start_slope`` and
+        ``end_slope``.
+    start_slope, end_slope:
+        First derivatives at the left/right end, used only for clamped
+        splines.  The paper's phi uses ``0.0`` at both ends.
+    """
+
+    def __init__(
+        self,
+        knots: Sequence[float],
+        values: Sequence[float],
+        end_condition: EndCondition = "natural",
+        start_slope: float = 0.0,
+        end_slope: float = 0.0,
+    ) -> None:
+        x = np.asarray(knots, dtype=float)
+        y = np.asarray(values, dtype=float)
+        if x.ndim != 1 or y.ndim != 1:
+            raise ValueError("knots and values must be one-dimensional")
+        if x.size != y.size:
+            raise ValueError(f"knots ({x.size}) and values ({y.size}) must have equal length")
+        if x.size < 2:
+            raise ValueError("at least two knots are required")
+        if np.any(np.diff(x) <= 0):
+            raise ValueError("knots must be strictly increasing")
+        if end_condition not in ("natural", "clamped"):
+            raise ValueError(f"unknown end condition: {end_condition!r}")
+
+        self._x = x
+        self._y = y
+        self._end_condition: EndCondition = end_condition
+        self._start_slope = float(start_slope)
+        self._end_slope = float(end_slope)
+        self._second_derivatives = self._compute_second_derivatives()
+        self._coefficients = self._compute_coefficients()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _compute_second_derivatives(self) -> np.ndarray:
+        """Solve the tridiagonal system for the knot second derivatives."""
+        x, y = self._x, self._y
+        n = x.size
+        h = np.diff(x)
+
+        if n == 2:
+            # A two-knot spline degenerates to a cubic determined entirely by
+            # the end conditions; natural -> straight line.
+            if self._end_condition == "natural":
+                return np.zeros(2)
+
+        lower = np.zeros(n)
+        diag = np.zeros(n)
+        upper = np.zeros(n)
+        rhs = np.zeros(n)
+
+        # Interior rows: the standard C2 continuity conditions.
+        for i in range(1, n - 1):
+            lower[i] = h[i - 1]
+            diag[i] = 2.0 * (h[i - 1] + h[i])
+            upper[i] = h[i]
+            rhs[i] = 6.0 * ((y[i + 1] - y[i]) / h[i] - (y[i] - y[i - 1]) / h[i - 1])
+
+        if self._end_condition == "natural":
+            diag[0] = 1.0
+            upper[0] = 0.0
+            rhs[0] = 0.0
+            diag[-1] = 1.0
+            lower[-1] = 0.0
+            rhs[-1] = 0.0
+        else:  # clamped
+            diag[0] = 2.0 * h[0]
+            upper[0] = h[0]
+            rhs[0] = 6.0 * ((y[1] - y[0]) / h[0] - self._start_slope)
+            diag[-1] = 2.0 * h[-1]
+            lower[-1] = h[-1]
+            rhs[-1] = 6.0 * (self._end_slope - (y[-1] - y[-2]) / h[-1])
+
+        return _solve_tridiagonal(lower, diag, upper, rhs)
+
+    def _compute_coefficients(self) -> np.ndarray:
+        """Convert knot second derivatives into per-interval coefficients."""
+        x, y, m = self._x, self._y, self._second_derivatives
+        h = np.diff(x)
+        n_intervals = h.size
+        coefficients = np.zeros((n_intervals, 4))
+        for i in range(n_intervals):
+            a = y[i]
+            b = (y[i + 1] - y[i]) / h[i] - h[i] * (2.0 * m[i] + m[i + 1]) / 6.0
+            c = m[i] / 2.0
+            d = (m[i + 1] - m[i]) / (6.0 * h[i])
+            coefficients[i] = (a, b, c, d)
+        return coefficients
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def knots(self) -> np.ndarray:
+        """Knot locations (copy)."""
+        return self._x.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        """Knot values (copy)."""
+        return self._y.copy()
+
+    def _interval_index(self, x: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._x, x, side="right") - 1
+        return np.clip(idx, 0, self._x.size - 2)
+
+    def __call__(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate the spline at ``x`` (scalar or array)."""
+        return self.evaluate(x, derivative=0)
+
+    def evaluate(self, x: "float | np.ndarray", derivative: int = 0) -> "float | np.ndarray":
+        """Evaluate the spline or one of its derivatives.
+
+        Parameters
+        ----------
+        x:
+            Evaluation point(s).  Points outside the knot range are evaluated
+            by extending the first/last cubic piece.
+        derivative:
+            0 for the value, 1 for the first derivative, 2 for the second,
+            3 for the third.  Higher derivatives are identically zero.
+        """
+        if derivative < 0:
+            raise ValueError("derivative order must be non-negative")
+        scalar = np.isscalar(x)
+        xs = np.atleast_1d(np.asarray(x, dtype=float))
+        idx = self._interval_index(xs)
+        dx = xs - self._x[idx]
+        a, b, c, d = (self._coefficients[idx, k] for k in range(4))
+
+        if derivative == 0:
+            result = a + dx * (b + dx * (c + dx * d))
+        elif derivative == 1:
+            result = b + dx * (2.0 * c + 3.0 * d * dx)
+        elif derivative == 2:
+            result = 2.0 * c + 6.0 * d * dx
+        elif derivative == 3:
+            result = 6.0 * d
+        else:
+            result = np.zeros_like(xs)
+
+        return float(result[0]) if scalar else result
+
+    def derivative(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """First derivative at ``x``."""
+        return self.evaluate(x, derivative=1)
+
+    def second_derivative(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """Second derivative at ``x``."""
+        return self.evaluate(x, derivative=2)
+
+
+class FlatEndDensityInterpolator:
+    """The paper's initial-density construction phi(x).
+
+    Section II-D of the paper constructs phi from the hour-1 density snapshot
+    in three steps:
+
+    1. cubic-spline interpolation through the discrete ``(distance, density)``
+       observations (requirement i: twice continuously differentiable),
+    2. flatten the two ends so that ``phi'(l) = phi'(L) = 0`` (requirement ii),
+    3. check the lower-solution inequality ``d*phi'' + r*phi*(1 - phi/K) >= 0``
+       (requirement iii) -- done in :mod:`repro.core.initial_density`.
+
+    This class performs steps 1 and 2 by building a *clamped* cubic spline with
+    zero end slopes, which is mathematically equivalent to interpolating and
+    then flattening the ends while keeping C2 continuity in the interior.
+
+    Negative interpolated values (possible with overshooting splines) are
+    clipped to zero, since a density can never be negative.
+    """
+
+    def __init__(self, distances: Sequence[float], densities: Sequence[float]) -> None:
+        densities = np.asarray(densities, dtype=float)
+        if np.any(densities < 0):
+            raise ValueError("densities must be non-negative")
+        if np.all(densities == 0):
+            raise ValueError("initial densities must not be identically zero")
+        self._spline = CubicSpline(
+            distances, densities, end_condition="clamped", start_slope=0.0, end_slope=0.0
+        )
+
+    @property
+    def spline(self) -> CubicSpline:
+        """The underlying clamped cubic spline."""
+        return self._spline
+
+    @property
+    def lower(self) -> float:
+        """Left end ``l`` of the distance interval."""
+        return float(self._spline.knots[0])
+
+    @property
+    def upper(self) -> float:
+        """Right end ``L`` of the distance interval."""
+        return float(self._spline.knots[-1])
+
+    def __call__(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """Evaluate phi(x), clipped to be non-negative."""
+        value = self._spline(x)
+        if np.isscalar(x):
+            return max(0.0, float(value))
+        return np.maximum(0.0, value)
+
+    def derivative(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """phi'(x) of the un-clipped spline."""
+        return self._spline.derivative(x)
+
+    def second_derivative(self, x: "float | np.ndarray") -> "float | np.ndarray":
+        """phi''(x) of the un-clipped spline."""
+        return self._spline.second_derivative(x)
+
+    def sample(self, grid_nodes: np.ndarray) -> np.ndarray:
+        """Evaluate phi on a full grid, returning a non-negative array."""
+        return np.asarray(self(np.asarray(grid_nodes, dtype=float)), dtype=float)

@@ -1,0 +1,56 @@
+"""Tests for the ASCII table / CSV helpers in repro.io."""
+
+import csv
+
+from repro.io.tables import format_table, write_csv
+
+ROWS = [
+    {"distance": 1, "average": 0.9827, "t=2": 0.9747},
+    {"distance": 2, "average": 0.8699, "t=2": 0.9359},
+]
+
+
+class TestFormatTable:
+    def test_contains_header_and_rows(self):
+        text = format_table(ROWS, title="Table I")
+        assert "Table I" in text
+        assert "distance" in text
+        assert "0.9827" in text
+
+    def test_column_order_respected(self):
+        text = format_table(ROWS, columns=["average", "distance"])
+        header = text.splitlines()[0]
+        assert header.index("average") < header.index("distance")
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # renders without raising
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty"
+        assert format_table([]) == ""
+
+    def test_float_format_applied(self):
+        text = format_table([{"x": 0.123456789}], float_format="{:.2f}")
+        assert "0.12" in text
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "table1.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["distance"] == "1"
+        assert float(rows[1]["average"]) == 0.8699
+
+    def test_empty_rows_create_empty_file(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text() == ""
+
+    def test_column_selection(self, tmp_path):
+        path = write_csv(ROWS, tmp_path / "subset.csv", columns=["distance"])
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert list(rows[0].keys()) == ["distance"]

@@ -1,0 +1,114 @@
+"""Tests for the Section III-B pattern characterisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.patterns import (
+    density_increments,
+    distance_ordering,
+    dominant_distance,
+    final_density_by_distance,
+    increments_are_shrinking,
+    profile_is_decreasing,
+    saturation_time,
+)
+from repro.cascade.density import DensitySurface
+
+
+def saturating_surface():
+    """Distance 1 saturates quickly, distance 2 slowly, distance 3 is flat."""
+    times = np.arange(1.0, 21.0)
+    fast = 10.0 * (1.0 - np.exp(-(times - 1.0)))
+    slow = 5.0 * (1.0 - np.exp(-(times - 1.0) / 10.0))
+    flat = np.full(times.size, 2.0)
+    return DensitySurface([1, 2, 3], times, np.column_stack([fast, slow, flat]), [1, 1, 1])
+
+
+class TestSaturationTime:
+    def test_fast_series_saturates_early(self):
+        surface = saturating_surface()
+        assert saturation_time(surface, 1.0, fraction=0.95) <= 5.0
+
+    def test_slow_series_saturates_late(self):
+        surface = saturating_surface()
+        assert saturation_time(surface, 2.0, fraction=0.95) > 10.0
+
+    def test_flat_series_is_stable_from_the_start(self):
+        assert saturation_time(saturating_surface(), 3.0) == 1.0
+
+    def test_all_distances_is_the_max(self):
+        surface = saturating_surface()
+        assert saturation_time(surface) == max(
+            saturation_time(surface, d) for d in (1.0, 2.0, 3.0)
+        )
+
+    def test_zero_final_density_returns_first_time(self):
+        surface = DensitySurface([1], [1.0, 2.0], np.zeros((2, 1)), [1])
+        assert saturation_time(surface, 1.0) == 1.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            saturation_time(saturating_surface(), 1.0, fraction=0.0)
+        with pytest.raises(ValueError):
+            saturation_time(saturating_surface(), 1.0, fraction=1.5)
+
+
+class TestIncrements:
+    def test_density_increments(self):
+        surface = saturating_surface()
+        increments = density_increments(surface, 1.0)
+        assert increments.size == 19
+        assert np.all(increments >= 0.0)
+
+    def test_shrinking_increments_detected(self):
+        """The exponential-saturation series has shrinking increments -- the
+        observation that motivates the decreasing growth rate r(t)."""
+        assert increments_are_shrinking(saturating_surface(), 1.0)
+
+    def test_accelerating_series_not_flagged_as_shrinking(self):
+        times = np.arange(1.0, 11.0)
+        accelerating = (times - 1.0) ** 2
+        surface = DensitySurface([1], times, accelerating[:, None], [1])
+        assert not increments_are_shrinking(surface, 1.0)
+
+    def test_short_series_handled(self):
+        times = np.arange(1.0, 4.0)
+        surface = DensitySurface([1], times, np.array([[1.0], [3.0], [4.0]]), [1])
+        assert increments_are_shrinking(surface, 1.0)
+
+
+class TestOrderings:
+    def test_distance_ordering(self):
+        surface = saturating_surface()
+        assert distance_ordering(surface, 20.0) == [1.0, 2.0, 3.0]
+
+    def test_dominant_distance(self):
+        assert dominant_distance(saturating_surface(), 20.0) == 1.0
+
+    def test_profile_is_decreasing(self):
+        surface = saturating_surface()
+        assert profile_is_decreasing(surface, 20.0)
+
+    def test_profile_not_decreasing_with_bulge(self):
+        surface = DensitySurface(
+            [1, 2, 3], [1.0], np.array([[5.0, 2.0, 3.0]]), [1, 1, 1]
+        )
+        assert not profile_is_decreasing(surface, 1.0)
+
+    def test_final_density_by_distance(self):
+        final = final_density_by_distance(saturating_surface())
+        assert final[3.0] == pytest.approx(2.0)
+        assert final[1.0] > final[2.0] > final[3.0]
+
+
+class TestOnSyntheticCorpus:
+    def test_s1_increments_shrink(self, s1_hop_surface):
+        assert increments_are_shrinking(s1_hop_surface, 1.0)
+
+    def test_s1_distance_one_dominates(self, s1_hop_surface):
+        assert dominant_distance(s1_hop_surface, 50.0) == 1.0
+
+    def test_s1_interest_profile_decreasing_at_the_end(self, s1_interest_surface):
+        ordering = distance_ordering(s1_interest_surface, 50.0)
+        assert ordering[0] == 1.0
+        assert ordering[-1] == 5.0

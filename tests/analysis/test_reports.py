@@ -1,0 +1,73 @@
+"""Tests for text rendering of surfaces, figures and prediction results."""
+
+import numpy as np
+
+from repro.analysis.reports import (
+    render_density_surface,
+    render_figure_series,
+    render_growth_rate_comparison,
+    render_prediction_comparison,
+)
+from repro.cascade.density import DensitySurface
+from repro.core.parameters import PAPER_S1_HOP_PARAMETERS
+from repro.core.prediction import DiffusionPredictor
+
+
+def small_surface():
+    return DensitySurface(
+        distances=[1, 2],
+        times=[1.0, 2.0, 3.0],
+        values=np.array([[5.0, 1.0], [7.5, 2.0], [9.0, 3.0]]),
+        group_sizes=[10, 10],
+    )
+
+
+class TestRenderDensitySurface:
+    def test_contains_all_rows_and_columns(self):
+        text = render_density_surface(small_surface(), title="Figure 3")
+        assert "Figure 3" in text
+        assert "x=1" in text and "x=2" in text
+        assert text.count("\n") >= 4
+
+    def test_subset_of_times(self):
+        text = render_density_surface(small_surface(), times=[2.0])
+        assert "7.5" in text
+        assert "9" not in text.split("\n")[-1]
+
+
+class TestRenderFigureSeries:
+    def test_lines_become_columns(self):
+        series = {"s1": {1: 0.1, 2: 0.5}, "s2": {1: 0.2, 2: 0.4}}
+        text = render_figure_series(series, x_label="distance", title="Figure 2")
+        assert "Figure 2" in text
+        assert "s1" in text and "s2" in text
+        assert "distance" in text
+
+    def test_missing_values_filled_with_zero(self):
+        series = {"a": {1: 0.5}, "b": {2: 0.7}}
+        text = render_figure_series(series)
+        assert "0" in text
+
+
+class TestRenderPredictionComparison:
+    def test_contains_accuracy_summary(self, s1_hop_surface):
+        predictor = DiffusionPredictor(parameters=PAPER_S1_HOP_PARAMETERS).fit(s1_hop_surface)
+        result = predictor.evaluate(s1_hop_surface, times=[2.0, 3.0])
+        text = render_prediction_comparison(result, title="Figure 7a")
+        assert "Figure 7a" in text
+        assert "Overall average prediction accuracy" in text
+        assert "actual" in text and "predicted" in text
+
+
+class TestRenderGrowthRate:
+    def test_compares_paper_and_calibrated(self):
+        times = np.linspace(1, 6, 24)
+        payload = {
+            "times": times,
+            "paper_rate": 1.4 * np.exp(-1.5 * (times - 1)) + 0.25,
+            "calibrated_rate": 1.2 * np.exp(-1.2 * (times - 1)) + 0.2,
+            "calibrated_parameters": {"amplitude": 1.2, "decay": 1.2, "floor": 0.2},
+        }
+        text = render_growth_rate_comparison(payload)
+        assert "paper r(t)" in text
+        assert "calibrated r(t)" in text

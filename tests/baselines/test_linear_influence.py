@@ -1,0 +1,72 @@
+"""Tests for the Linear-Influence-style counting baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_influence import LinearInfluenceBaseline
+from repro.cascade.density import DensitySurface
+
+
+def linear_growth_surface(hours=10):
+    """Each distance grows by a constant increment per hour (an AR(1) fixed point)."""
+    times = np.arange(1.0, hours + 1.0)
+    increments = np.array([2.0, 1.0, 0.5])
+    values = np.outer(times - 1.0, increments) + np.array([1.0, 0.5, 0.2])
+    return DensitySurface([1, 2, 3], times, values, [1, 1, 1])
+
+
+class TestFit:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            LinearInfluenceBaseline().predict([2.0])
+
+    def test_needs_three_training_times(self):
+        surface = linear_growth_surface()
+        with pytest.raises(ValueError):
+            LinearInfluenceBaseline().fit(surface, training_times=[1.0, 2.0])
+
+    def test_influence_matrix_shape_and_nonnegativity(self):
+        baseline = LinearInfluenceBaseline().fit(linear_growth_surface())
+        matrix = baseline.influence_matrix
+        assert matrix.shape == (3, 3)
+        assert np.all(matrix >= 0.0)
+
+    def test_rejects_negative_ridge(self):
+        with pytest.raises(ValueError):
+            LinearInfluenceBaseline(ridge=-1.0)
+
+
+class TestPredict:
+    def test_extrapolates_constant_increments(self):
+        surface = linear_growth_surface()
+        baseline = LinearInfluenceBaseline(ridge=1e-6).fit(surface, training_times=range(1, 7))
+        predicted = baseline.predict([8.0, 10.0])
+        for t in (8.0, 10.0):
+            assert np.allclose(predicted.profile(t), surface.profile(t), rtol=0.1)
+
+    def test_prediction_monotone_when_increments_positive(self):
+        surface = linear_growth_surface()
+        baseline = LinearInfluenceBaseline().fit(surface)
+        predicted = baseline.predict([11.0, 12.0, 13.0])
+        assert np.all(np.diff(predicted.values, axis=0) >= -1e-9)
+
+    def test_time_at_or_before_training_returns_last_profile(self):
+        surface = linear_growth_surface()
+        baseline = LinearInfluenceBaseline().fit(surface, training_times=range(1, 7))
+        predicted = baseline.predict([6.0])
+        assert np.allclose(predicted.profile(6.0), surface.profile(6.0))
+
+    def test_no_saturation_mechanism(self):
+        """Unlike the DL model, the linear-influence baseline keeps growing --
+        the structural weakness the ablation benchmark exposes."""
+        surface = linear_growth_surface()
+        baseline = LinearInfluenceBaseline(ridge=1e-6).fit(surface)
+        far_future = baseline.predict([60.0])
+        assert far_future.density(1, 60.0) > 2 * surface.max_density
+
+    def test_works_on_synthetic_corpus_surface(self, s1_hop_surface):
+        baseline = LinearInfluenceBaseline().fit(s1_hop_surface)
+        predicted = baseline.predict([7.0, 8.0])
+        assert predicted.values.shape == (2, 5)
+        assert np.all(np.isfinite(predicted.values))
+        assert np.all(predicted.values >= 0.0)

@@ -1,0 +1,68 @@
+"""Tests for the per-distance independent logistic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.logistic import PerDistanceLogisticBaseline
+from repro.cascade.density import DensitySurface
+from repro.numerics.ode import LogisticCurve
+
+
+def logistic_surface(hours=12):
+    """Each distance follows its own exact logistic curve."""
+    times = np.arange(1.0, hours + 1.0)
+    curves = [
+        LogisticCurve(0.8, 20.0, 4.0, initial_time=1.0),
+        LogisticCurve(0.6, 10.0, 2.0, initial_time=1.0),
+        LogisticCurve(0.4, 6.0, 1.0, initial_time=1.0),
+    ]
+    values = np.column_stack([np.asarray(curve(times)) for curve in curves])
+    return DensitySurface([1, 2, 3], times, values, [1, 1, 1])
+
+
+class TestFit:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            PerDistanceLogisticBaseline().predict([2.0])
+
+    def test_fitted_distances(self):
+        baseline = PerDistanceLogisticBaseline().fit(logistic_surface())
+        assert baseline.fitted_distances == [1.0, 2.0, 3.0]
+
+    def test_recovers_exact_logistic_series(self):
+        surface = logistic_surface()
+        baseline = PerDistanceLogisticBaseline().fit(surface, training_times=range(1, 7))
+        predicted = baseline.predict([8.0, 10.0, 12.0])
+        for t in (8.0, 10.0, 12.0):
+            assert np.allclose(predicted.profile(t), surface.profile(t), rtol=0.05)
+
+    def test_zero_series_falls_back_to_constant(self):
+        times = np.arange(1.0, 7.0)
+        values = np.column_stack([np.linspace(1, 5, 6), np.zeros(6)])
+        surface = DensitySurface([1, 2], times, values, [1, 1])
+        baseline = PerDistanceLogisticBaseline().fit(surface)
+        predicted = baseline.predict([10.0])
+        assert predicted.density(2, 10.0) == 0.0
+
+    def test_capacity_cap_respected(self):
+        surface = logistic_surface()
+        baseline = PerDistanceLogisticBaseline(carrying_capacity_cap=30.0).fit(surface)
+        predicted = baseline.predict([100.0])
+        assert np.all(predicted.values <= 30.0 + 1e-6)
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            PerDistanceLogisticBaseline(carrying_capacity_cap=0.0)
+
+    def test_predictions_non_negative_and_unit_preserved(self):
+        surface = logistic_surface()
+        baseline = PerDistanceLogisticBaseline().fit(surface)
+        predicted = baseline.predict([3.0, 20.0])
+        assert np.all(predicted.values >= 0.0)
+        assert predicted.unit == surface.unit
+
+    def test_works_on_synthetic_corpus_surface(self, s1_hop_surface):
+        baseline = PerDistanceLogisticBaseline().fit(s1_hop_surface)
+        predicted = baseline.predict([2.0, 4.0, 6.0])
+        assert predicted.values.shape == (3, 5)
+        assert np.all(np.isfinite(predicted.values))

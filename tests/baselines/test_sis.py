@@ -1,0 +1,87 @@
+"""Tests for the SIS epidemic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sis import SISBaseline, SISParameters, simulate_sis
+from repro.cascade.density import DensitySurface
+
+
+class TestSISParameters:
+    def test_reproduction_number(self):
+        assert SISParameters(0.6, 0.2).basic_reproduction_number == pytest.approx(3.0)
+        assert SISParameters(0.6, 0.0).basic_reproduction_number == float("inf")
+
+    def test_endemic_level(self):
+        assert SISParameters(0.6, 0.2).endemic_level == pytest.approx(2.0 / 3.0)
+        assert SISParameters(0.1, 0.5).endemic_level == 0.0
+        assert SISParameters(0.0, 0.5).endemic_level == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SISParameters(-0.1, 0.2)
+        with pytest.raises(ValueError):
+            SISParameters(0.1, -0.2)
+
+
+class TestSimulateSIS:
+    def test_zero_initial_stays_zero(self):
+        values = simulate_sis(0.0, [0.0, 5.0, 10.0], SISParameters(0.5, 0.1))
+        assert np.allclose(values, 0.0)
+
+    def test_converges_to_endemic_level(self):
+        params = SISParameters(1.0, 0.25)
+        values = simulate_sis(0.05, [0.0, 100.0], params)
+        assert values[-1] == pytest.approx(params.endemic_level, abs=1e-3)
+
+    def test_dies_out_below_threshold(self):
+        params = SISParameters(0.2, 0.8)  # R0 < 1
+        values = simulate_sis(0.3, [0.0, 200.0], params)
+        assert values[-1] == pytest.approx(0.0, abs=1e-3)
+
+    def test_stays_in_unit_interval(self):
+        values = simulate_sis(0.9, np.linspace(0, 50, 100), SISParameters(2.0, 0.1))
+        assert np.all(values >= 0.0)
+        assert np.all(values <= 1.0)
+
+    def test_rejects_bad_initial_fraction(self):
+        with pytest.raises(ValueError):
+            simulate_sis(1.5, [0.0, 1.0], SISParameters(0.5, 0.1))
+
+
+class TestSISBaseline:
+    def _surface(self):
+        times = np.arange(1.0, 9.0)
+        params = SISParameters(0.9, 0.05)
+        series_a = simulate_sis(0.05, times, params) * 100.0
+        series_b = simulate_sis(0.02, times, params) * 100.0
+        values = np.column_stack([series_a, series_b])
+        return DensitySurface([1, 2], times, values, [1, 1])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            SISBaseline().predict([2.0])
+
+    def test_round_trip_on_sis_generated_data(self):
+        surface = self._surface()
+        baseline = SISBaseline(pool_percent=100.0).fit(surface, training_times=range(1, 7))
+        predicted = baseline.predict([7.0, 8.0])
+        for t in (7.0, 8.0):
+            assert np.allclose(predicted.profile(t), surface.profile(t), rtol=0.15, atol=0.5)
+
+    def test_zero_initial_group_predicts_zero(self):
+        times = np.arange(1.0, 7.0)
+        values = np.column_stack([np.linspace(5, 10, 6), np.zeros(6)])
+        surface = DensitySurface([1, 2], times, values, [1, 1])
+        baseline = SISBaseline().fit(surface)
+        assert baseline.predict([10.0]).density(2, 10.0) == 0.0
+
+    def test_rejects_bad_pool(self):
+        with pytest.raises(ValueError):
+            SISBaseline(pool_percent=0.0)
+
+    def test_predictions_bounded_by_pool(self, s1_hop_surface):
+        baseline = SISBaseline(pool_percent=50.0).fit(s1_hop_surface)
+        predicted = baseline.predict([10.0, 30.0])
+        assert np.all(predicted.values <= 50.0 + 1e-6)
+        assert np.all(predicted.values >= 0.0)

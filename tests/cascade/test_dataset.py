@@ -1,0 +1,79 @@
+"""Tests for the CascadeDataset container and its JSON round-trip."""
+
+import pytest
+
+from repro.cascade.dataset import CascadeDataset
+from repro.cascade.events import Story, Vote
+from repro.network.graph import SocialGraph
+
+
+def make_dataset():
+    graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    stories = [
+        Story(0, 0, [Vote(0.0, 0), Vote(1.0, 1), Vote(2.5, 2)]),
+        Story(1, 1, [Vote(0.0, 1), Vote(3.0, 2)]),
+    ]
+    return CascadeDataset(graph, stories)
+
+
+class TestBasics:
+    def test_counts(self):
+        dataset = make_dataset()
+        assert dataset.num_stories == 2
+        assert dataset.num_votes == 5
+
+    def test_story_lookup(self):
+        dataset = make_dataset()
+        assert dataset.story(0).initiator == 0
+        with pytest.raises(KeyError):
+            dataset.story(9)
+
+    def test_story_ids_sorted(self):
+        assert make_dataset().story_ids() == [0, 1]
+
+    def test_duplicate_story_rejected(self):
+        dataset = make_dataset()
+        with pytest.raises(ValueError):
+            dataset.add_story(Story(0, 2))
+
+    def test_stories_by_popularity(self):
+        dataset = make_dataset()
+        popular = dataset.stories_by_popularity()
+        assert popular[0].story_id == 0
+        assert popular[1].story_id == 1
+
+    def test_repr(self):
+        assert "stories=2" in repr(make_dataset())
+
+
+class TestDerivedViews:
+    def test_user_voting_histories(self):
+        histories = make_dataset().user_voting_histories()
+        assert histories[0] == {0}
+        assert histories[1] == {0, 1}
+        assert histories[2] == {0, 1}
+
+
+class TestSerialization:
+    def test_json_round_trip_in_memory(self):
+        dataset = make_dataset()
+        rebuilt = CascadeDataset.from_json_dict(dataset.to_json_dict())
+        assert rebuilt.num_stories == dataset.num_stories
+        assert rebuilt.num_votes == dataset.num_votes
+        assert sorted(rebuilt.graph.edges()) == sorted(dataset.graph.edges())
+        assert rebuilt.story(0).voters == dataset.story(0).voters
+
+    def test_save_and_load(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "corpus.json"
+        dataset.save(path)
+        loaded = CascadeDataset.load(path)
+        assert loaded.num_votes == dataset.num_votes
+        assert loaded.story(1).vote_times() == dataset.story(1).vote_times()
+
+    def test_vote_times_preserved_exactly(self, tmp_path):
+        dataset = make_dataset()
+        path = tmp_path / "corpus.json"
+        dataset.save(path)
+        loaded = CascadeDataset.load(path)
+        assert loaded.story(0).vote_times() == [0.0, 1.0, 2.5]

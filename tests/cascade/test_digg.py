@@ -1,0 +1,141 @@
+"""Tests for the synthetic Digg corpus builder.
+
+These use the small session-scoped corpus from conftest; the assertions are
+about the qualitative structure the corpus must reproduce (Section III-B of
+the paper), not about exact values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascade.digg import (
+    REPRESENTATIVE_STORY_NAMES,
+    REPRESENTATIVE_STORY_VOTES,
+    SyntheticDiggConfig,
+    build_synthetic_digg_dataset,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        SyntheticDiggConfig()
+
+    def test_rejects_tiny_corpus(self):
+        with pytest.raises(ValueError):
+            SyntheticDiggConfig(num_users=10)
+
+    def test_rejects_negative_background(self):
+        with pytest.raises(ValueError):
+            SyntheticDiggConfig(num_background_stories=-1)
+
+    def test_rejects_short_horizon(self):
+        with pytest.raises(ValueError):
+            SyntheticDiggConfig(horizon_hours=0.5)
+
+    def test_paper_vote_counts_recorded(self):
+        assert REPRESENTATIVE_STORY_VOTES["s1"] == 24099
+        assert REPRESENTATIVE_STORY_VOTES["s4"] == 1618
+        assert REPRESENTATIVE_STORY_NAMES == ("s1", "s2", "s3", "s4")
+
+
+class TestCorpusStructure:
+    def test_story_names(self, small_corpus):
+        assert small_corpus.story_names == ("s1", "s2", "s3", "s4")
+
+    def test_total_story_count(self, small_corpus):
+        expected = 4 + small_corpus.config.num_background_stories
+        assert small_corpus.dataset.num_stories == expected
+
+    def test_graph_size_matches_config(self, small_corpus):
+        assert small_corpus.graph.num_users == small_corpus.config.num_users
+
+    def test_unknown_story_name(self, small_corpus):
+        with pytest.raises(KeyError):
+            small_corpus.story("s9")
+
+    def test_popularity_ordering(self, small_corpus):
+        """s1 must be the most popular story and s4 the least popular."""
+        votes = {name: small_corpus.story(name).num_votes for name in REPRESENTATIVE_STORY_NAMES}
+        assert votes["s1"] > votes["s2"]
+        assert votes["s1"] > votes["s3"]
+        assert votes["s2"] > votes["s4"]
+        assert votes["s3"] > votes["s4"]
+
+    def test_caching_returns_same_object(self, small_corpus):
+        again = build_synthetic_digg_dataset(small_corpus.config)
+        assert again is small_corpus
+
+    def test_every_user_identifiable_initiator(self, small_corpus):
+        for name in REPRESENTATIVE_STORY_NAMES:
+            assert small_corpus.graph.has_user(small_corpus.initiator(name))
+
+
+class TestDistanceViews:
+    def test_hop_distance_histogram_peaks_between_2_and_5(self, small_corpus):
+        histogram = small_corpus.hop_distance_histogram("s1", max_distance=10)
+        total = sum(histogram.values())
+        peak = max(histogram, key=histogram.get)
+        assert 2 <= peak <= 5
+        near_mass = sum(histogram.get(d, 0) for d in range(2, 6)) / total
+        assert near_mass > 0.6
+
+    def test_interest_groups_cover_all_labels(self, small_corpus):
+        groups = small_corpus.interest_groups("s1")
+        assert set(groups.values()) == {1, 2, 3, 4, 5}
+
+    def test_interest_groups_cached(self, small_corpus):
+        assert small_corpus.interest_groups("s1") is small_corpus.interest_groups("s1")
+
+    def test_voting_histories_nonempty(self, small_corpus):
+        histories = small_corpus.voting_histories()
+        assert len(histories) > 0.5 * small_corpus.graph.num_users
+        assert all(len(contents) >= 1 for contents in histories.values())
+
+    def test_initiator_has_rich_history(self, small_corpus):
+        histories = small_corpus.voting_histories()
+        assert len(histories[small_corpus.initiator("s1")]) >= 3
+
+
+class TestDensitySurfaces:
+    def test_hop_surface_shape(self, s1_hop_surface, small_corpus):
+        assert s1_hop_surface.values.shape == (int(small_corpus.config.horizon_hours), 5)
+        assert list(s1_hop_surface.distances) == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_hop_surface_monotone_in_time(self, s1_hop_surface):
+        assert s1_hop_surface.is_monotone_in_time()
+
+    def test_densities_evolve_over_time(self, s1_hop_surface):
+        """The paper's first observation: densities grow and then stabilise."""
+        assert s1_hop_surface.values[-1].sum() > s1_hop_surface.values[0].sum()
+
+    def test_distance_one_density_dominates(self, s1_hop_surface):
+        """Direct followers are the most influenced group for s1."""
+        final = s1_hop_surface.values[-1]
+        assert final[0] == max(final)
+
+    def test_interest_surface_decreasing_with_group(self, s1_interest_surface):
+        """Figure 5 pattern: density decreases as interest distance grows."""
+        final = s1_interest_surface.values[-1]
+        assert final[0] == max(final)
+        assert final[0] > final[-1]
+
+    def test_interest_surface_monotone_in_time(self, s1_interest_surface):
+        assert s1_interest_surface.is_monotone_in_time()
+
+    def test_custom_times(self, small_corpus):
+        surface = small_corpus.hop_density_surface("s2", times=[1.0, 6.0, 24.0])
+        assert list(surface.times) == [1.0, 6.0, 24.0]
+
+    def test_popular_story_spreads_faster(self, small_corpus):
+        """By hour 10 the most popular story has reached a larger share of its
+        final audience than the second most popular one (the paper's "popular
+        stories spread faster" observation, s1 vs s2)."""
+        s1 = small_corpus.hop_density_surface("s1")
+        s2 = small_corpus.hop_density_surface("s2")
+
+        def progress(surface):
+            total_final = surface.values[-1].sum()
+            total_early = surface.profile(10.0).sum()
+            return total_early / total_final if total_final > 0 else 0.0
+
+        assert progress(s1) > progress(s2)

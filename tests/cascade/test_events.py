@@ -1,0 +1,69 @@
+"""Tests for Vote and Story record types."""
+
+import pytest
+
+from repro.cascade.events import Story, Vote
+
+
+class TestVote:
+    def test_fields(self):
+        vote = Vote(time=1.5, user=42)
+        assert vote.time == 1.5
+        assert vote.user == 42
+
+    def test_ordering_by_time(self):
+        assert Vote(1.0, 5) < Vote(2.0, 1)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            Vote(time=-0.1, user=1)
+
+    def test_rejects_negative_user(self):
+        with pytest.raises(ValueError):
+            Vote(time=0.0, user=-1)
+
+    def test_is_hashable_and_frozen(self):
+        vote = Vote(1.0, 2)
+        assert hash(vote) == hash(Vote(1.0, 2))
+        with pytest.raises(AttributeError):
+            vote.time = 5.0
+
+
+class TestStory:
+    def _story(self):
+        votes = [Vote(0.0, 0), Vote(2.0, 2), Vote(1.0, 1), Vote(3.0, 1)]
+        return Story(story_id=7, initiator=0, votes=votes)
+
+    def test_votes_sorted_on_construction(self):
+        story = self._story()
+        assert [v.time for v in story.votes] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_num_votes_and_voters(self):
+        story = self._story()
+        assert story.num_votes == 4
+        assert story.voters == {0, 1, 2}
+
+    def test_add_vote_keeps_sorted(self):
+        story = self._story()
+        story.add_vote(Vote(0.5, 9))
+        assert [v.time for v in story.votes] == [0.0, 0.5, 1.0, 2.0, 3.0]
+
+    def test_votes_until(self):
+        story = self._story()
+        assert len(story.votes_until(1.0)) == 2
+        assert story.voters_until(1.0) == {0, 1}
+        assert story.voters_until(0.0) == {0}
+
+    def test_first_vote_time(self):
+        story = self._story()
+        assert story.first_vote_time(1) == 1.0
+        assert story.first_vote_time(99) is None
+
+    def test_vote_times(self):
+        assert self._story().vote_times() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Story(story_id=-1, initiator=0)
+        with pytest.raises(ValueError):
+            Story(story_id=0, initiator=-2)

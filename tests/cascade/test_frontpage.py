@@ -1,0 +1,72 @@
+"""Tests for the front-page promotion model."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.frontpage import FrontPageModel
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        FrontPageModel()
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            FrontPageModel(promotion_threshold=-1)
+        with pytest.raises(ValueError):
+            FrontPageModel(discovery_rate=-1.0)
+        with pytest.raises(ValueError):
+            FrontPageModel(staleness_decay=-0.1)
+
+
+class TestPromotion:
+    def test_threshold(self):
+        model = FrontPageModel(promotion_threshold=10)
+        assert not model.is_promoted(9)
+        assert model.is_promoted(10)
+        assert model.is_promoted(100)
+
+    def test_zero_threshold_promotes_immediately(self):
+        assert FrontPageModel(promotion_threshold=0).is_promoted(0)
+
+
+class TestDiscoveryIntensity:
+    def test_initial_intensity_equals_rate(self):
+        model = FrontPageModel(discovery_rate=40.0, staleness_decay=0.2)
+        assert model.discovery_intensity(0.0) == pytest.approx(40.0)
+
+    def test_decays_exponentially(self):
+        model = FrontPageModel(discovery_rate=40.0, staleness_decay=0.2)
+        assert model.discovery_intensity(5.0) == pytest.approx(40.0 * np.exp(-1.0))
+
+    def test_negative_age_gives_zero(self):
+        model = FrontPageModel(discovery_rate=40.0)
+        assert model.discovery_intensity(-1.0) == 0.0
+
+
+class TestExpectedDiscoveries:
+    def test_integral_matches_intensity(self):
+        model = FrontPageModel(discovery_rate=30.0, staleness_decay=0.5)
+        # Numerical integral of the intensity over [2, 3].
+        ages = np.linspace(2.0, 3.0, 2001)
+        numeric = np.trapezoid([model.discovery_intensity(a) for a in ages], ages)
+        assert model.expected_discoveries(2.0, 1.0) == pytest.approx(numeric, rel=1e-5)
+
+    def test_total_discoveries_converges_to_rate_over_decay(self):
+        model = FrontPageModel(discovery_rate=30.0, staleness_decay=0.5)
+        assert model.expected_discoveries(0.0, 1000.0) == pytest.approx(60.0, rel=1e-6)
+
+    def test_zero_decay_is_linear(self):
+        model = FrontPageModel(discovery_rate=10.0, staleness_decay=0.0)
+        assert model.expected_discoveries(5.0, 2.0) == pytest.approx(20.0)
+
+    def test_zero_or_negative_dt(self):
+        model = FrontPageModel(discovery_rate=10.0)
+        assert model.expected_discoveries(1.0, 0.0) == 0.0
+        assert model.expected_discoveries(1.0, -1.0) == 0.0
+
+    def test_additivity_over_subintervals(self):
+        model = FrontPageModel(discovery_rate=25.0, staleness_decay=0.3)
+        whole = model.expected_discoveries(1.0, 2.0)
+        split = model.expected_discoveries(1.0, 0.7) + model.expected_discoveries(1.7, 1.3)
+        assert whole == pytest.approx(split, rel=1e-9)

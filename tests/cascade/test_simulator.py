@@ -1,0 +1,166 @@
+"""Tests for the stochastic cascade simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.frontpage import FrontPageModel
+from repro.cascade.simulator import CascadeConfig, CascadeSimulator
+from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
+
+
+@pytest.fixture(scope="module")
+def sim_graph():
+    config = DiggLikeGraphConfig(
+        num_users=300,
+        initial_core=5,
+        follows_per_user=2,
+        reciprocity_probability=0.3,
+        triadic_closure_probability=0.15,
+        preferential_fraction=0.5,
+        recent_window=15,
+        seed=11,
+    )
+    return generate_digg_like_graph(config)
+
+
+def default_config(**overrides):
+    defaults = dict(
+        follow_hazard=0.08,
+        reinforcement=0.3,
+        interest_decay=0.2,
+        front_page=FrontPageModel(promotion_threshold=5, discovery_rate=5.0, staleness_decay=0.3),
+        horizon_hours=24.0,
+        time_step=0.5,
+    )
+    defaults.update(overrides)
+    return CascadeConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        CascadeConfig()
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(follow_hazard=-0.1)
+        with pytest.raises(ValueError):
+            CascadeConfig(reinforcement=-0.1)
+        with pytest.raises(ValueError):
+            CascadeConfig(interest_decay=-0.1)
+
+    def test_rejects_bad_horizon_and_step(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(horizon_hours=0.0)
+        with pytest.raises(ValueError):
+            CascadeConfig(time_step=0.0)
+        with pytest.raises(ValueError):
+            CascadeConfig(horizon_hours=1.0, time_step=2.0)
+
+
+class TestSimulation:
+    def test_initiator_votes_at_time_zero(self, sim_graph):
+        simulator = CascadeSimulator(sim_graph, default_config())
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        story = simulator.simulate(0, hub, np.random.default_rng(1))
+        assert story.votes[0].time == 0.0
+        assert story.votes[0].user == hub
+
+    def test_no_duplicate_voters(self, sim_graph):
+        simulator = CascadeSimulator(sim_graph, default_config())
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        story = simulator.simulate(0, hub, np.random.default_rng(2))
+        voters = [vote.user for vote in story.votes]
+        assert len(voters) == len(set(voters))
+
+    def test_votes_within_horizon_and_sorted(self, sim_graph):
+        config = default_config(horizon_hours=12.0)
+        simulator = CascadeSimulator(sim_graph, config)
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        story = simulator.simulate(0, hub, np.random.default_rng(3))
+        times = story.vote_times()
+        assert times == sorted(times)
+        assert max(times) <= 12.0 + 1e-9
+
+    def test_deterministic_given_rng_seed(self, sim_graph):
+        simulator = CascadeSimulator(sim_graph, default_config())
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        first = simulator.simulate(0, hub, np.random.default_rng(42))
+        second = simulator.simulate(0, hub, np.random.default_rng(42))
+        assert [(v.time, v.user) for v in first.votes] == [(v.time, v.user) for v in second.votes]
+
+    def test_unknown_initiator_rejected(self, sim_graph):
+        simulator = CascadeSimulator(sim_graph, default_config())
+        with pytest.raises(KeyError):
+            simulator.simulate(0, 10_000, np.random.default_rng(0))
+
+    def test_zero_hazard_no_front_page_gives_lone_vote(self, sim_graph):
+        config = default_config(
+            follow_hazard=0.0,
+            front_page=FrontPageModel(promotion_threshold=1000, discovery_rate=0.0),
+        )
+        simulator = CascadeSimulator(sim_graph, config)
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        story = simulator.simulate(0, hub, np.random.default_rng(5))
+        assert story.num_votes == 1
+
+    def test_higher_hazard_produces_bigger_cascades(self, sim_graph):
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        small = CascadeSimulator(sim_graph, default_config(follow_hazard=0.01)).simulate(
+            0, hub, np.random.default_rng(6)
+        )
+        large = CascadeSimulator(sim_graph, default_config(follow_hazard=0.25)).simulate(
+            0, hub, np.random.default_rng(6)
+        )
+        assert large.num_votes > small.num_votes
+
+    def test_front_page_lets_disconnected_users_vote(self):
+        """Users unreachable through follower links can still vote once the
+        story is promoted -- the paper's random-walk channel."""
+        from repro.network.graph import SocialGraph
+
+        graph = SocialGraph(50)
+        # Only a tiny follower component around the initiator.
+        graph.add_follow(0, 1)
+        graph.add_follow(0, 2)
+        config = default_config(
+            follow_hazard=2.0,
+            front_page=FrontPageModel(promotion_threshold=2, discovery_rate=20.0, staleness_decay=0.1),
+        )
+        story = CascadeSimulator(graph, config).simulate(0, 0, np.random.default_rng(7))
+        reachable = {0, 1, 2}
+        assert any(vote.user not in reachable for vote in story.votes)
+
+    def test_discovery_bias_changes_who_votes(self, sim_graph):
+        """A strong bias toward a target set should raise that set's share."""
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        config = default_config(
+            follow_hazard=0.0,
+            front_page=FrontPageModel(promotion_threshold=1, discovery_rate=8.0, staleness_decay=0.3),
+        )
+        simulator = CascadeSimulator(sim_graph, config)
+        favoured = set(list(sim_graph.users())[:100]) - {hub}
+        bias = {user: (50.0 if user in favoured else 0.1) for user in sim_graph.users()}
+        story = simulator.simulate(0, hub, np.random.default_rng(8), discovery_bias=bias)
+        voters = story.voters - {hub}
+        assert len(voters) > 5
+        share = len(voters & favoured) / len(voters)
+        assert share > 0.8
+
+    def test_negative_discovery_bias_rejected(self, sim_graph):
+        simulator = CascadeSimulator(sim_graph, default_config())
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        with pytest.raises(ValueError):
+            simulator.simulate(0, hub, np.random.default_rng(9), discovery_bias={hub: -1.0})
+
+    def test_cumulative_votes_monotone_in_time(self, sim_graph):
+        simulator = CascadeSimulator(sim_graph, default_config())
+        hub = max(sim_graph.users(), key=sim_graph.out_degree)
+        story = simulator.simulate(0, hub, np.random.default_rng(10))
+        counts = [len(story.votes_until(t)) for t in range(0, 25)]
+        assert counts == sorted(counts)
+
+    def test_accessors(self, sim_graph):
+        config = default_config()
+        simulator = CascadeSimulator(sim_graph, config)
+        assert simulator.graph is sim_graph
+        assert simulator.config is config

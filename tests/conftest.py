@@ -1,0 +1,90 @@
+"""Shared fixtures for the test-suite.
+
+The expensive fixture is the small synthetic Digg corpus; it is built once
+per test session (and cached by the library's own ``lru_cache`` keyed on the
+configuration), so cascade/core/analysis tests can all share it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
+from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
+from repro.network.graph import SocialGraph
+
+SMALL_CORPUS_CONFIG = SyntheticDiggConfig(
+    num_users=900,
+    num_background_stories=25,
+    horizon_hours=50.0,
+    seed=1234,
+)
+"""A reduced corpus used throughout the tests (fast to build, still realistic)."""
+
+
+@pytest.fixture(scope="session")
+def small_corpus_config() -> SyntheticDiggConfig:
+    """Configuration of the shared test corpus (for tests that need it directly)."""
+    return SMALL_CORPUS_CONFIG
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small synthetic Digg corpus shared by the whole test session."""
+    return build_synthetic_digg_dataset(SMALL_CORPUS_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def s1_hop_surface(small_corpus):
+    """Observed density surface of the most popular story, hop distance."""
+    return small_corpus.hop_density_surface("s1")
+
+
+@pytest.fixture(scope="session")
+def s1_interest_surface(small_corpus):
+    """Observed density surface of the most popular story, interest distance."""
+    return small_corpus.interest_density_surface("s1")
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> SocialGraph:
+    """A small Digg-like follower graph (no cascades)."""
+    config = DiggLikeGraphConfig(
+        num_users=400,
+        initial_core=6,
+        follows_per_user=2,
+        reciprocity_probability=0.3,
+        triadic_closure_probability=0.15,
+        preferential_fraction=0.45,
+        recent_window=20,
+        seed=7,
+    )
+    return generate_digg_like_graph(config)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(20090601)
+
+
+@pytest.fixture()
+def line_graph() -> SocialGraph:
+    """A 6-user directed path 0 -> 1 -> 2 -> 3 -> 4 -> 5 (hand-checkable)."""
+    graph = SocialGraph(6)
+    for user in range(5):
+        graph.add_follow(user, user + 1)
+    return graph
+
+
+@pytest.fixture()
+def triangle_graph() -> SocialGraph:
+    """Three users all following each other plus a pendant follower."""
+    graph = SocialGraph(4)
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                graph.add_follow(a, b)
+    graph.add_follow(2, 3)
+    return graph

@@ -1,0 +1,120 @@
+"""Tests for the prediction-accuracy metric and the table machinery."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.density import DensitySurface
+from repro.core.accuracy import (
+    AccuracyTable,
+    build_accuracy_table,
+    prediction_accuracy,
+    relative_error,
+)
+
+
+class TestScalarMetrics:
+    def test_relative_error_exact(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_relative_error_values(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_prediction_accuracy_is_complement(self):
+        assert prediction_accuracy(9.0, 10.0) == pytest.approx(0.9)
+        assert prediction_accuracy(10.0, 10.0) == 1.0
+
+    def test_prediction_accuracy_clipped_at_zero(self):
+        assert prediction_accuracy(30.0, 10.0) == 0.0
+
+    def test_zero_actual_handled(self):
+        assert prediction_accuracy(1.0, 0.0) == 0.0
+        assert np.isfinite(relative_error(1.0, 0.0))
+
+
+def make_surfaces():
+    distances = [1, 2, 3]
+    times = [1.0, 2.0, 3.0]
+    actual_values = np.array([[10.0, 5.0, 2.0], [12.0, 6.0, 3.0], [14.0, 7.0, 4.0]])
+    predicted_values = np.array([[10.0, 5.0, 2.0], [11.4, 6.6, 3.0], [14.0, 6.3, 5.0]])
+    actual = DensitySurface(distances, times, actual_values, [1, 1, 1])
+    predicted = DensitySurface(distances, times, predicted_values, [1, 1, 1])
+    return predicted, actual
+
+
+class TestBuildAccuracyTable:
+    def test_cell_values(self):
+        predicted, actual = make_surfaces()
+        table = build_accuracy_table(predicted, actual)
+        # Default times: every actual time after the first.
+        assert list(table.times) == [2.0, 3.0]
+        assert table.accuracy(1, 2.0) == pytest.approx(0.95)
+        assert table.accuracy(2, 2.0) == pytest.approx(0.9)
+        assert table.accuracy(3, 3.0) == pytest.approx(0.75)
+        assert table.accuracy(1, 3.0) == pytest.approx(1.0)
+
+    def test_averages(self):
+        predicted, actual = make_surfaces()
+        table = build_accuracy_table(predicted, actual)
+        assert table.row_average(1) == pytest.approx((0.95 + 1.0) / 2)
+        assert table.column_average(2.0) == pytest.approx((0.95 + 0.9 + 1.0) / 3)
+        assert 0.0 <= table.overall_average <= 1.0
+
+    def test_explicit_times_and_distances(self):
+        predicted, actual = make_surfaces()
+        table = build_accuracy_table(predicted, actual, times=[3.0], distances=[1, 3])
+        assert table.accuracies.shape == (2, 1)
+
+    def test_unit_mismatch_rejected(self):
+        predicted, actual = make_surfaces()
+        with pytest.raises(ValueError):
+            build_accuracy_table(predicted.as_unit("fraction"), actual)
+
+    def test_empty_requests_rejected(self):
+        predicted, actual = make_surfaces()
+        with pytest.raises(ValueError):
+            build_accuracy_table(predicted, actual, times=[])
+        with pytest.raises(ValueError):
+            build_accuracy_table(predicted, actual, distances=[])
+
+    def test_metadata_propagates(self):
+        predicted, actual = make_surfaces()
+        table = build_accuracy_table(predicted, actual, metadata={"story": "s1"})
+        assert table.metadata["story"] == "s1"
+
+
+class TestAccuracyTable:
+    def _table(self):
+        return AccuracyTable(
+            distances=[1, 2],
+            times=[2.0, 3.0, 4.0],
+            accuracies=np.array([[0.9, 0.95, 1.0], [0.8, 0.7, 0.6]]),
+        )
+
+    def test_lookups(self):
+        table = self._table()
+        assert table.accuracy(2, 3.0) == pytest.approx(0.7)
+        with pytest.raises(KeyError):
+            table.accuracy(3, 3.0)
+        with pytest.raises(KeyError):
+            table.accuracy(1, 9.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyTable(distances=[1], times=[2.0], accuracies=np.zeros((2, 1)))
+
+    def test_to_rows(self):
+        rows = self._table().to_rows()
+        assert len(rows) == 2
+        assert rows[0]["distance"] == 1.0
+        assert rows[0]["t=2"] == pytest.approx(0.9)
+        assert rows[1]["average"] == pytest.approx(0.7)
+
+    def test_render_contains_percentages(self):
+        text = self._table().render(title="Table I")
+        assert "Table I" in text
+        assert "95.00%" in text
+        assert "Overall average accuracy" in text
+
+    def test_overall_average(self):
+        assert self._table().overall_average == pytest.approx(np.mean([0.9, 0.95, 1.0, 0.8, 0.7, 0.6]))

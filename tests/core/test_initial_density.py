@@ -1,0 +1,97 @@
+"""Tests for the initial density function phi and its requirement checks."""
+
+import numpy as np
+import pytest
+
+from repro.cascade.density import DensitySurface
+from repro.core.initial_density import InitialDensity
+from repro.core.parameters import PAPER_S1_HOP_PARAMETERS, dl_parameters
+
+
+PAPER_LIKE_SNAPSHOT = ([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.5, 1.0])
+"""An hour-1 profile with the convex-ish shape of the paper's s1 data."""
+
+
+class TestConstruction:
+    def test_interpolates_observations(self):
+        distances, densities = PAPER_LIKE_SNAPSHOT
+        phi = InitialDensity(distances, densities)
+        assert np.allclose(phi(np.array(distances, dtype=float)), densities, atol=1e-9)
+
+    def test_bounds(self):
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        assert phi.lower == 1.0
+        assert phi.upper == 5.0
+        assert phi.initial_time == 1.0
+
+    def test_from_surface(self):
+        surface = DensitySurface(
+            distances=[1, 2, 3],
+            times=[1.0, 2.0],
+            values=np.array([[4.0, 2.0, 1.0], [5.0, 3.0, 2.0]]),
+            group_sizes=[5, 5, 5],
+        )
+        phi = InitialDensity.from_surface(surface)
+        assert phi.initial_time == 1.0
+        assert phi(1.0) == pytest.approx(4.0)
+        assert phi(3.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InitialDensity([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            InitialDensity([1], [1.0])
+
+    def test_accessors_return_copies(self):
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        distances = phi.distances
+        distances[0] = 99.0
+        assert phi.distances[0] == 1.0
+
+
+class TestRequirements:
+    def test_requirement_ii_flat_ends(self):
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        left, right = phi.boundary_slopes()
+        assert left == pytest.approx(0.0, abs=1e-9)
+        assert right == pytest.approx(0.0, abs=1e-9)
+
+    def test_requirement_i_twice_differentiable(self):
+        """The second derivative must be continuous across interior knots."""
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        for knot in (2.0, 3.0, 4.0):
+            left = phi.second_derivative(knot - 1e-8)
+            right = phi.second_derivative(knot + 1e-8)
+            assert left == pytest.approx(right, abs=1e-4)
+
+    def test_requirement_iii_lower_solution_with_paper_parameters(self):
+        """With the paper's guidance (K large, d much smaller than r) a
+        mostly convex phi satisfies Equation 6."""
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        report = phi.lower_solution_report(PAPER_S1_HOP_PARAMETERS)
+        assert report.satisfied
+        assert report.min_value >= -report.tolerance
+        assert report.violating_positions == ()
+
+    def test_lower_solution_violated_with_huge_diffusion(self):
+        """If d dominates r the inequality can fail where phi is concave."""
+        phi = InitialDensity([1, 2, 3, 4, 5], [1.0, 6.0, 8.0, 6.0, 1.0])
+        params = dl_parameters(50.0, 0.01, 100.0)
+        report = phi.lower_solution_report(params)
+        assert not report.satisfied
+        assert len(report.violating_positions) > 0
+        assert report.min_value < 0
+
+    def test_default_grid_spans_observations(self):
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        grid = phi.default_grid(points_per_unit=10)
+        assert grid.lower == 1.0
+        assert grid.upper == 5.0
+        assert grid.num_points == 41
+
+    def test_sample_on_grid(self):
+        phi = InitialDensity(*PAPER_LIKE_SNAPSHOT)
+        grid = phi.default_grid()
+        values = phi.sample(grid)
+        assert values.shape == (grid.num_points,)
+        assert np.all(values >= 0.0)

@@ -1,0 +1,134 @@
+"""Tests for DL parameters and growth-rate families."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import (
+    PAPER_S1_HOP_PARAMETERS,
+    PAPER_S1_INTEREST_PARAMETERS,
+    ConstantGrowthRate,
+    DLParameters,
+    ExponentialDecayGrowthRate,
+    SpaceTimeGrowthRate,
+    dl_parameters,
+)
+
+
+class TestConstantGrowthRate:
+    def test_broadcasts_over_positions(self):
+        rate = ConstantGrowthRate(0.7)
+        positions = np.linspace(1, 5, 9)
+        assert np.allclose(rate(positions, 3.0), 0.7)
+
+    def test_at_time(self):
+        assert ConstantGrowthRate(0.3).at_time(100.0) == pytest.approx(0.3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantGrowthRate(-0.1)
+
+
+class TestExponentialDecayGrowthRate:
+    def test_paper_equation_7_values(self):
+        """r(t) = 1.4 exp(-1.5 (t-1)) + 0.25 -- Figure 6 starts at 1.65 and
+        decays towards 0.25."""
+        rate = ExponentialDecayGrowthRate(amplitude=1.4, decay=1.5, floor=0.25)
+        assert rate.scalar(1.0) == pytest.approx(1.65)
+        assert rate.scalar(2.0) == pytest.approx(1.4 * np.exp(-1.5) + 0.25)
+        assert rate.scalar(50.0) == pytest.approx(0.25, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        rate = ExponentialDecayGrowthRate(amplitude=1.6, decay=1.0, floor=0.1)
+        times = np.linspace(1, 20, 50)
+        values = [rate.scalar(t) for t in times]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_vectorised_call(self):
+        rate = ExponentialDecayGrowthRate(amplitude=1.0, decay=1.0, floor=0.0)
+        positions = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(rate(positions, 1.0), 1.0)
+
+    def test_reference_time_shift(self):
+        rate = ExponentialDecayGrowthRate(amplitude=2.0, decay=1.0, floor=0.0, reference_time=5.0)
+        assert rate.scalar(5.0) == pytest.approx(2.0)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            ExponentialDecayGrowthRate(-1.0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            ExponentialDecayGrowthRate(1.0, -1.0, 0.1)
+        with pytest.raises(ValueError):
+            ExponentialDecayGrowthRate(1.0, 1.0, -0.1)
+
+
+class TestSpaceTimeGrowthRate:
+    def test_depends_on_position(self):
+        rate = SpaceTimeGrowthRate(lambda x, t: 0.5 + 0.1 * x)
+        positions = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(rate(positions, 1.0), [0.6, 0.7, 0.8])
+
+    def test_scalar_function_broadcast(self):
+        rate = SpaceTimeGrowthRate(lambda x, t: np.asarray(0.4))
+        positions = np.array([1.0, 2.0])
+        assert np.allclose(rate(positions, 0.0), 0.4)
+
+    def test_negative_values_rejected_at_call(self):
+        rate = SpaceTimeGrowthRate(lambda x, t: x - 10.0)
+        with pytest.raises(ValueError):
+            rate(np.array([1.0]), 0.0)
+
+
+class TestDLParameters:
+    def test_reaction_term(self):
+        params = dl_parameters(0.01, 0.5, 10.0)
+        density = np.array([0.0, 5.0, 10.0])
+        positions = np.array([1.0, 2.0, 3.0])
+        reaction = params.reaction(density, positions, 1.0)
+        assert reaction[0] == pytest.approx(0.0)
+        assert reaction[1] == pytest.approx(0.5 * 5.0 * 0.5)
+        assert reaction[2] == pytest.approx(0.0)
+
+    def test_reaction_with_time_dependent_rate(self):
+        params = PAPER_S1_HOP_PARAMETERS
+        density = np.array([5.0])
+        positions = np.array([1.0])
+        early = params.reaction(density, positions, 1.0)
+        late = params.reaction(density, positions, 6.0)
+        assert early[0] > late[0]
+
+    def test_with_methods_return_copies(self):
+        params = dl_parameters(0.01, 0.5, 10.0)
+        assert params.with_carrying_capacity(20.0).carrying_capacity == 20.0
+        assert params.with_diffusion_rate(0.05).diffusion_rate == 0.05
+        assert params.with_growth_rate(1.0).growth_rate.at_time(0.0) == pytest.approx(1.0)
+        assert params.carrying_capacity == 10.0
+
+    def test_coercion_of_callable_growth_rate(self):
+        params = dl_parameters(0.01, lambda t: 2.0 / t, 10.0)
+        assert params.growth_rate.at_time(4.0) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dl_parameters(0.0, 0.5, 10.0)
+        with pytest.raises(ValueError):
+            dl_parameters(0.01, 0.5, 0.0)
+        with pytest.raises(TypeError):
+            DLParameters(0.01, 0.5, 10.0)  # growth rate must be a GrowthRate object
+
+    def test_coercion_rejects_nonsense(self):
+        with pytest.raises(TypeError):
+            dl_parameters(0.01, "fast", 10.0)
+
+
+class TestPaperParameterSets:
+    def test_hop_parameters(self):
+        params = PAPER_S1_HOP_PARAMETERS
+        assert params.diffusion_rate == pytest.approx(0.01)
+        assert params.carrying_capacity == pytest.approx(25.0)
+        assert params.growth_rate.at_time(1.0) == pytest.approx(1.65)
+
+    def test_interest_parameters(self):
+        params = PAPER_S1_INTEREST_PARAMETERS
+        assert params.diffusion_rate == pytest.approx(0.05)
+        assert params.carrying_capacity == pytest.approx(60.0)
+        assert params.growth_rate.at_time(1.0) == pytest.approx(1.7)

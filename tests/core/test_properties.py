@@ -1,0 +1,103 @@
+"""Tests for the theoretical-property verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.dl_model import DiffusiveLogisticModel, DLSolution
+from repro.core.initial_density import InitialDensity
+from repro.core.parameters import dl_parameters
+from repro.core.properties import (
+    check_solution_bounds,
+    check_strictly_increasing,
+    equilibrium_residual,
+    is_lower_time_independent_solution,
+)
+from repro.numerics.grid import UniformGrid
+from repro.numerics.pde_solver import PDESolution
+
+PARAMS = dl_parameters(0.01, 0.5, 25.0)
+GRID = UniformGrid(1.0, 5.0, 41)
+
+
+def make_fake_solution(states, times=None):
+    times = times if times is not None else np.arange(1.0, 1.0 + len(states))
+    phi = InitialDensity([1, 2, 3, 4, 5], [1.0, 1.0, 1.0, 1.0, 1.0])
+    grid = UniformGrid(1.0, 5.0, states.shape[1])
+    pde = PDESolution(grid=grid, times=np.asarray(times, dtype=float), states=states)
+    return DLSolution(pde_solution=pde, parameters=PARAMS, initial_density=phi)
+
+
+class TestBoundsCheck:
+    def test_accepts_solution_within_bounds(self):
+        states = np.array([[1.0, 2.0, 3.0], [2.0, 3.0, 4.0]])
+        assert check_solution_bounds(make_fake_solution(states))
+
+    def test_rejects_negative_values(self):
+        states = np.array([[1.0, -0.5, 3.0], [2.0, 3.0, 4.0]])
+        assert not check_solution_bounds(make_fake_solution(states))
+
+    def test_rejects_values_above_capacity(self):
+        states = np.array([[1.0, 2.0, 3.0], [2.0, 30.0, 4.0]])
+        assert not check_solution_bounds(make_fake_solution(states))
+
+    def test_tolerance_absorbs_small_overshoot(self):
+        states = np.array([[25.0 + 1e-8, 2.0, 3.0]])
+        assert check_solution_bounds(make_fake_solution(states), tolerance=1e-6)
+
+
+class TestMonotonicityCheck:
+    def test_accepts_increasing(self):
+        states = np.array([[1.0, 2.0], [1.5, 2.5], [2.0, 3.0]])
+        assert check_strictly_increasing(make_fake_solution(states))
+
+    def test_rejects_decreasing(self):
+        states = np.array([[1.0, 2.0], [0.5, 2.5]])
+        assert not check_strictly_increasing(make_fake_solution(states))
+
+    def test_single_snapshot_is_trivially_monotone(self):
+        states = np.array([[1.0, 2.0]])
+        assert check_strictly_increasing(make_fake_solution(states))
+
+
+class TestLowerSolution:
+    def test_zero_is_a_lower_solution(self):
+        values = np.zeros(GRID.num_points)
+        assert is_lower_time_independent_solution(values, GRID, PARAMS)
+
+    def test_small_constant_is_a_lower_solution(self):
+        values = np.full(GRID.num_points, 2.0)
+        assert is_lower_time_independent_solution(values, GRID, PARAMS)
+
+    def test_above_capacity_constant_is_not(self):
+        values = np.full(GRID.num_points, 30.0)
+        assert not is_lower_time_independent_solution(values, GRID, PARAMS)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            is_lower_time_independent_solution(np.zeros(7), GRID, PARAMS)
+
+
+class TestEquilibria:
+    def test_zero_and_capacity_are_equilibria(self):
+        """The uniqueness argument uses I = 0 and I = K as lower/upper solutions."""
+        zero = np.zeros(GRID.num_points)
+        capacity = np.full(GRID.num_points, PARAMS.carrying_capacity)
+        assert equilibrium_residual(zero, GRID, PARAMS) == pytest.approx(0.0, abs=1e-12)
+        assert equilibrium_residual(capacity, GRID, PARAMS) == pytest.approx(0.0, abs=1e-9)
+
+    def test_non_equilibrium_has_residual(self):
+        values = np.full(GRID.num_points, 10.0)
+        assert equilibrium_residual(values, GRID, PARAMS) > 0.1
+
+
+class TestAgainstRealSolve:
+    def test_phi_from_hour_one_is_lower_solution_and_solution_grows(self):
+        phi = InitialDensity([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.5, 1.0])
+        grid = phi.default_grid(10)
+        assert is_lower_time_independent_solution(
+            phi.sample(grid), grid, PARAMS, tolerance=1e-6
+        )
+        model = DiffusiveLogisticModel(PARAMS, points_per_unit=10, max_step=0.05)
+        solution = model.solve(phi, [1.0, 5.0, 10.0])
+        assert check_strictly_increasing(solution)
+        assert check_solution_bounds(solution)

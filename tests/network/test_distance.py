@@ -1,0 +1,128 @@
+"""Tests for friendship-hop distances (BFS) and distance histograms."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.distance import (
+    breadth_first_distances,
+    distance_histogram,
+    friendship_hop_distances,
+    group_users_by_distance,
+)
+from repro.network.graph import SocialGraph
+
+
+class TestBreadthFirstDistances:
+    def test_line_graph_distances(self, line_graph):
+        distances = breadth_first_distances(line_graph, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 5}
+
+    def test_directionality_matters(self, line_graph):
+        # From the end of the chain nothing is reachable.
+        distances = breadth_first_distances(line_graph, 5)
+        assert distances == {5: 0}
+
+    def test_max_distance_truncates(self, line_graph):
+        distances = breadth_first_distances(line_graph, 0, max_distance=2)
+        assert distances == {0: 0, 1: 1, 2: 2}
+
+    def test_max_distance_zero(self, line_graph):
+        assert breadth_first_distances(line_graph, 0, max_distance=0) == {0: 0}
+
+    def test_unknown_source(self, line_graph):
+        with pytest.raises(KeyError):
+            breadth_first_distances(line_graph, 99)
+
+    def test_negative_max_distance(self, line_graph):
+        with pytest.raises(ValueError):
+            breadth_first_distances(line_graph, 0, max_distance=-1)
+
+    def test_shortest_path_taken_when_multiple_routes(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        distances = breadth_first_distances(graph, 0)
+        assert distances[3] == 1
+
+    def test_matches_networkx_shortest_paths(self, small_graph):
+        source = next(iter(small_graph.users()))
+        ours = breadth_first_distances(small_graph, source)
+        nx_lengths = nx.single_source_shortest_path_length(small_graph.to_networkx(), source)
+        assert ours == {int(k): int(v) for k, v in nx_lengths.items()}
+
+
+class TestFriendshipHopDistances:
+    def test_excludes_the_source(self, line_graph):
+        distances = friendship_hop_distances(line_graph, 0)
+        assert 0 not in distances
+        assert distances[1] == 1
+
+    def test_unreachable_users_absent(self):
+        graph = SocialGraph(4)
+        graph.add_follow(0, 1)
+        distances = friendship_hop_distances(graph, 0)
+        assert set(distances) == {1}
+
+
+class TestDistanceHistogram:
+    def test_counts(self):
+        distances = {1: 1, 2: 1, 3: 2, 4: 2, 5: 2, 6: 3}
+        histogram = distance_histogram(distances)
+        assert histogram == {1: 2, 2: 3, 3: 1}
+
+    def test_max_distance_pads_with_zeros(self):
+        histogram = distance_histogram({1: 1, 2: 3}, max_distance=5)
+        assert histogram == {1: 1, 2: 0, 3: 1, 4: 0, 5: 0}
+
+    def test_empty(self):
+        assert distance_histogram({}) == {}
+
+
+class TestGrouping:
+    def test_group_users_by_distance(self):
+        distances = {10: 1, 11: 1, 12: 2, 13: 3}
+        groups = group_users_by_distance(distances)
+        assert groups[1] == {10, 11}
+        assert groups[2] == {12}
+        assert groups[3] == {13}
+
+    def test_explicit_distance_values(self):
+        distances = {10: 1, 11: 2, 12: 7}
+        groups = group_users_by_distance(distances, distance_values=[1, 2, 3])
+        assert groups[3] == set()
+        assert 7 not in groups
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_bfs_matches_networkx_on_random_graphs(edges):
+    graph = SocialGraph.from_edges(edges)
+    source = edges[0][0]
+    ours = breadth_first_distances(graph, source)
+    nx_graph = graph.to_networkx()
+    theirs = nx.single_source_shortest_path_length(nx_graph, source)
+    assert ours == {int(k): int(v) for k, v in theirs.items()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_distances_satisfy_triangle_step_property(edges):
+    """Along any edge u -> v, dist(v) <= dist(u) + 1 whenever u is reachable."""
+    graph = SocialGraph.from_edges(edges)
+    source = edges[0][0]
+    distances = breadth_first_distances(graph, source)
+    for u, v in graph.edges():
+        if u in distances:
+            assert v in distances
+            assert distances[v] <= distances[u] + 1

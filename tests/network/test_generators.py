@@ -1,0 +1,152 @@
+"""Tests for the synthetic follower-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.network.distance import distance_histogram, friendship_hop_distances
+from repro.network.generators import (
+    DiggLikeGraphConfig,
+    generate_digg_like_graph,
+    generate_random_follower_graph,
+    generate_small_world_graph,
+)
+from repro.network.metrics import average_clustering_coefficient, reciprocity
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        DiggLikeGraphConfig()
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(num_users=1)
+
+    def test_rejects_core_larger_than_graph(self):
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(num_users=10, initial_core=20)
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(reciprocity_probability=1.5)
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(triadic_closure_probability=-0.1)
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(preferential_fraction=2.0)
+
+    def test_rejects_zero_follows(self):
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(follows_per_user=0)
+
+    def test_rejects_zero_recent_window(self):
+        with pytest.raises(ValueError):
+            DiggLikeGraphConfig(recent_window=0)
+
+
+class TestDiggLikeGraph:
+    CONFIG = DiggLikeGraphConfig(
+        num_users=500,
+        initial_core=6,
+        follows_per_user=2,
+        reciprocity_probability=0.3,
+        triadic_closure_probability=0.15,
+        preferential_fraction=0.45,
+        recent_window=20,
+        seed=3,
+    )
+
+    def test_expected_size(self):
+        graph = generate_digg_like_graph(self.CONFIG)
+        assert graph.num_users == 500
+        assert graph.num_edges > 500
+
+    def test_deterministic_given_seed(self):
+        first = generate_digg_like_graph(self.CONFIG)
+        second = generate_digg_like_graph(self.CONFIG)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_different_seed_differs(self):
+        other = DiggLikeGraphConfig(
+            num_users=500,
+            initial_core=6,
+            follows_per_user=2,
+            reciprocity_probability=0.3,
+            triadic_closure_probability=0.15,
+            preferential_fraction=0.45,
+            recent_window=20,
+            seed=4,
+        )
+        first = generate_digg_like_graph(self.CONFIG)
+        second = generate_digg_like_graph(other)
+        assert sorted(first.edges()) != sorted(second.edges())
+
+    def test_heavy_tailed_audience(self):
+        """A few hub users should have out-degree far above the average."""
+        graph = generate_digg_like_graph(self.CONFIG)
+        degrees = np.array([graph.out_degree(u) for u in graph.users()])
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_reciprocity_is_substantial(self):
+        graph = generate_digg_like_graph(self.CONFIG)
+        assert reciprocity(graph) > 0.1
+
+    def test_clustering_present(self):
+        graph = generate_digg_like_graph(self.CONFIG)
+        assert average_clustering_coefficient(graph, sample_size=150) > 0.01
+
+    def test_hub_reaches_most_users_within_few_hops(self):
+        """Figure 2 shape: the bulk of users sit within 2-5 hops of a hub."""
+        graph = generate_digg_like_graph(self.CONFIG)
+        hub = max(graph.users(), key=graph.out_degree)
+        distances = friendship_hop_distances(graph, hub)
+        assert len(distances) > 0.9 * graph.num_users
+        histogram = distance_histogram(distances, max_distance=10)
+        total = sum(histogram.values())
+        near = sum(histogram.get(d, 0) for d in range(2, 6))
+        assert near / total > 0.7
+
+    def test_core_is_densely_connected(self):
+        graph = generate_digg_like_graph(self.CONFIG)
+        for a in range(self.CONFIG.initial_core):
+            for b in range(self.CONFIG.initial_core):
+                if a != b:
+                    assert graph.has_edge(a, b)
+
+
+class TestRandomFollowerGraph:
+    def test_edge_count_matches_probability(self):
+        graph = generate_random_follower_graph(200, 0.05, seed=1)
+        expected = 200 * 199 * 0.05
+        assert abs(graph.num_edges - expected) < 0.25 * expected
+
+    def test_no_self_loops(self):
+        graph = generate_random_follower_graph(50, 0.2, seed=2)
+        assert all(source != target for source, target in graph.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_random_follower_graph(1, 0.5)
+        with pytest.raises(ValueError):
+            generate_random_follower_graph(10, 1.5)
+
+
+class TestSmallWorldGraph:
+    def test_every_user_connected(self):
+        graph = generate_small_world_graph(60, neighbours=4, rewiring_probability=0.1, seed=5)
+        for user in graph.users():
+            assert graph.out_degree(user) + graph.in_degree(user) > 0
+
+    def test_zero_rewiring_is_ring_lattice(self):
+        graph = generate_small_world_graph(20, neighbours=2, rewiring_probability=0.0, seed=0)
+        for user in range(20):
+            assert graph.has_edge(user, (user + 1) % 20)
+            assert graph.has_edge((user + 1) % 20, user)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_small_world_graph(3, neighbours=2)
+        with pytest.raises(ValueError):
+            generate_small_world_graph(20, neighbours=3)
+        with pytest.raises(ValueError):
+            generate_small_world_graph(20, neighbours=22)
+        with pytest.raises(ValueError):
+            generate_small_world_graph(20, neighbours=4, rewiring_probability=1.5)

@@ -1,0 +1,126 @@
+"""Tests for the SocialGraph container."""
+
+import numpy as np
+import pytest
+
+from repro.network.graph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = SocialGraph()
+        assert graph.num_users == 0
+        assert graph.num_edges == 0
+
+    def test_pre_sized_graph(self):
+        graph = SocialGraph(5)
+        assert graph.num_users == 5
+        assert set(graph.users()) == set(range(5))
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            SocialGraph(-1)
+
+    def test_add_user_auto_id(self):
+        graph = SocialGraph(3)
+        new_id = graph.add_user()
+        assert new_id == 3
+        assert graph.has_user(3)
+
+    def test_add_user_explicit_id(self):
+        graph = SocialGraph()
+        graph.add_user(10)
+        assert graph.has_user(10)
+        assert not graph.has_user(3)
+
+    def test_add_user_idempotent(self):
+        graph = SocialGraph(2)
+        graph.add_follow(0, 1)
+        graph.add_user(0)
+        assert graph.num_edges == 1
+
+    def test_add_user_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            SocialGraph().add_user(-3)
+
+    def test_from_edges(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        assert graph.num_users == 3
+        assert graph.num_edges == 3
+
+
+class TestEdges:
+    def test_follow_direction(self):
+        graph = SocialGraph(2)
+        graph.add_follow(0, 1)  # 1 follows 0: information flows 0 -> 1
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+        assert 1 in graph.followers(0)
+        assert 0 in graph.followees(1)
+
+    def test_degrees(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2), (3, 0)])
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(0) == 1
+        assert graph.out_degree(3) == 1
+        assert graph.in_degree(1) == 1
+
+    def test_duplicate_edges_ignored(self):
+        graph = SocialGraph(2)
+        graph.add_follow(0, 1)
+        graph.add_follow(0, 1)
+        assert graph.num_edges == 1
+
+    def test_self_follow_rejected(self):
+        with pytest.raises(ValueError):
+            SocialGraph(2).add_follow(1, 1)
+
+    def test_add_edge_alias(self):
+        graph = SocialGraph(2)
+        graph.add_edge(0, 1)
+        assert graph.has_edge(0, 1)
+
+    def test_edges_iterator(self):
+        edges = [(0, 1), (1, 2), (2, 0)]
+        graph = SocialGraph.from_edges(edges)
+        assert sorted(graph.edges()) == sorted(edges)
+
+    def test_unknown_user_raises(self):
+        graph = SocialGraph(2)
+        with pytest.raises(KeyError):
+            graph.followers(5)
+        with pytest.raises(KeyError):
+            graph.out_degree(5)
+
+    def test_followers_returns_frozenset(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        assert isinstance(graph.followers(0), frozenset)
+
+
+class TestInterop:
+    def test_networkx_round_trip(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_users
+        assert nx_graph.number_of_edges() == graph.num_edges
+        back = SocialGraph.from_networkx(nx_graph)
+        assert sorted(back.edges()) == sorted(graph.edges())
+
+    def test_adjacency_matrix(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        matrix = graph.adjacency_matrix()
+        expected = np.array([[0, 1, 0], [0, 0, 1], [0, 0, 0]])
+        assert np.array_equal(matrix, expected)
+
+    def test_subgraph(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3), (0, 3)])
+        sub = graph.subgraph([0, 1, 3])
+        assert sub.num_users == 3
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(0, 3)
+        assert not sub.has_edge(2, 3)
+
+    def test_repr(self):
+        graph = SocialGraph.from_edges([(0, 1)])
+        assert "num_users=2" in repr(graph)
+        assert "num_edges=1" in repr(graph)

@@ -1,0 +1,157 @@
+"""Tests for the shared-interest distance metric (Equation 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.interests import (
+    build_user_contents,
+    interest_distance,
+    interest_distance_groups,
+    interest_distances_from_source,
+)
+
+
+class TestInterestDistance:
+    def test_identical_sets(self):
+        assert interest_distance({1, 2, 3}, {1, 2, 3}) == 0.0
+
+    def test_disjoint_sets(self):
+        assert interest_distance({1, 2}, {3, 4}) == 1.0
+
+    def test_partial_overlap(self):
+        # |intersection| = 1, |union| = 3 -> distance = 1 - 1/3
+        assert interest_distance({1, 2}, {2, 3}) == pytest.approx(2.0 / 3.0)
+
+    def test_both_empty(self):
+        assert interest_distance(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert interest_distance({1, 2}, set()) == 1.0
+
+    def test_subset(self):
+        assert interest_distance({1, 2, 3, 4}, {1, 2}) == pytest.approx(0.5)
+
+    def test_paper_example_values(self):
+        # Two users sharing 3 of 10 distinct stories.
+        a = set(range(7))
+        b = set(range(4, 11))
+        assert interest_distance(a, b) == pytest.approx(1 - 3 / 11)
+
+
+class TestDistancesFromSource:
+    def test_excludes_source(self):
+        contents = {0: {1, 2}, 1: {1}, 2: {3}}
+        distances = interest_distances_from_source(0, contents)
+        assert set(distances) == {1, 2}
+        assert distances[1] == pytest.approx(0.5)
+        assert distances[2] == 1.0
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            interest_distances_from_source(9, {0: {1}})
+
+
+class TestGrouping:
+    def test_group_labels_increase_with_distance(self):
+        distances = {user: user / 10.0 for user in range(10)}
+        groups = interest_distance_groups(distances, num_groups=5)
+        # Users sorted by distance; closer users get smaller labels.
+        assert groups[0] == 1
+        assert groups[9] == 5
+        for user in range(9):
+            assert groups[user] <= groups[user + 1]
+
+    def test_equal_population_binning(self):
+        distances = {user: user / 100.0 for user in range(100)}
+        groups = interest_distance_groups(distances, num_groups=5)
+        sizes = [list(groups.values()).count(g) for g in range(1, 6)]
+        assert sizes == [20, 20, 20, 20, 20]
+
+    def test_no_group_is_empty_even_with_ties(self):
+        distances = {user: 1.0 for user in range(50)}
+        groups = interest_distance_groups(distances, num_groups=5)
+        assert set(groups.values()) == {1, 2, 3, 4, 5}
+
+    def test_fewer_users_than_groups(self):
+        distances = {1: 0.2, 2: 0.8}
+        groups = interest_distance_groups(distances, num_groups=5)
+        assert groups[1] == 1
+        assert groups[2] == 2
+
+    def test_explicit_boundaries(self):
+        distances = {1: 0.1, 2: 0.3, 3: 0.5, 4: 0.9}
+        groups = interest_distance_groups(
+            distances, num_groups=4, boundaries=[0.25, 0.5, 0.75, 1.0]
+        )
+        assert groups == {1: 1, 2: 2, 3: 2, 4: 4}
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            interest_distance_groups({1: 0.5}, num_groups=3, boundaries=[0.5, 0.4, 1.0])
+        with pytest.raises(ValueError):
+            interest_distance_groups({1: 0.5}, num_groups=3, boundaries=[0.5, 1.0])
+
+    def test_empty_input(self):
+        assert interest_distance_groups({}, num_groups=5) == {}
+
+    def test_rejects_out_of_range_distances(self):
+        with pytest.raises(ValueError):
+            interest_distance_groups({1: 1.5}, num_groups=3)
+
+    def test_rejects_zero_groups(self):
+        with pytest.raises(ValueError):
+            interest_distance_groups({1: 0.5}, num_groups=0)
+
+    def test_deterministic_assignment(self):
+        distances = {user: (user * 37 % 11) / 11.0 for user in range(40)}
+        first = interest_distance_groups(distances, num_groups=5)
+        second = interest_distance_groups(dict(reversed(list(distances.items()))), num_groups=5)
+        assert first == second
+
+
+class TestBuildUserContents:
+    def test_builds_sets(self):
+        votes = [(1, 100), (1, 101), (2, 100), (1, 100)]
+        contents = build_user_contents(votes)
+        assert contents == {1: {100, 101}, 2: {100}}
+
+    def test_empty(self):
+        assert build_user_contents([]) == {}
+
+
+# ------------------------------------------------------------------------- #
+# Property-based tests: Equation 1 is a proper dissimilarity on sets.
+# ------------------------------------------------------------------------- #
+set_strategy = st.sets(st.integers(0, 30), max_size=15)
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=set_strategy, b=set_strategy)
+def test_distance_is_symmetric(a, b):
+    assert interest_distance(a, b) == pytest.approx(interest_distance(b, a))
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=set_strategy, b=set_strategy)
+def test_distance_is_bounded(a, b):
+    value = interest_distance(a, b)
+    assert 0.0 <= value <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=set_strategy)
+def test_distance_to_self_is_zero_for_nonempty(a):
+    if a:
+        assert interest_distance(a, a) == 0.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=set_strategy, b=set_strategy, c=set_strategy)
+def test_jaccard_distance_triangle_inequality(a, b, c):
+    """The Jaccard distance is a metric, so the triangle inequality holds."""
+    if not (a or b or c):
+        return
+    ab = interest_distance(a, b)
+    bc = interest_distance(b, c)
+    ac = interest_distance(a, c)
+    assert ac <= ab + bc + 1e-12

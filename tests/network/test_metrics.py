@@ -1,0 +1,76 @@
+"""Tests for graph structural metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.network.graph import SocialGraph
+from repro.network.metrics import (
+    average_clustering_coefficient,
+    degree_histogram,
+    reachable_fraction,
+    reciprocity,
+    triad_count,
+)
+
+
+class TestDegreeHistogram:
+    def test_out_degrees(self, triangle_graph):
+        histogram = degree_histogram(triangle_graph, direction="out")
+        # Users 0 and 1 have out-degree 2; user 2 has 3; user 3 has 0.
+        assert histogram == {0: 1, 2: 2, 3: 1}
+
+    def test_in_degrees(self, triangle_graph):
+        histogram = degree_histogram(triangle_graph, direction="in")
+        assert histogram == {1: 1, 2: 3}
+
+    def test_bad_direction(self, triangle_graph):
+        with pytest.raises(ValueError):
+            degree_histogram(triangle_graph, direction="sideways")
+
+
+class TestReciprocity:
+    def test_fully_reciprocal_triangle(self, triangle_graph):
+        # 6 of the 7 edges are reciprocated (the pendant edge is not).
+        assert reciprocity(triangle_graph) == pytest.approx(6 / 7)
+
+    def test_one_way_chain(self, line_graph):
+        assert reciprocity(line_graph) == 0.0
+
+    def test_empty_graph(self):
+        assert reciprocity(SocialGraph(3)) == 0.0
+
+
+class TestClustering:
+    def test_triangle_has_high_clustering(self, triangle_graph):
+        assert average_clustering_coefficient(triangle_graph) > 0.4
+
+    def test_chain_has_zero_clustering(self, line_graph):
+        assert average_clustering_coefficient(line_graph) == 0.0
+
+    def test_empty_graph(self):
+        assert average_clustering_coefficient(SocialGraph()) == 0.0
+
+    def test_matches_networkx_on_undirected_projection(self, small_graph):
+        ours = average_clustering_coefficient(small_graph)
+        undirected = small_graph.to_networkx().to_undirected()
+        theirs = nx.average_clustering(undirected)
+        assert ours == pytest.approx(theirs, abs=0.02)
+
+
+class TestTriads:
+    def test_triangle_count(self, triangle_graph):
+        assert triad_count(triangle_graph) == 1
+
+    def test_chain_has_no_triangles(self, line_graph):
+        assert triad_count(line_graph) == 0
+
+
+class TestReachability:
+    def test_chain_from_head(self, line_graph):
+        assert reachable_fraction(line_graph, 0) == 1.0
+
+    def test_chain_from_tail(self, line_graph):
+        assert reachable_fraction(line_graph, 5) == 0.0
+
+    def test_single_user_graph(self):
+        assert reachable_fraction(SocialGraph(1), 0) == 0.0

@@ -1,0 +1,140 @@
+"""Tests for the Neumann-boundary finite-difference operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.finite_difference import (
+    NeumannLaplacian,
+    laplacian_matrix,
+    second_derivative,
+)
+from repro.numerics.grid import UniformGrid
+
+
+class TestLaplacianMatrix:
+    def test_shape_and_symmetric_stencil(self):
+        matrix = laplacian_matrix(5, 1.0)
+        assert matrix.shape == (5, 5)
+        assert matrix[2, 1] == 1.0
+        assert matrix[2, 2] == -2.0
+        assert matrix[2, 3] == 1.0
+
+    def test_neumann_rows(self):
+        matrix = laplacian_matrix(4, 0.5)
+        inv_h2 = 4.0
+        assert matrix[0, 0] == pytest.approx(-2.0 * inv_h2)
+        assert matrix[0, 1] == pytest.approx(2.0 * inv_h2)
+        assert matrix[-1, -1] == pytest.approx(-2.0 * inv_h2)
+        assert matrix[-1, -2] == pytest.approx(2.0 * inv_h2)
+
+    def test_constant_vector_in_null_space(self):
+        matrix = laplacian_matrix(12, 0.3)
+        constant = np.full(12, 3.7)
+        assert np.allclose(matrix @ constant, 0.0, atol=1e-10)
+
+    def test_row_sums_are_zero(self):
+        matrix = laplacian_matrix(9, 0.25)
+        assert np.allclose(matrix.sum(axis=1), 0.0, atol=1e-10)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            laplacian_matrix(1, 0.1)
+        with pytest.raises(ValueError):
+            laplacian_matrix(5, 0.0)
+        with pytest.raises(ValueError):
+            laplacian_matrix(5, -1.0)
+
+
+class TestSecondDerivative:
+    def test_matches_matrix_application(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=17)
+        spacing = 0.37
+        matrix = laplacian_matrix(17, spacing)
+        assert np.allclose(second_derivative(values, spacing), matrix @ values)
+
+    def test_quadratic_interior_exact(self):
+        # u = x^2 has u'' = 2 everywhere; the centred stencil is exact on the
+        # interior nodes for quadratics.
+        grid = UniformGrid(0.0, 2.0, 21)
+        values = grid.nodes**2
+        result = second_derivative(values, grid.spacing)
+        assert np.allclose(result[1:-1], 2.0, atol=1e-9)
+
+    def test_cosine_mode_convergence(self):
+        # u = cos(pi x) satisfies the Neumann conditions on [0, 1]; the
+        # discrete Laplacian should converge to -pi^2 cos(pi x) at second order.
+        errors = []
+        for num_points in (21, 41, 81):
+            grid = UniformGrid(0.0, 1.0, num_points)
+            values = np.cos(np.pi * grid.nodes)
+            exact = -np.pi**2 * np.cos(np.pi * grid.nodes)
+            approx = second_derivative(values, grid.spacing)
+            errors.append(np.max(np.abs(approx - exact)))
+        # Halving h should reduce the error by about a factor of four.
+        assert errors[1] < errors[0] / 3.0
+        assert errors[2] < errors[1] / 3.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            second_derivative(np.array([1.0]), 0.1)
+        with pytest.raises(ValueError):
+            second_derivative(np.array([[1.0, 2.0]]), 0.1)
+        with pytest.raises(ValueError):
+            second_derivative(np.array([1.0, 2.0]), -0.5)
+
+
+class TestNeumannLaplacian:
+    def test_matrix_is_cached(self):
+        operator = NeumannLaplacian(UniformGrid(0.0, 1.0, 11))
+        assert operator.matrix is operator.matrix
+
+    def test_apply_matches_matrix(self, rng):
+        grid = UniformGrid(1.0, 5.0, 33)
+        operator = NeumannLaplacian(grid)
+        values = rng.normal(size=grid.num_points)
+        assert np.allclose(operator.apply(values), operator.matrix @ values)
+
+    def test_call_is_apply(self, rng):
+        grid = UniformGrid(1.0, 5.0, 9)
+        operator = NeumannLaplacian(grid)
+        values = rng.normal(size=grid.num_points)
+        assert np.allclose(operator(values), operator.apply(values))
+
+    def test_rejects_wrong_length(self):
+        operator = NeumannLaplacian(UniformGrid(0.0, 1.0, 11))
+        with pytest.raises(ValueError):
+            operator.apply(np.zeros(10))
+
+    def test_grid_accessor(self):
+        grid = UniformGrid(0.0, 1.0, 11)
+        assert NeumannLaplacian(grid).grid is grid
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_points=st.integers(3, 40),
+    spacing=st.floats(0.01, 2.0),
+    offset=st.floats(-50, 50),
+)
+def test_constant_shift_invariance(num_points, spacing, offset):
+    """The Laplacian of u + c equals the Laplacian of u (discrete version)."""
+    rng = np.random.default_rng(42)
+    values = rng.normal(size=num_points)
+    base = second_derivative(values, spacing)
+    shifted = second_derivative(values + offset, spacing)
+    assert np.allclose(base, shifted, atol=1e-6 / spacing**2 + 1e-8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(num_points=st.integers(3, 30), spacing=st.floats(0.05, 1.0))
+def test_discrete_integral_is_conserved(num_points, spacing):
+    """No-flux boundaries conserve the discrete mean under the half-weighted
+    trapezoid quadrature (endpoints carry half weight)."""
+    rng = np.random.default_rng(7)
+    values = rng.normal(size=num_points)
+    flux = second_derivative(values, spacing)
+    weights = np.ones(num_points)
+    weights[0] = weights[-1] = 0.5
+    assert np.dot(weights, flux) == pytest.approx(0.0, abs=1e-7 / spacing**2)

@@ -1,0 +1,142 @@
+"""Tests for the time-stepping schemes."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.finite_difference import laplacian_matrix
+from repro.numerics.integrators import (
+    CrankNicolsonIntegrator,
+    ExplicitEulerIntegrator,
+    RungeKutta4Integrator,
+    make_integrator,
+)
+
+ALL_INTEGRATORS = [ExplicitEulerIntegrator(), RungeKutta4Integrator(), CrankNicolsonIntegrator()]
+
+
+def zero_reaction(u, t):
+    return np.zeros_like(u)
+
+
+def _integrate(integrator, state, diffusion_matrix, reaction, dt, t_end):
+    time = 0.0
+    integrator.prepare(diffusion_matrix, dt)
+    while time < t_end - 1e-12:
+        step = min(dt, t_end - time)
+        step = integrator.suggested_dt(diffusion_matrix, step)
+        state = integrator.step(state, time, step, diffusion_matrix, reaction)
+        time += step
+    return state
+
+
+class TestScalarDecay:
+    """du/dt = -u has the exact solution u0 * exp(-t)."""
+
+    diffusion = np.array([[-1.0]])
+
+    @pytest.mark.parametrize("integrator", ALL_INTEGRATORS, ids=lambda i: i.name)
+    def test_converges_to_exponential(self, integrator):
+        state = np.array([2.0])
+        result = _integrate(integrator, state, self.diffusion, zero_reaction, 0.01, 1.0)
+        assert result[0] == pytest.approx(2.0 * np.exp(-1.0), rel=1e-2)
+
+    def test_rk4_is_much_more_accurate_than_euler(self):
+        state = np.array([1.0])
+        euler = _integrate(ExplicitEulerIntegrator(), state, self.diffusion, zero_reaction, 0.1, 1.0)
+        rk4 = _integrate(RungeKutta4Integrator(), state, self.diffusion, zero_reaction, 0.1, 1.0)
+        exact = np.exp(-1.0)
+        assert abs(rk4[0] - exact) < abs(euler[0] - exact) / 50
+
+
+class TestReactionOnly:
+    """Pure logistic reaction with no diffusion matrix coupling."""
+
+    diffusion = np.zeros((3, 3))
+
+    @staticmethod
+    def logistic_reaction(u, t):
+        return 0.8 * u * (1.0 - u / 10.0)
+
+    @pytest.mark.parametrize("integrator", ALL_INTEGRATORS, ids=lambda i: i.name)
+    def test_matches_analytic_logistic(self, integrator):
+        state = np.array([1.0, 2.0, 5.0])
+        result = _integrate(integrator, state, self.diffusion, self.logistic_reaction, 0.02, 3.0)
+        expected = 10.0 / (1.0 + (10.0 / state - 1.0) * np.exp(-0.8 * 3.0))
+        assert np.allclose(result, expected, rtol=5e-3)
+
+
+class TestDiffusionMode:
+    """Heat equation on [0, 1] with Neumann BCs: the cos(pi x) mode decays
+    at rate d * pi^2 (up to spatial discretisation error)."""
+
+    def _setup(self, num_points=41):
+        spacing = 1.0 / (num_points - 1)
+        nodes = np.linspace(0, 1, num_points)
+        d = 0.05
+        matrix = d * laplacian_matrix(num_points, spacing)
+        initial = np.cos(np.pi * nodes) + 1.0
+        return matrix, nodes, initial, d
+
+    @pytest.mark.parametrize(
+        "integrator",
+        [RungeKutta4Integrator(), CrankNicolsonIntegrator()],
+        ids=lambda i: i.name,
+    )
+    def test_mode_decay_rate(self, integrator):
+        matrix, nodes, initial, d = self._setup()
+        t_end = 2.0
+        result = _integrate(integrator, initial, matrix, zero_reaction, 0.01, t_end)
+        expected = np.cos(np.pi * nodes) * np.exp(-d * np.pi**2 * t_end) + 1.0
+        assert np.allclose(result, expected, atol=5e-3)
+
+    def test_crank_nicolson_stable_at_large_steps(self):
+        """CN stays bounded at step sizes where explicit Euler explodes."""
+        matrix, nodes, initial, _ = self._setup(num_points=101)
+        dt = 0.5  # far above the explicit stability limit for h = 0.01
+        cn = CrankNicolsonIntegrator()
+        state = initial.copy()
+        cn.prepare(matrix, dt)
+        for step_index in range(10):
+            state = cn.step(state, step_index * dt, dt, matrix, zero_reaction)
+        assert np.all(np.isfinite(state))
+        assert np.max(np.abs(state)) <= np.max(np.abs(initial)) + 1e-6
+
+    def test_explicit_euler_suggested_dt_respects_stability(self):
+        matrix, _, _, _ = self._setup(num_points=101)
+        euler = ExplicitEulerIntegrator()
+        suggested = euler.suggested_dt(matrix, 1.0)
+        max_diag = np.max(np.abs(np.diag(matrix)))
+        assert suggested <= 1.0 / max_diag
+
+
+class TestCrankNicolsonDetails:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            CrankNicolsonIntegrator(max_picard_iterations=0)
+        with pytest.raises(ValueError):
+            CrankNicolsonIntegrator(tolerance=0.0)
+
+    def test_factorisation_reused_for_same_matrix_and_dt(self):
+        cn = CrankNicolsonIntegrator()
+        matrix = laplacian_matrix(11, 0.1)
+        cn.prepare(matrix, 0.05)
+        first = cn._lhs_factor
+        cn.step(np.zeros(11), 0.0, 0.05, matrix, zero_reaction)
+        assert cn._lhs_factor is first
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("explicit_euler", ExplicitEulerIntegrator),
+            ("rk4", RungeKutta4Integrator),
+            ("crank_nicolson", CrankNicolsonIntegrator),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_integrator(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_integrator("leapfrog")

@@ -1,0 +1,127 @@
+"""Tests for the logistic ODE utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.ode import LogisticCurve, fit_logistic_curve, solve_logistic_ode
+
+
+class TestLogisticCurve:
+    def test_initial_value_respected(self):
+        curve = LogisticCurve(0.5, 10.0, 2.0, initial_time=1.0)
+        assert curve(1.0) == pytest.approx(2.0)
+
+    def test_monotone_increasing_towards_capacity(self):
+        curve = LogisticCurve(0.8, 10.0, 1.0)
+        times = np.linspace(0, 20, 100)
+        values = curve(times)
+        assert np.all(np.diff(values) > 0)
+        assert values[-1] < 10.0
+        assert values[-1] == pytest.approx(10.0, abs=1e-3)
+
+    def test_satisfies_the_ode(self):
+        curve = LogisticCurve(0.7, 12.0, 3.0)
+        h = 1e-6
+        for t in (0.5, 2.0, 5.0):
+            numeric = (curve(t + h) - curve(t - h)) / (2 * h)
+            assert curve.derivative(t) == pytest.approx(numeric, rel=1e-5)
+
+    def test_above_capacity_decays_to_capacity(self):
+        curve = LogisticCurve(0.5, 10.0, 15.0)
+        assert curve(30.0) == pytest.approx(10.0, abs=1e-4)
+        assert curve(1.0) < 15.0
+
+    def test_inflection_at_half_capacity(self):
+        curve = LogisticCurve(0.9, 10.0, 0.5)
+        assert curve(curve.inflection_time) == pytest.approx(5.0, rel=1e-9)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogisticCurve(0.5, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogisticCurve(0.5, 10.0, 0.0)
+
+
+class TestSolveLogisticODE:
+    def test_matches_analytic_solution_constant_rate(self):
+        times = np.linspace(1.0, 10.0, 19)
+        numeric = solve_logistic_ode(2.0, times, growth_rate=0.6, carrying_capacity=15.0)
+        analytic = LogisticCurve(0.6, 15.0, 2.0, initial_time=1.0)(times)
+        assert np.allclose(numeric, analytic, rtol=1e-6)
+
+    def test_time_dependent_rate_slows_growth(self):
+        times = np.linspace(1.0, 10.0, 10)
+        constant = solve_logistic_ode(1.0, times, 1.0, 20.0)
+        decaying = solve_logistic_ode(1.0, times, lambda t: np.exp(-(t - 1.0)), 20.0)
+        assert decaying[-1] < constant[-1]
+
+    def test_paper_growth_rate_function(self):
+        def rate(t):
+            return 1.4 * np.exp(-1.5 * (t - 1.0)) + 0.25
+
+        times = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        values = solve_logistic_ode(5.0, times, rate, 25.0)
+        assert values[0] == 5.0
+        assert np.all(np.diff(values) > 0)
+        assert values[-1] < 25.0
+
+    def test_zero_span_repeats_value(self):
+        values = solve_logistic_ode(3.0, [1.0, 1.0, 2.0], 0.5, 10.0)
+        assert values[0] == values[1] == 3.0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            solve_logistic_ode(1.0, [], 0.5, 10.0)
+        with pytest.raises(ValueError):
+            solve_logistic_ode(1.0, [2.0, 1.0], 0.5, 10.0)
+        with pytest.raises(ValueError):
+            solve_logistic_ode(1.0, [1.0, 2.0], 0.5, -1.0)
+        with pytest.raises(ValueError):
+            solve_logistic_ode(1.0, [1.0, 2.0], 0.5, 10.0, steps_per_unit=0)
+
+
+class TestFitLogisticCurve:
+    def test_recovers_known_parameters(self):
+        truth = LogisticCurve(0.75, 18.0, 2.0, initial_time=1.0)
+        times = np.linspace(1.0, 12.0, 23)
+        fitted = fit_logistic_curve(times, truth(times))
+        assert fitted.growth_rate == pytest.approx(0.75, rel=1e-3)
+        assert fitted.carrying_capacity == pytest.approx(18.0, rel=1e-3)
+
+    def test_robust_to_small_noise(self):
+        rng = np.random.default_rng(11)
+        truth = LogisticCurve(0.5, 10.0, 1.0)
+        times = np.linspace(0.0, 15.0, 31)
+        noisy = np.clip(truth(times) + rng.normal(0, 0.05, times.size), 0.01, None)
+        noisy[0] = 1.0
+        fitted = fit_logistic_curve(times, noisy)
+        assert fitted.growth_rate == pytest.approx(0.5, rel=0.15)
+        assert fitted.carrying_capacity == pytest.approx(10.0, rel=0.1)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            fit_logistic_curve([1.0, 2.0], [1.0, 2.0])
+
+    def test_requires_positive_first_observation(self):
+        with pytest.raises(ValueError):
+            fit_logistic_curve([1.0, 2.0, 3.0], [0.0, 1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_logistic_curve([1.0, 2.0, 3.0], [1.0, 2.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rate=st.floats(0.05, 3.0),
+    capacity=st.floats(1.0, 100.0),
+    start_fraction=st.floats(0.01, 0.99),
+)
+def test_logistic_curve_stays_within_bounds(rate, capacity, start_fraction):
+    curve = LogisticCurve(rate, capacity, start_fraction * capacity)
+    times = np.linspace(0, 50, 100)
+    values = np.asarray(curve(times))
+    assert np.all(values > 0)
+    assert np.all(values <= capacity + 1e-9)
+    assert np.all(np.diff(values) >= -1e-12)

@@ -1,0 +1,126 @@
+"""Tests for the fitting utilities in repro.numerics.optimization."""
+
+import numpy as np
+import pytest
+
+from repro.numerics.optimization import (
+    FitResult,
+    grid_search,
+    least_squares_fit,
+    mean_relative_error,
+    sum_of_squares,
+)
+
+
+class TestLossHelpers:
+    def test_sum_of_squares(self):
+        assert sum_of_squares(np.array([3.0, 4.0])) == pytest.approx(12.5)
+
+    def test_sum_of_squares_zero(self):
+        assert sum_of_squares(np.zeros(5)) == 0.0
+
+    def test_mean_relative_error_exact(self):
+        predicted = np.array([1.0, 2.0, 4.0])
+        actual = np.array([1.0, 2.0, 4.0])
+        assert mean_relative_error(predicted, actual) == 0.0
+
+    def test_mean_relative_error_values(self):
+        predicted = np.array([1.1, 1.8])
+        actual = np.array([1.0, 2.0])
+        assert mean_relative_error(predicted, actual) == pytest.approx(0.1)
+
+    def test_mean_relative_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_relative_error(np.zeros(3), np.zeros(4))
+
+    def test_mean_relative_error_handles_zero_actual(self):
+        value = mean_relative_error(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(value)
+
+
+class TestLeastSquaresFit:
+    def test_fits_linear_model(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 40)
+        y = 3.0 * x - 2.0 + rng.normal(0, 0.01, x.size)
+
+        def residual(theta):
+            return theta[0] * x + theta[1] - y
+
+        result = least_squares_fit(residual, [1.0, 0.0], names=("slope", "intercept"))
+        assert result.success
+        assert result.parameters[0] == pytest.approx(3.0, abs=0.01)
+        assert result.parameters[1] == pytest.approx(-2.0, abs=0.05)
+        assert result.as_dict()["slope"] == pytest.approx(3.0, abs=0.01)
+
+    def test_bounds_are_respected(self):
+        def residual(theta):
+            return np.array([theta[0] - 10.0])
+
+        result = least_squares_fit(residual, [0.5], bounds=([0.0], [1.0]))
+        assert 0.0 <= result.parameters[0] <= 1.0
+        assert result.parameters[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_initial_guess_clipped_into_bounds(self):
+        def residual(theta):
+            return np.array([theta[0]])
+
+        result = least_squares_fit(residual, [5.0], bounds=([0.0], [1.0]))
+        assert result.parameters[0] <= 1.0
+
+    def test_rejects_empty_guess(self):
+        with pytest.raises(ValueError):
+            least_squares_fit(lambda theta: theta, [])
+
+    def test_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            least_squares_fit(lambda theta: theta, [1.0, 2.0], bounds=([0.0], [1.0]))
+
+    def test_as_dict_requires_names(self):
+        result = least_squares_fit(lambda theta: theta, [1.0])
+        with pytest.raises(ValueError):
+            result.as_dict()
+
+
+class TestGridSearch:
+    def test_finds_minimum_of_quadratic(self):
+        def objective(theta):
+            return (theta[0] - 2.0) ** 2 + (theta[1] + 1.0) ** 2
+
+        result = grid_search(
+            objective,
+            {"a": np.linspace(-3, 3, 13), "b": np.linspace(-3, 3, 13)},
+        )
+        assert result.success
+        assert result.parameters[0] == pytest.approx(2.0)
+        assert result.parameters[1] == pytest.approx(-1.0)
+        assert result.n_evaluations == 169
+
+    def test_result_as_dict(self):
+        result = grid_search(lambda theta: theta[0] ** 2, {"x": [-1.0, 0.0, 1.0]})
+        assert result.as_dict() == {"x": 0.0}
+
+    def test_handles_all_nan_objective(self):
+        result = grid_search(lambda theta: float("nan"), {"x": [0.0, 1.0]})
+        assert not result.success
+        assert result.loss == np.inf
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_search(lambda theta: 0.0, {})
+        with pytest.raises(ValueError):
+            grid_search(lambda theta: 0.0, {"x": []})
+
+
+class TestFitResult:
+    def test_dataclass_roundtrip(self):
+        result = FitResult(
+            parameters=np.array([1.0, 2.0]),
+            loss=0.5,
+            success=True,
+            n_evaluations=10,
+            message="ok",
+            names=("a", "b"),
+        )
+        assert result.as_dict() == {"a": 1.0, "b": 2.0}
+        assert result.loss == 0.5

@@ -1,0 +1,197 @@
+"""Tests for repro.numerics.spline (cubic splines and the phi interpolator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.numerics.spline import CubicSpline, FlatEndDensityInterpolator
+
+
+class TestCubicSplineConstruction:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            CubicSpline([1, 2, 3], [1, 2])
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(ValueError):
+            CubicSpline([1], [1])
+
+    def test_rejects_non_increasing_knots(self):
+        with pytest.raises(ValueError):
+            CubicSpline([1, 1, 2], [0, 1, 2])
+        with pytest.raises(ValueError):
+            CubicSpline([1, 3, 2], [0, 1, 2])
+
+    def test_rejects_unknown_end_condition(self):
+        with pytest.raises(ValueError):
+            CubicSpline([1, 2, 3], [1, 2, 3], end_condition="periodic")
+
+    def test_knots_and_values_are_copies(self):
+        spline = CubicSpline([1, 2, 3], [4, 5, 6])
+        knots = spline.knots
+        knots[0] = 99
+        assert spline.knots[0] == 1
+
+
+class TestCubicSplineInterpolation:
+    def test_passes_through_knots(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        y = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        spline = CubicSpline(x, y)
+        assert np.allclose(spline(x), y, atol=1e-12)
+
+    def test_reproduces_straight_line_exactly(self):
+        x = np.linspace(0, 10, 6)
+        y = 2.5 * x + 1.0
+        spline = CubicSpline(x, y)
+        sample = np.linspace(0, 10, 101)
+        assert np.allclose(spline(sample), 2.5 * sample + 1.0, atol=1e-10)
+
+    def test_natural_end_conditions(self):
+        spline = CubicSpline([1, 2, 3, 4], [2, 5, 3, 7], end_condition="natural")
+        assert spline.second_derivative(1.0) == pytest.approx(0.0, abs=1e-10)
+        assert spline.second_derivative(4.0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_clamped_end_conditions(self):
+        spline = CubicSpline(
+            [1, 2, 3, 4], [2, 5, 3, 7], end_condition="clamped", start_slope=0.0, end_slope=0.0
+        )
+        assert spline.derivative(1.0) == pytest.approx(0.0, abs=1e-10)
+        assert spline.derivative(4.0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_clamped_nonzero_slopes(self):
+        spline = CubicSpline(
+            [0, 1, 2], [0, 1, 4], end_condition="clamped", start_slope=-1.0, end_slope=2.5
+        )
+        assert spline.derivative(0.0) == pytest.approx(-1.0, abs=1e-10)
+        assert spline.derivative(2.0) == pytest.approx(2.5, abs=1e-10)
+
+    def test_scalar_and_array_evaluation_agree(self):
+        spline = CubicSpline([1, 2, 3, 4], [2, 5, 3, 7])
+        xs = np.array([1.3, 2.7, 3.9])
+        array_result = spline(xs)
+        for x, expected in zip(xs, array_result):
+            assert spline(float(x)) == pytest.approx(expected)
+
+    def test_matches_scipy_natural_spline(self):
+        from scipy.interpolate import CubicSpline as ScipySpline
+
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        y = np.array([0.0, 2.3, 1.7, 4.1, 3.3, 5.0])
+        ours = CubicSpline(x, y, end_condition="natural")
+        scipys = ScipySpline(x, y, bc_type="natural")
+        sample = np.linspace(1, 6, 201)
+        assert np.allclose(ours(sample), scipys(sample), atol=1e-9)
+
+    def test_matches_scipy_clamped_spline(self):
+        from scipy.interpolate import CubicSpline as ScipySpline
+
+        x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        y = np.array([1.0, 3.0, 2.0, 5.0, 4.0])
+        ours = CubicSpline(x, y, end_condition="clamped", start_slope=0.0, end_slope=0.0)
+        scipys = ScipySpline(x, y, bc_type=((1, 0.0), (1, 0.0)))
+        sample = np.linspace(1, 5, 201)
+        assert np.allclose(ours(sample), scipys(sample), atol=1e-9)
+
+    def test_two_knot_natural_spline_is_linear(self):
+        spline = CubicSpline([0, 2], [1, 5], end_condition="natural")
+        assert spline(1.0) == pytest.approx(3.0)
+        assert spline.second_derivative(1.0) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCubicSplineDerivatives:
+    def test_first_derivative_by_finite_differences(self):
+        spline = CubicSpline([1, 2, 3, 4, 5], [3, 1, 4, 1, 5])
+        h = 1e-6
+        for x in (1.5, 2.5, 3.5, 4.5):
+            numeric = (spline(x + h) - spline(x - h)) / (2 * h)
+            assert spline.derivative(x) == pytest.approx(numeric, rel=1e-4)
+
+    def test_second_derivative_by_finite_differences(self):
+        spline = CubicSpline([1, 2, 3, 4, 5], [3, 1, 4, 1, 5])
+        h = 1e-4
+        for x in (1.5, 2.5, 3.5):
+            numeric = (spline(x + h) - 2 * spline(x) + spline(x - h)) / h**2
+            assert spline.second_derivative(x) == pytest.approx(numeric, rel=1e-3)
+
+    def test_second_derivative_continuous_at_knots(self):
+        spline = CubicSpline([1, 2, 3, 4, 5], [3, 1, 4, 1, 5])
+        for knot in (2.0, 3.0, 4.0):
+            left = spline.second_derivative(knot - 1e-9)
+            right = spline.second_derivative(knot + 1e-9)
+            assert left == pytest.approx(right, abs=1e-5)
+
+    def test_third_derivative_piecewise_constant(self):
+        spline = CubicSpline([1, 2, 3, 4], [1, 4, 2, 3])
+        assert spline.evaluate(1.2, derivative=3) == pytest.approx(
+            spline.evaluate(1.8, derivative=3)
+        )
+
+    def test_fourth_derivative_is_zero(self):
+        spline = CubicSpline([1, 2, 3, 4], [1, 4, 2, 3])
+        assert spline.evaluate(2.5, derivative=4) == 0.0
+
+    def test_negative_derivative_order_rejected(self):
+        spline = CubicSpline([1, 2, 3], [1, 2, 3])
+        with pytest.raises(ValueError):
+            spline.evaluate(1.5, derivative=-1)
+
+
+class TestFlatEndDensityInterpolator:
+    def test_flat_ends(self):
+        phi = FlatEndDensityInterpolator([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.0, 0.5])
+        assert phi.derivative(1.0) == pytest.approx(0.0, abs=1e-10)
+        assert phi.derivative(5.0) == pytest.approx(0.0, abs=1e-10)
+
+    def test_interpolates_observations(self):
+        distances = [1, 2, 3, 4, 5]
+        densities = [5.0, 2.0, 2.5, 1.0, 0.5]
+        phi = FlatEndDensityInterpolator(distances, densities)
+        assert np.allclose(phi(np.array(distances, dtype=float)), densities, atol=1e-10)
+
+    def test_never_negative(self):
+        # A steep drop can make a raw cubic spline overshoot below zero.
+        phi = FlatEndDensityInterpolator([1, 2, 3, 4, 5], [10.0, 0.05, 0.02, 0.01, 0.0001])
+        sample = np.linspace(1, 5, 500)
+        assert np.all(phi(sample) >= 0.0)
+
+    def test_rejects_negative_densities(self):
+        with pytest.raises(ValueError):
+            FlatEndDensityInterpolator([1, 2, 3], [1.0, -0.5, 2.0])
+
+    def test_rejects_all_zero_densities(self):
+        with pytest.raises(ValueError):
+            FlatEndDensityInterpolator([1, 2, 3], [0.0, 0.0, 0.0])
+
+    def test_sample_matches_call(self):
+        phi = FlatEndDensityInterpolator([1, 2, 3, 4], [4.0, 3.0, 2.0, 1.0])
+        nodes = np.linspace(1, 4, 31)
+        assert np.allclose(phi.sample(nodes), phi(nodes))
+
+    def test_bounds_accessors(self):
+        phi = FlatEndDensityInterpolator([2, 3, 4, 6], [1.0, 2.0, 3.0, 1.0])
+        assert phi.lower == 2.0
+        assert phi.upper == 6.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(0.0, 100.0), min_size=3, max_size=10),
+)
+def test_spline_interpolates_arbitrary_knot_values(values):
+    x = np.arange(1.0, len(values) + 1.0)
+    spline = CubicSpline(x, values)
+    assert np.allclose(spline(x), values, atol=1e-8)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(st.floats(0.01, 50.0), min_size=2, max_size=8),
+)
+def test_flat_end_interpolator_is_nonnegative_and_flat(values):
+    x = np.arange(1.0, len(values) + 1.0)
+    phi = FlatEndDensityInterpolator(x, values)
+    sample = np.linspace(x[0], x[-1], 101)
+    assert np.all(np.asarray(phi(sample)) >= 0.0)
+    assert abs(phi.derivative(x[0])) < 1e-8
+    assert abs(phi.derivative(x[-1])) < 1e-8

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cascade.dataset import CascadeDataset
+from repro.cli import build_parser, main
+
+# Small, fast corpus arguments reused by every CLI invocation in these tests.
+CORPUS_ARGS = ["--users", "900", "--background-stories", "25", "--seed", "1234"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["predict"])
+        assert args.story == "s1"
+        assert args.metric == "hops"
+        assert args.hours == 6
+        assert args.seed == 2009
+
+    def test_story_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--story", "s9"])
+
+    def test_metric_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--metric", "euclidean"])
+
+
+class TestBuildCorpus:
+    def test_writes_loadable_json(self, tmp_path, capsys):
+        output = tmp_path / "corpus.json"
+        exit_code = main(["build-corpus", *CORPUS_ARGS, "--output", str(output)])
+        assert exit_code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads(output.read_text())
+        assert payload["num_users"] == 900
+        dataset = CascadeDataset.from_json_dict(payload)
+        assert dataset.num_stories == 4 + 25
+
+
+class TestCharacterize:
+    def test_prints_density_surface_and_saturation(self, capsys):
+        exit_code = main(["characterize", *CORPUS_ARGS, "--story", "s1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Distribution of users" in out
+        assert "Density of influenced users, s1, hops" in out
+        assert "saturation time" in out
+
+    def test_interest_metric(self, capsys):
+        exit_code = main(["characterize", *CORPUS_ARGS, "--story", "s1", "--metric", "interests"])
+        assert exit_code == 0
+        assert "interests" in capsys.readouterr().out
+
+
+class TestPredict:
+    def test_prints_accuracy_table(self, capsys):
+        exit_code = main(["predict", *CORPUS_ARGS, "--story", "s1", "--hours", "4"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Prediction accuracy" in out
+        assert "Overall average accuracy" in out
+        assert "calibrated parameters" in out
+
+    def test_fails_cleanly_when_first_hour_is_empty(self, capsys):
+        # Story s4 on the small corpus has no votes in its first hour, so the
+        # CLI must exit with an error message rather than a traceback.
+        exit_code = main(["predict", *CORPUS_ARGS, "--story", "s4", "--hours", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "first observed hour" in captured.err

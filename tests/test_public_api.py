@@ -1,0 +1,41 @@
+"""Tests for the top-level public API surface of the package."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} is exported but missing"
+
+    def test_core_entry_points_exposed(self):
+        assert callable(repro.DiffusiveLogisticModel)
+        assert callable(repro.DiffusionPredictor)
+        assert callable(repro.build_synthetic_digg_dataset)
+        assert callable(repro.generate_digg_like_graph)
+
+    def test_paper_parameters_exposed(self):
+        assert repro.PAPER_S1_HOP_PARAMETERS.carrying_capacity == 25.0
+        assert repro.PAPER_S1_INTEREST_PARAMETERS.carrying_capacity == 60.0
+
+    def test_quickstart_surface(self, small_corpus):
+        """The README quickstart sequence works against the public names only."""
+        observed = small_corpus.hop_density_surface("s1")
+        predictor = repro.DiffusionPredictor(parameters=repro.PAPER_S1_HOP_PARAMETERS)
+        predictor.fit(observed)
+        result = predictor.evaluate(observed, times=[2.0, 3.0])
+        assert 0.0 <= result.overall_accuracy <= 1.0
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.baselines
+        import repro.cascade
+        import repro.core
+        import repro.io
+        import repro.network
+        import repro.numerics
+
+        assert repro.core is not None
