@@ -4,20 +4,41 @@ Not tied to a paper artifact: these time the building blocks that every
 experiment depends on, so regressions in the simulator, the BFS distance
 computation, the density extraction or the PDE solver are caught by the
 benchmark harness rather than showing up as mysteriously slow experiments.
+
+Besides the pytest-benchmark fixtures, this module doubles as a script that
+emits machine-readable JSON timings of the batched solver engine against the
+sequential path, so the performance trajectory can be tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_substrate_performance.py --json out.json
+
+The JSON reports sequential vs batched wall time, the speedup, and the
+maximum parameter/solution deltas (the batched path must win on time *at
+equal accuracy*, not by computing something different).
 """
+
+import argparse
+import json
+import sys
+import time
 
 import numpy as np
 import pytest
 
-from repro.cascade.density import compute_density_surface
+from repro.cascade.density import DensitySurface, compute_density_surface
 from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
 from repro.cascade.frontpage import FrontPageModel
 from repro.cascade.simulator import CascadeConfig, CascadeSimulator
-from repro.core.dl_model import DiffusiveLogisticModel
+from repro.core.calibration import calibrate_dl_model_batched
+from repro.core.dl_model import DiffusiveLogisticModel, solve_dl_batch
 from repro.core.initial_density import InitialDensity
-from repro.core.parameters import PAPER_S1_HOP_PARAMETERS
+from repro.core.parameters import (
+    DLParameters,
+    ExponentialDecayGrowthRate,
+    PAPER_S1_HOP_PARAMETERS,
+)
 from repro.network.distance import friendship_hop_distances
 from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
+from repro.numerics.operator_cache import clear_operator_caches
 
 
 @pytest.fixture(scope="module")
@@ -111,3 +132,163 @@ def test_perf_dl_solve(benchmark):
     times = [float(t) for t in range(1, 7)]
     solution = benchmark(model.solve, phi, times)
     assert solution.times.size == 6
+
+
+def test_perf_dl_solve_batch(benchmark):
+    """32 parameter candidates advanced as columns of one batched solve."""
+    phi = InitialDensity([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.5, 1.0])
+    candidates = [
+        PAPER_S1_HOP_PARAMETERS.with_diffusion_rate(0.005 + 0.003 * j) for j in range(32)
+    ]
+    times = [float(t) for t in range(1, 7)]
+    solutions = benchmark(
+        solve_dl_batch, candidates, phi, times, points_per_unit=20, max_step=0.02
+    )
+    assert len(solutions) == 32
+
+
+# ---------------------------------------------------------------------- #
+# JSON script mode: sequential vs batched solver engine
+# ---------------------------------------------------------------------- #
+def _synthetic_calibration_surface(hours: int = 8) -> DensitySurface:
+    """A noise-free Digg-like density surface generated by the DL model."""
+    phi = InitialDensity([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.5, 1.0])
+    parameters = DLParameters(
+        diffusion_rate=0.01,
+        growth_rate=ExponentialDecayGrowthRate(1.4, 1.5, 0.25),
+        carrying_capacity=25.0,
+    )
+    model = DiffusiveLogisticModel(parameters, points_per_unit=12, max_step=0.02)
+    surface = model.predict(phi, [float(t) for t in range(1, hours + 1)])
+    return DensitySurface(
+        distances=surface.distances,
+        times=surface.times,
+        values=surface.values,
+        group_sizes=np.ones(surface.distances.size),
+        metadata={"source": "substrate_benchmark"},
+    )
+
+
+def _parameter_delta(a, b) -> float:
+    """Largest absolute difference between two calibrated parameter sets."""
+    return max(
+        abs(a.parameters.diffusion_rate - b.parameters.diffusion_rate),
+        abs(a.parameters.growth_rate.amplitude - b.parameters.growth_rate.amplitude),
+        abs(a.parameters.growth_rate.decay - b.parameters.growth_rate.decay),
+        abs(a.parameters.growth_rate.floor - b.parameters.growth_rate.floor),
+    )
+
+
+def run_batched_solver_benchmark(quick: bool = False) -> dict:
+    """Time the batched solver engine against the sequential path.
+
+    Two comparisons are reported:
+
+    * ``calibration`` -- the grid-then-refine calibration with every grid
+      candidate evaluated in batched solves vs candidate-by-candidate
+      sequential solves (identical algorithm, so the parameter deltas double
+      as an accuracy check).
+    * ``solver`` -- one batched forward solve of N parameter candidates vs N
+      sequential solves of the same candidates.
+    """
+    surface = _synthetic_calibration_surface()
+    grids = (
+        dict(amplitude_grid=(1.0, 1.5), decay_grid=(1.0, 1.5), floor_grid=(0.1, 0.25))
+        if quick
+        else {}
+    )
+
+    clear_operator_caches()
+    start = time.perf_counter()
+    sequential = calibrate_dl_model_batched(surface, engine="sequential", **grids)
+    sequential_seconds = time.perf_counter() - start
+
+    clear_operator_caches()
+    start = time.perf_counter()
+    batched = calibrate_dl_model_batched(surface, engine="batched", **grids)
+    batched_seconds = time.perf_counter() - start
+
+    phi = InitialDensity.from_surface(surface)
+    batch_size = 8 if quick else 32
+    candidates = [
+        PAPER_S1_HOP_PARAMETERS.with_diffusion_rate(0.005 + 0.003 * j)
+        for j in range(batch_size)
+    ]
+    times = [float(t) for t in range(1, 7)]
+
+    clear_operator_caches()
+    start = time.perf_counter()
+    solo = [
+        DiffusiveLogisticModel(c, points_per_unit=12, max_step=0.02).solve(phi, times)
+        for c in candidates
+    ]
+    solver_sequential_seconds = time.perf_counter() - start
+
+    clear_operator_caches()
+    start = time.perf_counter()
+    together = solve_dl_batch(candidates, phi, times, points_per_unit=12, max_step=0.02)
+    solver_batched_seconds = time.perf_counter() - start
+
+    max_state_delta = max(
+        float(np.max(np.abs(a.pde_solution.states - b.pde_solution.states)))
+        for a, b in zip(solo, together)
+    )
+
+    return {
+        "benchmark": "substrate_batched_solver",
+        "timestamp": time.time(),
+        "quick": quick,
+        "calibration": {
+            "candidates": sequential.details["candidates_evaluated"],
+            "sequential_seconds": sequential_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": sequential_seconds / batched_seconds,
+            "max_parameter_delta": _parameter_delta(sequential, batched),
+            "loss_delta": abs(sequential.loss - batched.loss),
+        },
+        "solver": {
+            "batch_size": batch_size,
+            "sequential_seconds": solver_sequential_seconds,
+            "batched_seconds": solver_batched_seconds,
+            "speedup": solver_sequential_seconds / solver_batched_seconds,
+            "max_state_delta": max_state_delta,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Emit machine-readable JSON timings of sequential vs batched solves."
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="-",
+        help="where to write the JSON report ('-' for stdout, the default)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller candidate grids / batch sizes (for CI smoke runs)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_batched_solver_benchmark(quick=args.quick)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+    else:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        calibration = report["calibration"]
+        print(
+            f"wrote {args.json}: calibration speedup "
+            f"{calibration['speedup']:.1f}x over {calibration['candidates']} candidates "
+            f"(max parameter delta {calibration['max_parameter_delta']:.2e})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

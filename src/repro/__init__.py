@@ -41,6 +41,8 @@ from repro.cascade import (
 from repro.core import (
     PAPER_S1_HOP_PARAMETERS,
     PAPER_S1_INTEREST_PARAMETERS,
+    BatchPredictionResult,
+    BatchPredictor,
     DiffusionPredictor,
     DiffusiveLogisticModel,
     DLParameters,
@@ -49,6 +51,8 @@ from repro.core import (
     PredictionResult,
     build_accuracy_table,
     calibrate_dl_model,
+    calibrate_dl_model_batched,
+    solve_dl_batch,
 )
 from repro.network import SocialGraph, generate_digg_like_graph
 
@@ -58,7 +62,10 @@ __all__ = [
     "__version__",
     "DiffusiveLogisticModel",
     "DiffusionPredictor",
+    "BatchPredictor",
+    "BatchPredictionResult",
     "PredictionResult",
+    "solve_dl_batch",
     "DLParameters",
     "ExponentialDecayGrowthRate",
     "InitialDensity",
@@ -66,6 +73,7 @@ __all__ = [
     "PAPER_S1_INTEREST_PARAMETERS",
     "build_accuracy_table",
     "calibrate_dl_model",
+    "calibrate_dl_model_batched",
     "DensitySurface",
     "compute_density_surface",
     "CascadeDataset",

@@ -9,6 +9,12 @@ Because each distance evolves independently the baseline cannot transfer
 information across distances -- which is the capability the DL model's Fick
 term adds -- so it needs more training data per distance and degrades when
 the early snapshot at a distance is unrepresentative.
+
+Although the distances are modelled independently, they are *fitted and
+evaluated together*: every eligible distance joins one vectorised
+least-squares solve (:func:`repro.numerics.ode.fit_logistic_curves`) and
+prediction evaluates all fitted curves in one broadcast expression, so no
+Python-level per-distance loop remains on either path.
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.cascade.density import DensitySurface
-from repro.numerics.ode import LogisticCurve, fit_logistic_curve
+from repro.numerics.ode import (
+    LogisticCurve,
+    fit_logistic_curve,
+    fit_logistic_curves,
+    logistic_value,
+)
 
 
 @dataclass
@@ -61,23 +72,43 @@ class PerDistanceLogisticBaseline:
             training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
         training = observed.restrict_times(sorted(float(t) for t in training_times))
         self._unit = observed.unit
-        self._fits = []
-        for distance in training.distances:
-            series = training.time_series(distance)
-            constant = float(series[-1])
-            curve: "LogisticCurve | None" = None
-            if series[0] > 0 and series.size >= 3:
-                try:
-                    curve = fit_logistic_curve(
-                        training.times,
-                        series,
-                        carrying_capacity_bounds=(1e-6, self._carrying_capacity_cap),
-                    )
-                except (ValueError, RuntimeError):
-                    curve = None
-            self._fits.append(
-                _FittedDistance(distance=float(distance), curve=curve, constant_value=constant)
+
+        eligible = [
+            j
+            for j, distance in enumerate(training.distances)
+            if training.values[0, j] > 0 and training.times.size >= 3
+        ]
+        curves: "dict[int, LogisticCurve]" = {}
+        if eligible:
+            try:
+                fitted = fit_logistic_curves(
+                    training.times,
+                    training.values[:, eligible],
+                    carrying_capacity_bounds=(1e-6, self._carrying_capacity_cap),
+                )
+                curves = dict(zip(eligible, fitted))
+            except (ValueError, RuntimeError):
+                # Joint fit failed (e.g. a pathological column); fall back to
+                # independent per-distance fits so one bad column cannot take
+                # down the rest.
+                for j in eligible:
+                    try:
+                        curves[j] = fit_logistic_curve(
+                            training.times,
+                            training.values[:, j],
+                            carrying_capacity_bounds=(1e-6, self._carrying_capacity_cap),
+                        )
+                    except (ValueError, RuntimeError):
+                        pass
+
+        self._fits = [
+            _FittedDistance(
+                distance=float(distance),
+                curve=curves.get(j),
+                constant_value=float(training.values[-1, j]),
             )
+            for j, distance in enumerate(training.distances)
+        ]
         return self
 
     @property
@@ -90,13 +121,25 @@ class PerDistanceLogisticBaseline:
         if not self._fits:
             raise RuntimeError("the baseline has not been fitted yet; call fit() first")
         times = sorted(float(t) for t in times)
+        time_array = np.asarray(times, dtype=float)
         distances = np.asarray([fit.distance for fit in self._fits])
-        values = np.zeros((len(times), distances.size))
-        for j, fit in enumerate(self._fits):
-            if fit.curve is not None:
-                values[:, j] = np.asarray(fit.curve(np.asarray(times)), dtype=float)
-            else:
-                values[:, j] = fit.constant_value
+        # Constant extrapolation everywhere, then one broadcast evaluation of
+        # the analytic logistic formula over every fitted column at once.
+        values = np.tile(
+            np.asarray([fit.constant_value for fit in self._fits]), (len(times), 1)
+        )
+        fitted = [j for j, fit in enumerate(self._fits) if fit.curve is not None]
+        if fitted:
+            rates = np.asarray([self._fits[j].curve.growth_rate for j in fitted])
+            capacities = np.asarray([self._fits[j].curve.carrying_capacity for j in fitted])
+            initial_values = np.asarray([self._fits[j].curve.initial_value for j in fitted])
+            initial_times = np.asarray([self._fits[j].curve.initial_time for j in fitted])
+            values[:, fitted] = logistic_value(
+                time_array[:, None] - initial_times[None, :],
+                rates[None, :],
+                capacities,
+                initial_values,
+            )
         return DensitySurface(
             distances=distances,
             times=np.asarray(times),

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the common workflows without writing any Python:
+Five subcommands cover the common workflows without writing any Python:
 
 ``build-corpus``
     Build the synthetic Digg-like corpus and save it to a JSON file.
@@ -10,9 +10,19 @@ Four subcommands cover the common workflows without writing any Python:
 ``predict``
     Run the paper's prediction protocol (Table I / Table II) for one story
     and distance metric.
+``predict-batch``
+    Run the prediction protocol for several stories in one shot: per-story
+    calibration through the batched grid-then-refine path and all forward
+    solves advanced together in one vectorised batched PDE solve.  Use
+    ``--json`` to emit machine-readable results.
 ``report``
     Run every registered experiment and print a compact paper-vs-measured
     summary (a quick, text-only version of the benchmark harness).
+
+The ``predict`` and ``predict-batch`` commands accept ``--backend`` to pick
+the PDE solver backend by registry name (``internal`` is the package's own
+Crank-Nicolson engine with operator caching; ``scipy`` delegates to
+``solve_ivp`` for cross-validation).
 
 Run ``python -m repro --help`` for the full argument reference.
 """
@@ -20,6 +30,7 @@ Run ``python -m repro --help`` for the full argument reference.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -33,8 +44,11 @@ from repro.analysis.experiments import (
 from repro.analysis.patterns import saturation_time
 from repro.analysis.reports import render_density_surface, render_figure_series
 from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
-from repro.core.prediction import DiffusionPredictor
+from repro.core.prediction import BatchPredictor, DiffusionPredictor
 from repro.io.tables import format_table
+from repro.numerics.backends import available_backends
+
+STORY_CHOICES = ("s1", "s2", "s3", "s4")
 
 
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
@@ -45,6 +59,33 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2009, help="corpus random seed")
     parser.add_argument(
         "--horizon", type=float, default=50.0, help="observation window in hours"
+    )
+
+
+def _hours_window(value: str) -> int:
+    """argparse type for --hours: calibration needs hour 1 plus >= 1 target."""
+    try:
+        hours = int(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from error
+    if hours < 2:
+        raise argparse.ArgumentTypeError(
+            f"--hours must be at least 2 (hour 1 builds phi, later hours are "
+            f"the calibration targets), got {hours}"
+        )
+    return hours
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        default="internal",
+        choices=list(available_backends()),
+        help=(
+            "PDE solver backend: 'internal' is the package's Crank-Nicolson "
+            "engine with operator caching and batched solves; 'scipy' "
+            "cross-validates through scipy.integrate.solve_ivp"
+        ),
     )
 
 
@@ -81,11 +122,53 @@ def build_parser() -> argparse.ArgumentParser:
         "predict", help="run the paper's prediction protocol and print the accuracy table"
     )
     _add_corpus_arguments(predict)
-    predict.add_argument("--story", default="s1", choices=["s1", "s2", "s3", "s4"])
+    predict.add_argument("--story", default="s1", choices=list(STORY_CHOICES))
     predict.add_argument("--metric", default="hops", choices=["hops", "interests"])
     predict.add_argument(
-        "--hours", type=int, default=6, help="length of the training/evaluation window in hours"
+        "--hours",
+        type=_hours_window,
+        default=6,
+        help="length of the training/evaluation window in hours (>= 2)",
     )
+    _add_backend_argument(predict)
+
+    predict_batch = subparsers.add_parser(
+        "predict-batch",
+        help="run the prediction protocol for several stories in one batched solve",
+        description=(
+            "Fit and score many stories at once: each story is calibrated on its "
+            "training window (batched grid search + local refinement) and all "
+            "forward solves are advanced together as columns of one vectorised "
+            "PDE solve, sharing cached operator factorizations."
+        ),
+    )
+    _add_corpus_arguments(predict_batch)
+    predict_batch.add_argument(
+        "--stories",
+        nargs="+",
+        default=list(STORY_CHOICES),
+        choices=list(STORY_CHOICES),
+        help="stories to predict (default: all four representative stories)",
+    )
+    predict_batch.add_argument("--metric", default="hops", choices=["hops", "interests"])
+    predict_batch.add_argument(
+        "--hours",
+        type=_hours_window,
+        default=6,
+        help="length of the training/evaluation window in hours (>= 2)",
+    )
+    predict_batch.add_argument(
+        "--sequential-calibration",
+        action="store_true",
+        help="calibrate with the sequential per-candidate protocol instead of the batched grid",
+    )
+    predict_batch.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write machine-readable results to PATH ('-' for stdout)",
+    )
+    _add_backend_argument(predict_batch)
 
     report = subparsers.add_parser(
         "report", help="run the main experiments and print a compact summary"
@@ -146,12 +229,93 @@ def _command_predict(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    predictor = DiffusionPredictor().fit(observed, training_times=training_times)
+    predictor = DiffusionPredictor(backend=args.backend).fit(
+        observed, training_times=training_times
+    )
     result = predictor.evaluate(observed, times=training_times[1:])
     print(result.accuracy_table.render(
         f"Prediction accuracy -- {args.story}, {args.metric}, hours 2-{args.hours}"
     ))
     print(f"calibrated parameters: {predictor.parameters}")
+    return 0
+
+
+def _command_predict_batch(args: argparse.Namespace) -> int:
+    corpus = build_synthetic_digg_dataset(_corpus_config(args))
+    training_times = [float(t) for t in range(1, args.hours + 1)]
+
+    surfaces = {}
+    skipped = []
+    for story in args.stories:
+        surface = _observed_surface(corpus, story, args.metric)
+        if surface.profile(training_times[0]).sum() <= 0:
+            skipped.append(story)
+            continue
+        surfaces[story] = surface
+    for story in skipped:
+        print(
+            f"warning: skipping {story}: no influenced users at any distance "
+            f"in the first observed hour",
+            file=sys.stderr,
+        )
+    if not surfaces:
+        print(
+            "error: every requested story is empty in the first observed hour; "
+            "try a different metric or seed",
+            file=sys.stderr,
+        )
+        return 1
+
+    predictor = BatchPredictor(
+        backend=args.backend,
+        calibration_batch=not args.sequential_calibration,
+    ).fit(surfaces, training_times=training_times)
+    results = predictor.evaluate(surfaces, times=training_times[1:])
+
+    # With --json -, stdout must stay pure JSON (pipeable into jq etc.), so
+    # the human-readable summary moves to stderr.
+    report = sys.stderr if args.json == "-" else sys.stdout
+    story_word = "story" if len(surfaces) == 1 else "stories"
+    print(
+        f"Prediction accuracy -- {len(surfaces)} {story_word}, {args.metric}, "
+        f"hours 2-{args.hours} ({args.backend} backend)",
+        file=report,
+    )
+    print(format_table(results.summary_rows()), file=report)
+    print(
+        f"overall accuracy (mean over stories): {results.overall_accuracy:.4f}",
+        file=report,
+    )
+    for story in surfaces:
+        print(f"{story}: parameters = {predictor.parameters_for(story)}", file=report)
+
+    if args.json is not None:
+        payload = {
+            "metric": args.metric,
+            "hours": args.hours,
+            "backend": args.backend,
+            "calibration": "sequential" if args.sequential_calibration else "batched",
+            "overall_accuracy": results.overall_accuracy,
+            "skipped_stories": skipped,
+            "stories": {
+                story: {
+                    "overall_accuracy": results[story].overall_accuracy,
+                    "parameters": repr(predictor.parameters_for(story)),
+                    "accuracy_by_distance": {
+                        str(distance): results[story].accuracy_at_distance(distance)
+                        for distance in results[story].predicted.distances
+                    },
+                }
+                for story in surfaces
+            },
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote JSON results to {args.json}")
     return 0
 
 
@@ -187,6 +351,7 @@ _COMMANDS = {
     "build-corpus": _command_build_corpus,
     "characterize": _command_characterize,
     "predict": _command_predict,
+    "predict-batch": _command_predict_batch,
     "report": _command_report,
 }
 

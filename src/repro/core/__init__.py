@@ -30,7 +30,7 @@ from repro.core.parameters import (
     SpaceTimeGrowthRate,
 )
 from repro.core.initial_density import InitialDensity, LowerSolutionReport
-from repro.core.dl_model import DiffusiveLogisticModel, DLSolution
+from repro.core.dl_model import DiffusiveLogisticModel, DLSolution, solve_dl_batch
 from repro.core.properties import (
     check_solution_bounds,
     check_strictly_increasing,
@@ -39,6 +39,7 @@ from repro.core.properties import (
 from repro.core.calibration import (
     CalibrationResult,
     calibrate_dl_model,
+    calibrate_dl_model_batched,
     choose_carrying_capacity,
     fit_growth_rate,
 )
@@ -47,7 +48,12 @@ from repro.core.extensions import (
     calibrate_spatial_scaling,
     spatially_scaled_parameters,
 )
-from repro.core.prediction import DiffusionPredictor, PredictionResult
+from repro.core.prediction import (
+    BatchPredictionResult,
+    BatchPredictor,
+    DiffusionPredictor,
+    PredictionResult,
+)
 from repro.core.accuracy import (
     AccuracyTable,
     build_accuracy_table,
@@ -67,11 +73,13 @@ __all__ = [
     "LowerSolutionReport",
     "DiffusiveLogisticModel",
     "DLSolution",
+    "solve_dl_batch",
     "check_solution_bounds",
     "check_strictly_increasing",
     "is_lower_time_independent_solution",
     "CalibrationResult",
     "calibrate_dl_model",
+    "calibrate_dl_model_batched",
     "choose_carrying_capacity",
     "fit_growth_rate",
     "SpatiallyScaledGrowthRate",
@@ -79,6 +87,8 @@ __all__ = [
     "spatially_scaled_parameters",
     "DiffusionPredictor",
     "PredictionResult",
+    "BatchPredictor",
+    "BatchPredictionResult",
     "AccuracyTable",
     "build_accuracy_table",
     "prediction_accuracy",

@@ -14,20 +14,32 @@ The solution is returned as a :class:`DLSolution`, which can be sampled at the
 integer distances where densities are actually meaningful in a social
 network, and converted to a :class:`~repro.cascade.density.DensitySurface`
 for direct comparison against observations.
+
+Besides the one-at-a-time :class:`DiffusiveLogisticModel`,
+:func:`solve_dl_batch` advances many (parameters, phi) pairs together through
+the batched solver engine -- the workhorse behind batched calibration
+(:func:`repro.core.calibration.calibrate_dl_model`) and multi-story
+prediction (:class:`repro.core.prediction.BatchPredictor`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.cascade.density import DensitySurface
 from repro.core.initial_density import InitialDensity
-from repro.core.parameters import DLParameters
+from repro.core.parameters import (
+    ConstantGrowthRate,
+    DLParameters,
+    ExponentialDecayGrowthRate,
+)
 from repro.numerics.grid import UniformGrid
 from repro.numerics.integrators import TimeIntegrator
 from repro.numerics.pde_solver import (
+    BatchReactionDiffusionProblem,
     PDESolution,
     ReactionDiffusionProblem,
     ReactionDiffusionSolver,
@@ -191,3 +203,124 @@ class DiffusiveLogisticModel:
         """
         solution = self.solve(initial_density, times)
         return solution.to_surface(distances)
+
+
+# ---------------------------------------------------------------------- #
+# Batched solving
+# ---------------------------------------------------------------------- #
+_SPATIALLY_UNIFORM_RATES = (ConstantGrowthRate, ExponentialDecayGrowthRate)
+
+
+def _build_batch_reaction(parameter_sets: "Sequence[DLParameters]"):
+    """Vectorised logistic reaction ``r_j(t) * U_j * (1 - U_j / K_j)``.
+
+    When every growth rate is spatially uniform (the paper's setting) the
+    per-column rates collapse to one scalar per column and the whole reaction
+    is a single broadcast expression; otherwise each column's rate profile is
+    evaluated separately (still one call per step, not per solve).
+    """
+    capacities = np.asarray([p.carrying_capacity for p in parameter_sets])
+    if all(isinstance(p.growth_rate, _SPATIALLY_UNIFORM_RATES) for p in parameter_sets):
+        growth_rates = [p.growth_rate for p in parameter_sets]
+
+        def reaction(states: np.ndarray, positions: np.ndarray, time: float) -> np.ndarray:
+            rates = np.asarray([rate.at_time(time) for rate in growth_rates])
+            return rates[None, :] * states * (1.0 - states / capacities[None, :])
+
+        return reaction
+
+    def reaction(states: np.ndarray, positions: np.ndarray, time: float) -> np.ndarray:
+        out = np.empty_like(states)
+        for j, parameters in enumerate(parameter_sets):
+            out[:, j] = parameters.reaction(states[:, j], positions, time)
+        return out
+
+    return reaction
+
+
+def solve_dl_batch(
+    parameter_sets: "Sequence[DLParameters] | DLParameters",
+    initial_densities: "Sequence[InitialDensity] | InitialDensity",
+    times: "np.ndarray | list[float]",
+    points_per_unit: int = 20,
+    max_step: float = 0.02,
+    backend: str = "internal",
+    grid: "UniformGrid | None" = None,
+) -> "list[DLSolution]":
+    """Solve many DL problems in one batched PDE solve.
+
+    Either argument may be a single object, which is broadcast against the
+    other: one phi with N parameter candidates (calibration), N phis with one
+    parameter set (multi-story prediction with shared parameters), or
+    matching-length sequences of both.
+
+    All members must share the spatial setup -- the same distance interval
+    and the same initial time -- because the batch advances as columns of one
+    state matrix on one grid.  Callers with heterogeneous stories should
+    group them (as :class:`repro.core.prediction.BatchPredictor` does) and
+    make one call per group.
+
+    Returns one :class:`DLSolution` per member, in order, numerically
+    matching what :meth:`DiffusiveLogisticModel.solve` produces one at a
+    time (the batched engine steps identically, per column).
+    """
+    if isinstance(parameter_sets, DLParameters):
+        parameter_sets = [parameter_sets]
+    else:
+        parameter_sets = list(parameter_sets)
+    if isinstance(initial_densities, InitialDensity):
+        initial_densities = [initial_densities]
+    else:
+        initial_densities = list(initial_densities)
+    if not parameter_sets or not initial_densities:
+        raise ValueError("at least one parameter set and one initial density are required")
+    if len(parameter_sets) == 1 and len(initial_densities) > 1:
+        parameter_sets = parameter_sets * len(initial_densities)
+    if len(initial_densities) == 1 and len(parameter_sets) > 1:
+        initial_densities = initial_densities * len(parameter_sets)
+    if len(parameter_sets) != len(initial_densities):
+        raise ValueError(
+            f"cannot broadcast {len(parameter_sets)} parameter sets against "
+            f"{len(initial_densities)} initial densities"
+        )
+
+    reference = initial_densities[0]
+    for phi in initial_densities[1:]:
+        if (
+            phi.lower != reference.lower
+            or phi.upper != reference.upper
+            or phi.initial_time != reference.initial_time
+        ):
+            raise ValueError(
+                "all initial densities in a batch must share the same distance "
+                f"interval and initial time; got [{phi.lower}, {phi.upper}] at "
+                f"t={phi.initial_time} vs [{reference.lower}, {reference.upper}] "
+                f"at t={reference.initial_time}"
+            )
+
+    grid = grid if grid is not None else reference.default_grid(points_per_unit)
+    times = sorted(set(float(t) for t in times) | {reference.initial_time})
+    initial_states = np.column_stack([phi.sample(grid) for phi in initial_densities])
+    diffusion_rates = np.asarray([p.diffusion_rate for p in parameter_sets])
+
+    problem = BatchReactionDiffusionProblem(
+        grid=grid,
+        initial_states=initial_states,
+        diffusion_rates=diffusion_rates,
+        reaction=_build_batch_reaction(parameter_sets),
+        start_time=reference.initial_time,
+        # Per-column reactions keep non-batched backends (e.g. scipy) at
+        # O(batch) instead of O(batch^2) when they fall back to sequential
+        # column solves.
+        column_reactions=[p.reaction for p in parameter_sets],
+    )
+    solver = ReactionDiffusionSolver(max_step=max_step, backend=backend)
+    batch_solution = solver.solve_batch(problem, times)
+    return [
+        DLSolution(
+            pde_solution=batch_solution.column(j),
+            parameters=parameter_sets[j],
+            initial_density=initial_densities[j],
+        )
+        for j in range(len(parameter_sets))
+    ]

@@ -12,19 +12,24 @@ This is the workflow of Section III-C of the paper:
 :class:`DiffusionPredictor` packages steps 2-4;
 :meth:`DiffusionPredictor.evaluate` adds step 5 and returns a
 :class:`PredictionResult` that the benchmarks and examples render.
+
+:class:`BatchPredictor` runs the same workflow for *many* stories in one
+call: phi is built per story, parameters are supplied or calibrated per
+story, and the forward solves of all stories sharing a spatial setup are
+advanced together as columns of one batched PDE solve.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.cascade.density import DensitySurface
 from repro.core.accuracy import AccuracyTable, build_accuracy_table
 from repro.core.calibration import calibrate_dl_model
-from repro.core.dl_model import DiffusiveLogisticModel, DLSolution
+from repro.core.dl_model import DiffusiveLogisticModel, DLSolution, solve_dl_batch
 from repro.core.initial_density import InitialDensity
 from repro.core.parameters import DLParameters
 from repro.core.properties import check_solution_bounds, check_strictly_increasing
@@ -83,7 +88,12 @@ class DiffusionPredictor:
     max_step:
         Maximum internal time step (hours) of the final solve.
     backend:
-        PDE solver backend (``"internal"`` or ``"scipy"``).
+        Name of a registered PDE solver backend (``"internal"``, ``"scipy"``,
+        or anything added via :func:`repro.numerics.backends.register_backend`).
+    calibration_batch:
+        When True, :meth:`fit` calibrates through the batched grid-then-refine
+        path (``calibrate_dl_model(batch=True)``) instead of the sequential
+        per-candidate protocol.
     """
 
     def __init__(
@@ -92,11 +102,13 @@ class DiffusionPredictor:
         points_per_unit: int = 20,
         max_step: float = 0.02,
         backend: str = "internal",
+        calibration_batch: bool = False,
     ) -> None:
         self._configured_parameters = parameters
         self._points_per_unit = points_per_unit
         self._max_step = max_step
         self._backend = backend
+        self._calibration_batch = calibration_batch
         self._fitted_parameters: "DLParameters | None" = None
         self._initial_density: "InitialDensity | None" = None
         self._calibration_details: dict = {}
@@ -134,7 +146,12 @@ class DiffusionPredictor:
             self._fitted_parameters = self._configured_parameters
             self._calibration_details = {"calibrated": False}
         else:
-            calibration = calibrate_dl_model(observed, training_times=training_times)
+            calibration = calibrate_dl_model(
+                observed,
+                training_times=training_times,
+                batch=self._calibration_batch,
+                backend=self._backend,
+            )
             self._fitted_parameters = calibration.parameters
             self._calibration_details = {
                 "calibrated": True,
@@ -207,41 +224,309 @@ class DiffusionPredictor:
             Distances to score; default is every distance of the observed
             surface.
         """
-        if times is None:
-            start = float(actual.times[0])
-            candidates = [start + offset for offset in range(1, 6)]
-            times = [t for t in candidates if np.any(np.isclose(actual.times, t))]
-            if not times:
-                raise ValueError("the observed surface has no evaluation times after the first hour")
-        times = sorted(float(t) for t in times)
-
+        times = _resolve_evaluation_times(actual, times)
         solution = self.solve(times)
-        target_distances = (
-            np.asarray(distances, dtype=float) if distances is not None else actual.distances
+        return _score_solution(
+            solution, actual, times, distances, self.calibration_details
         )
-        predicted = solution.to_surface(target_distances, unit=actual.unit)
-        actual_restricted = actual.restrict_times(
-            [self.initial_density.initial_time] + times
-        ).restrict_distances(target_distances)
 
-        table = build_accuracy_table(
-            predicted,
-            actual_restricted,
-            times=times,
-            distances=target_distances,
-            metadata={"parameters": repr(self.parameters)},
+
+def _resolve_evaluation_times(
+    actual: DensitySurface, times: "Sequence[float] | None"
+) -> "list[float]":
+    """Default to hours 2..6 relative to the first observed hour (the paper's window)."""
+    if times is None:
+        start = float(actual.times[0])
+        candidates = [start + offset for offset in range(1, 6)]
+        times = [t for t in candidates if np.any(np.isclose(actual.times, t))]
+        if not times:
+            raise ValueError("the observed surface has no evaluation times after the first hour")
+    return sorted(float(t) for t in times)
+
+
+def _score_solution(
+    solution: DLSolution,
+    actual: DensitySurface,
+    times: "list[float]",
+    distances: "Sequence[float] | None",
+    calibration_details: dict,
+) -> PredictionResult:
+    """Score one solved story against its observed surface (paper Equation 8)."""
+    target_distances = (
+        np.asarray(distances, dtype=float) if distances is not None else actual.distances
+    )
+    predicted = solution.to_surface(target_distances, unit=actual.unit)
+    actual_restricted = actual.restrict_times(
+        [solution.initial_density.initial_time] + times
+    ).restrict_distances(target_distances)
+
+    table = build_accuracy_table(
+        predicted,
+        actual_restricted,
+        times=times,
+        distances=target_distances,
+        metadata={"parameters": repr(solution.parameters)},
+    )
+    diagnostics = {
+        "bounds_ok": check_solution_bounds(solution),
+        "monotone_in_time": check_strictly_increasing(solution),
+        "calibration": calibration_details,
+    }
+    return PredictionResult(
+        predicted=predicted,
+        actual=actual_restricted,
+        accuracy_table=table,
+        parameters=solution.parameters,
+        initial_density=solution.initial_density,
+        solution=solution,
+        diagnostics=diagnostics,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Batched multi-story prediction
+# ---------------------------------------------------------------------- #
+@dataclass
+class BatchPredictionResult:
+    """Per-story :class:`PredictionResult` objects plus fleet-level summaries.
+
+    Attributes
+    ----------
+    results:
+        Mapping from story name to its :class:`PredictionResult`.
+    """
+
+    results: "dict[str, PredictionResult]"
+
+    def __getitem__(self, name: str) -> PredictionResult:
+        return self.results[name]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def story_names(self) -> tuple[str, ...]:
+        """Names of every scored story, in insertion order."""
+        return tuple(self.results)
+
+    @property
+    def overall_accuracy(self) -> float:
+        """Mean of the per-story overall accuracies."""
+        if not self.results:
+            raise ValueError("no stories were scored")
+        return float(
+            np.mean([result.overall_accuracy for result in self.results.values()])
         )
-        diagnostics = {
-            "bounds_ok": check_solution_bounds(solution),
-            "monotone_in_time": check_strictly_increasing(solution),
-            "calibration": self.calibration_details,
+
+    def summary_rows(self) -> "list[dict]":
+        """One row per story, ready for :func:`repro.io.tables.format_table`."""
+        return [
+            {"story": name, "overall_accuracy": result.overall_accuracy}
+            for name, result in self.results.items()
+        ]
+
+
+class BatchPredictor:
+    """Fit and score many stories in one call, with batched forward solves.
+
+    The per-story workflow is identical to :class:`DiffusionPredictor` --
+    phi from the first observed hour, parameters supplied or calibrated from
+    the training window, DL equation integrated forward -- but the forward
+    solves of every story sharing a spatial setup (same distance interval and
+    initial time) are advanced together as the columns of one batched PDE
+    solve, and calibration defaults to the batched grid-then-refine path.
+
+    Parameters
+    ----------
+    parameters:
+        ``None`` to calibrate each story from its own training window, one
+        :class:`DLParameters` shared by every story, or a mapping from story
+        name to its parameters.
+    points_per_unit, max_step, backend:
+        Solver configuration, as for :class:`DiffusionPredictor`.
+    calibration_batch:
+        Calibrate through the batched grid evaluation (default) or the
+        sequential per-candidate protocol.
+    """
+
+    def __init__(
+        self,
+        parameters: "DLParameters | Mapping[str, DLParameters] | None" = None,
+        points_per_unit: int = 20,
+        max_step: float = 0.02,
+        backend: str = "internal",
+        calibration_batch: bool = True,
+    ) -> None:
+        self._configured_parameters = parameters
+        self._points_per_unit = points_per_unit
+        self._max_step = max_step
+        self._backend = backend
+        self._calibration_batch = calibration_batch
+        self._initial_densities: "dict[str, InitialDensity]" = {}
+        self._parameters: "dict[str, DLParameters]" = {}
+        self._calibration_details: "dict[str, dict]" = {}
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def _resolve_parameters(
+        self, name: str, observed: DensitySurface, training_times: "list[float]"
+    ) -> "tuple[DLParameters, dict]":
+        configured = self._configured_parameters
+        if isinstance(configured, DLParameters):
+            return configured, {"calibrated": False}
+        if isinstance(configured, Mapping):
+            if name not in configured:
+                raise KeyError(
+                    f"no parameters supplied for story {name!r}; the mapping has "
+                    f"{sorted(configured)}"
+                )
+            return configured[name], {"calibrated": False}
+        calibration = calibrate_dl_model(
+            observed,
+            training_times=training_times,
+            batch=self._calibration_batch,
+            backend=self._backend,
+        )
+        details = {
+            "calibrated": True,
+            "loss": calibration.loss,
+            "details": calibration.details,
         }
-        return PredictionResult(
-            predicted=predicted,
-            actual=actual_restricted,
-            accuracy_table=table,
-            parameters=self.parameters,
-            initial_density=self.initial_density,
-            solution=solution,
-            diagnostics=diagnostics,
-        )
+        return calibration.parameters, details
+
+    def fit(
+        self,
+        surfaces: "Mapping[str, DensitySurface]",
+        training_times: "Sequence[float] | None" = None,
+    ) -> "BatchPredictor":
+        """Build phi and resolve parameters for every story.
+
+        ``training_times`` applies to every story; when omitted, each story
+        defaults to its own first six observed hours.
+        """
+        if not surfaces:
+            raise ValueError("at least one story surface is required")
+        self._initial_densities = {}
+        self._parameters = {}
+        self._calibration_details = {}
+        for name, observed in surfaces.items():
+            if training_times is None:
+                story_times = [
+                    float(t) for t in observed.times[: min(6, observed.times.size)]
+                ]
+            else:
+                story_times = sorted(float(t) for t in training_times)
+            if not story_times:
+                raise ValueError(f"story {name!r} has no training times")
+            initial_time = story_times[0]
+            self._initial_densities[name] = InitialDensity(
+                distances=observed.distances,
+                densities=observed.profile(initial_time),
+                initial_time=initial_time,
+            )
+            parameters, details = self._resolve_parameters(name, observed, story_times)
+            self._parameters[name] = parameters
+            self._calibration_details[name] = details
+        return self
+
+    @property
+    def story_names(self) -> tuple[str, ...]:
+        """Names of every fitted story."""
+        return tuple(self._initial_densities)
+
+    def parameters_for(self, name: str) -> DLParameters:
+        """Resolved parameters of one story (after :meth:`fit`)."""
+        self._require_fitted()
+        return self._parameters[name]
+
+    def calibration_details_for(self, name: str) -> dict:
+        """Calibration diagnostics of one story (after :meth:`fit`)."""
+        self._require_fitted()
+        return dict(self._calibration_details[name])
+
+    def _require_fitted(self) -> None:
+        if not self._initial_densities:
+            raise RuntimeError("the predictor has not been fitted yet; call fit() first")
+
+    # ------------------------------------------------------------------ #
+    # Prediction & evaluation
+    # ------------------------------------------------------------------ #
+    def solve(self, times: Sequence[float]) -> "dict[str, DLSolution]":
+        """Integrate every story forward, batching compatible stories together.
+
+        Stories are grouped by (distance interval, initial time); each group
+        becomes one batched solve whose columns share every cached operator
+        factorization.  Solutions come back keyed by story name.
+        """
+        self._require_fitted()
+        groups: "dict[tuple, list[str]]" = {}
+        for name, phi in self._initial_densities.items():
+            key = (phi.lower, phi.upper, phi.initial_time)
+            groups.setdefault(key, []).append(name)
+
+        solutions: "dict[str, DLSolution]" = {}
+        for names in groups.values():
+            solved = solve_dl_batch(
+                [self._parameters[name] for name in names],
+                [self._initial_densities[name] for name in names],
+                list(times),
+                points_per_unit=self._points_per_unit,
+                max_step=self._max_step,
+                backend=self._backend,
+            )
+            solutions.update(zip(names, solved))
+        return {name: solutions[name] for name in self._initial_densities}
+
+    def predict(
+        self,
+        times: Sequence[float],
+        distances: "Sequence[float] | None" = None,
+    ) -> "dict[str, DensitySurface]":
+        """Predicted density surfaces for every story at the requested times."""
+        solutions = self.solve(times)
+        return {
+            name: solution.to_surface(
+                np.asarray(distances, dtype=float) if distances is not None else None
+            )
+            for name, solution in solutions.items()
+        }
+
+    def evaluate(
+        self,
+        actuals: "Mapping[str, DensitySurface]",
+        times: "Sequence[float] | None" = None,
+        distances: "Sequence[float] | None" = None,
+    ) -> BatchPredictionResult:
+        """Predict and score every story against its observed surface.
+
+        ``times=None`` defaults to each story's hours 2..6 (relative to its
+        first observed hour); stories in the same spatial group are solved on
+        the union of their evaluation times, in one batched solve per group.
+        """
+        self._require_fitted()
+        missing = [name for name in self._initial_densities if name not in actuals]
+        if missing:
+            raise KeyError(f"no observed surface supplied for stories {missing}")
+
+        story_times = {
+            name: _resolve_evaluation_times(actuals[name], times)
+            for name in self._initial_densities
+        }
+        union_times = sorted({t for values in story_times.values() for t in values})
+        solutions = self.solve(union_times)
+
+        results = {
+            name: _score_solution(
+                solutions[name],
+                actuals[name],
+                story_times[name],
+                distances,
+                self._calibration_details[name],
+            )
+            for name in self._initial_densities
+        }
+        return BatchPredictionResult(results=results)

@@ -11,11 +11,16 @@ on:
   with Neumann (no-flux) boundary conditions.
 * :mod:`repro.numerics.integrators` -- explicit Euler, RK4 and Crank-Nicolson
   time steppers.
+* :mod:`repro.numerics.operator_cache` -- process-wide cache of prefactorized
+  diffusion operators, keyed by (grid, dt, d) and shared across solves.
+* :mod:`repro.numerics.backends` -- the pluggable solver-backend registry
+  (``"internal"``, ``"scipy"``, and anything registered at runtime) plus the
+  vectorised Crank-Nicolson engine behind batched solves.
 * :mod:`repro.numerics.pde_solver` -- a method-of-lines reaction-diffusion
-  solver used by the DL model.
+  solver used by the DL model, with sequential and batched entry points.
 * :mod:`repro.numerics.ode` -- the scalar logistic equation (analytic and
-  numeric), used both by the growth-process model and by the temporal-only
-  baseline.
+  numeric, with a vectorised batch axis), used both by the growth-process
+  model and by the temporal-only baseline.
 * :mod:`repro.numerics.optimization` -- least-squares fitting utilities used
   for parameter calibration.
 """
@@ -33,10 +38,31 @@ from repro.numerics.integrators import (
     RungeKutta4Integrator,
     TimeIntegrator,
 )
-from repro.numerics.pde_solver import PDESolution, ReactionDiffusionProblem, ReactionDiffusionSolver
-from repro.numerics.ode import LogisticCurve, fit_logistic_curve, solve_logistic_ode
+from repro.numerics.operator_cache import cache_stats, clear_operator_caches
+from repro.numerics.pde_solver import (
+    BatchPDESolution,
+    BatchReactionDiffusionProblem,
+    PDESolution,
+    ReactionDiffusionProblem,
+    ReactionDiffusionSolver,
+)
+from repro.numerics.backends import (
+    SolverBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.numerics.ode import (
+    LogisticCurve,
+    fit_logistic_curve,
+    fit_logistic_curves,
+    logistic_value,
+    solve_logistic_ode,
+)
 from repro.numerics.optimization import (
     FitResult,
+    grid_candidates,
     grid_search,
     least_squares_fit,
     mean_relative_error,
@@ -54,13 +80,25 @@ __all__ = [
     "ExplicitEulerIntegrator",
     "RungeKutta4Integrator",
     "CrankNicolsonIntegrator",
+    "cache_stats",
+    "clear_operator_caches",
     "ReactionDiffusionProblem",
+    "BatchReactionDiffusionProblem",
     "ReactionDiffusionSolver",
     "PDESolution",
+    "BatchPDESolution",
+    "SolverBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "unregister_backend",
     "LogisticCurve",
+    "logistic_value",
     "solve_logistic_ode",
     "fit_logistic_curve",
+    "fit_logistic_curves",
     "FitResult",
+    "grid_candidates",
     "least_squares_fit",
     "grid_search",
     "sum_of_squares",

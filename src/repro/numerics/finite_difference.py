@@ -95,9 +95,17 @@ class NeumannLaplacian:
 
     @property
     def matrix(self) -> np.ndarray:
-        """Dense matrix representation (computed lazily, cached)."""
+        """Dense matrix representation, shared through the operator cache.
+
+        The returned array is read-only because it is shared process-wide via
+        :mod:`repro.numerics.operator_cache`; copy it before modifying.
+        """
         if self._matrix is None:
-            self._matrix = laplacian_matrix(self._grid.num_points, self._grid.spacing)
+            from repro.numerics.operator_cache import neumann_laplacian_matrix
+
+            self._matrix = neumann_laplacian_matrix(
+                self._grid.num_points, self._grid.spacing
+            )
         return self._matrix
 
     def apply(self, values: np.ndarray) -> np.ndarray:

@@ -145,6 +145,16 @@ class CrankNicolsonIntegrator(TimeIntegrator):
         self._cached_matrix_id: "int | None" = None
         self._lhs_factor: "tuple[np.ndarray, np.ndarray] | None" = None
 
+    @property
+    def max_picard_iterations(self) -> int:
+        """Cap on fixed-point iterations per step (read by the batched engine)."""
+        return self._max_picard_iterations
+
+    @property
+    def tolerance(self) -> float:
+        """Picard convergence tolerance (read by the batched engine)."""
+        return self._tolerance
+
     def _factorise(self, diffusion_matrix: np.ndarray, dt: float) -> tuple[np.ndarray, np.ndarray]:
         """LU-factorise ``(I - dt/2 A)`` once per (matrix, dt) pair."""
         from scipy.linalg import lu_factor

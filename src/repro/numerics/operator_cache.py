@@ -1,0 +1,71 @@
+"""Shared cache of prefactorized spatial operators.
+
+Every Crank-Nicolson step solves a linear system with the same matrix
+
+    (I - dt/2 * d * A)
+
+where ``A`` is the Neumann Laplacian of the grid.  During calibration the
+same (grid, dt, d) triple recurs thousands of times -- once per candidate
+parameter set, once per internal time step, once per Picard iteration -- so
+refactorizing per solve dominates the runtime.  This module holds a
+process-wide cache keyed by the *values* that determine the operator
+(``num_points``, ``spacing``, ``dt``, ``diffusion_rate``) rather than object
+identity, so the factorization is paid once per (grid, dt, d) and shared
+across time steps, solves, calibration candidates and batch columns.
+
+Cached arrays are returned read-only; callers that need to modify an operator
+must copy it first.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=64)
+def neumann_laplacian_matrix(num_points: int, spacing: float) -> np.ndarray:
+    """Dense Neumann Laplacian for a uniform grid, cached and read-only."""
+    from repro.numerics.finite_difference import laplacian_matrix
+
+    matrix = laplacian_matrix(num_points, spacing)
+    matrix.setflags(write=False)
+    return matrix
+
+
+@lru_cache(maxsize=512)
+def crank_nicolson_factor(
+    num_points: int, spacing: float, dt: float, diffusion_rate: float
+) -> "tuple[np.ndarray, np.ndarray]":
+    """LU factorization of ``I - dt/2 * d * A`` for the Neumann Laplacian.
+
+    The returned value is the ``(lu, piv)`` pair produced by
+    :func:`scipy.linalg.lu_factor`, directly usable with
+    :func:`scipy.linalg.lu_solve` (which accepts one right-hand side or a
+    matrix of right-hand-side columns, enabling the batched solver).
+    """
+    from scipy.linalg import lu_factor
+
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    laplacian = neumann_laplacian_matrix(num_points, spacing)
+    lhs = np.eye(num_points) - (0.5 * dt * diffusion_rate) * laplacian
+    lu, piv = lu_factor(lhs)
+    lu.setflags(write=False)
+    piv.setflags(write=False)
+    return lu, piv
+
+
+def cache_stats() -> dict:
+    """Hit/miss statistics for both operator caches (for tests and benchmarks)."""
+    return {
+        "laplacian": neumann_laplacian_matrix.cache_info()._asdict(),
+        "crank_nicolson_factor": crank_nicolson_factor.cache_info()._asdict(),
+    }
+
+
+def clear_operator_caches() -> None:
+    """Drop every cached operator (used by tests to measure cache behaviour)."""
+    neumann_laplacian_matrix.cache_clear()
+    crank_nicolson_factor.cache_clear()

@@ -135,6 +135,27 @@ def least_squares_fit(
     )
 
 
+def grid_candidates(
+    parameter_grid: Mapping[str, Sequence[float]],
+) -> tuple[tuple[str, ...], np.ndarray]:
+    """Materialise a parameter grid as ``(names, candidates)``.
+
+    ``candidates`` has shape ``(n_candidates, n_params)`` with one row per
+    point of the Cartesian product, ordered like :func:`itertools.product`.
+    Shared by :func:`grid_search` (which evaluates rows one at a time) and
+    the batched calibration path (which evaluates all rows in vectorised
+    solves).
+    """
+    names = tuple(parameter_grid.keys())
+    if not names:
+        raise ValueError("parameter_grid must not be empty")
+    value_lists = [list(parameter_grid[name]) for name in names]
+    if any(len(values) == 0 for values in value_lists):
+        raise ValueError("every parameter must have at least one candidate value")
+    candidates = np.asarray(list(product(*value_lists)), dtype=float)
+    return names, candidates
+
+
 def grid_search(
     objective: ScalarObjective,
     parameter_grid: Mapping[str, Sequence[float]],
@@ -159,18 +180,12 @@ def grid_search(
         The best point found; ``success`` is True whenever the grid is
         non-empty and at least one evaluation returned a finite loss.
     """
-    names = tuple(parameter_grid.keys())
-    if not names:
-        raise ValueError("parameter_grid must not be empty")
-    value_lists = [list(parameter_grid[name]) for name in names]
-    if any(len(values) == 0 for values in value_lists):
-        raise ValueError("every parameter must have at least one candidate value")
+    names, candidates = grid_candidates(parameter_grid)
 
     best_loss = np.inf
     best_params: "np.ndarray | None" = None
     evaluations = 0
-    for combination in product(*value_lists):
-        params = np.asarray(combination, dtype=float)
+    for params in candidates:
         loss = float(objective(params))
         evaluations += 1
         if np.isfinite(loss) and loss < best_loss:
@@ -179,7 +194,7 @@ def grid_search(
 
     if best_params is None:
         return FitResult(
-            parameters=np.asarray([values[0] for values in value_lists], dtype=float),
+            parameters=candidates[0].copy(),
             loss=np.inf,
             success=False,
             n_evaluations=evaluations,

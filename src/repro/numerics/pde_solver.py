@@ -6,10 +6,23 @@ This is the numerical engine behind the Diffusive Logistic model: it solves
     u_x(l, t) = u_x(L, t) = 0             (Neumann)
     u(x, t0) = u0(x)
 
-on a :class:`~repro.numerics.grid.UniformGrid` using one of the integrators
-from :mod:`repro.numerics.integrators`, or scipy's ``solve_ivp`` as an
-alternative backend (used for cross-validation and the solver ablation
-benchmark).
+on a :class:`~repro.numerics.grid.UniformGrid`.  The time stepping itself is
+delegated to a pluggable :class:`~repro.numerics.backends.SolverBackend`
+resolved by name from the backend registry (``"internal"`` uses the
+integrators in this package, ``"scipy"`` delegates to ``solve_ivp``); new
+backends can be registered without touching this module.
+
+Two problem shapes are supported:
+
+* :class:`ReactionDiffusionProblem` -- one initial condition, one diffusion
+  rate, solved by :meth:`ReactionDiffusionSolver.solve`.
+* :class:`BatchReactionDiffusionProblem` -- N initial conditions / parameter
+  candidates advanced together as the columns of one ``(n_nodes, batch)``
+  state matrix per step, solved by :meth:`ReactionDiffusionSolver.solve_batch`.
+  The batched path shares the prefactorized diffusion operator (cached per
+  (grid, dt, d) in :mod:`repro.numerics.operator_cache`) across all columns,
+  which is what makes batched calibration and multi-cascade prediction
+  markedly faster than one-solve-at-a-time loops.
 
 The solver is written against a generic reaction callable so the same engine
 also serves the SIS baseline and the extended (future-work) parameterisations
@@ -23,7 +36,6 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.numerics.finite_difference import NeumannLaplacian
 from repro.numerics.grid import UniformGrid
 from repro.numerics.integrators import CrankNicolsonIntegrator, TimeIntegrator
 
@@ -32,6 +44,9 @@ DiffusionCoefficient = Callable[[np.ndarray, float], np.ndarray]
 
 ReactionTerm = Callable[[np.ndarray, np.ndarray, float], np.ndarray]
 """f(u, x, t): vectorised reaction term."""
+
+BatchReactionTerm = Callable[[np.ndarray, np.ndarray, float], np.ndarray]
+"""f(U, x, t) with ``U`` of shape ``(n_nodes, batch)``; returns the same shape."""
 
 
 @dataclass(frozen=True)
@@ -90,6 +105,101 @@ class ReactionDiffusionProblem:
         return not callable(self.diffusion)
 
 
+@dataclass(frozen=True)
+class BatchReactionDiffusionProblem:
+    """N reaction-diffusion problems sharing one grid, advanced as columns.
+
+    The batch members may differ in initial condition, (constant) diffusion
+    rate and reaction parameters; the reaction term is a single vectorised
+    callable evaluated on the whole ``(n_nodes, batch)`` state matrix at once.
+    It must be *columnwise decoupled*: output column ``j`` may depend only on
+    state column ``j`` (each column is an independent problem), and it is
+    always called with the full ``(n_nodes, batch)`` matrix.
+
+    Attributes
+    ----------
+    grid:
+        Shared spatial grid.
+    initial_states:
+        Nodal initial values, shape ``(n_nodes, batch)``.
+    diffusion_rates:
+        Constant diffusion rate per column, shape ``(batch,)``.
+    reaction:
+        Vectorised ``f(U, x, t) -> (n_nodes, batch)``.
+    start_time:
+        Shared initial time ``t0``.
+    column_reactions:
+        Optional per-column scalar reactions ``f(u, x, t) -> (n_nodes,)``,
+        one per batch member.  Backends without a vectorised engine fall back
+        to solving members one at a time; providing these lets that fallback
+        evaluate a single column's reaction directly instead of tiling the
+        state to the full batch width per evaluation.
+    """
+
+    grid: UniformGrid
+    initial_states: np.ndarray
+    diffusion_rates: np.ndarray
+    reaction: BatchReactionTerm
+    start_time: float = 1.0
+    column_reactions: "Sequence[ReactionTerm] | None" = None
+
+    def __post_init__(self) -> None:
+        states = np.asarray(self.initial_states, dtype=float)
+        rates = np.atleast_1d(np.asarray(self.diffusion_rates, dtype=float))
+        if states.ndim != 2 or states.shape[0] != self.grid.num_points:
+            raise ValueError(
+                f"initial_states must have shape (n_nodes={self.grid.num_points}, batch), "
+                f"got {states.shape}"
+            )
+        if rates.shape != (states.shape[1],):
+            raise ValueError(
+                f"diffusion_rates must have shape ({states.shape[1]},), got {rates.shape}"
+            )
+        if np.any(rates <= 0):
+            raise ValueError("all diffusion rates must be positive")
+        if self.column_reactions is not None and len(self.column_reactions) != states.shape[1]:
+            raise ValueError(
+                f"column_reactions must have one entry per batch member "
+                f"({states.shape[1]}), got {len(self.column_reactions)}"
+            )
+        object.__setattr__(self, "initial_states", states.copy())
+        object.__setattr__(self, "diffusion_rates", rates.copy())
+
+    @property
+    def batch_size(self) -> int:
+        """Number of problems advanced together."""
+        return int(self.initial_states.shape[1])
+
+    def column_problem(self, index: int) -> ReactionDiffusionProblem:
+        """The ``index``-th member as a standalone sequential problem.
+
+        When ``column_reactions`` were provided, the member's own scalar
+        reaction is used directly.  Otherwise the batch reaction -- written
+        against the full ``(n_nodes, batch)`` matrix -- is adapted by tiling
+        the single state vector across all columns and extracting column
+        ``index`` (valid because the reaction is columnwise decoupled by
+        contract, but O(batch) extra work per evaluation; supply
+        ``column_reactions`` on hot fallback paths).
+        """
+        if self.column_reactions is not None:
+            reaction = self.column_reactions[index]
+        else:
+            batch_reaction = self.reaction
+            batch = self.batch_size
+
+            def reaction(u: np.ndarray, x: np.ndarray, t: float) -> np.ndarray:
+                tiled = np.repeat(np.asarray(u, dtype=float)[:, None], batch, axis=1)
+                return np.asarray(batch_reaction(tiled, x, t), dtype=float)[:, index]
+
+        return ReactionDiffusionProblem(
+            grid=self.grid,
+            initial_condition=self.initial_states[:, index].copy(),
+            diffusion=float(self.diffusion_rates[index]),
+            reaction=reaction,
+            start_time=self.start_time,
+        )
+
+
 @dataclass
 class PDESolution:
     """Dense-in-space solution sampled at requested output times.
@@ -146,8 +256,80 @@ class PDESolution:
         return self.states[-1].copy()
 
 
+@dataclass
+class BatchPDESolution:
+    """Solutions of a batched solve, one column per batch member.
+
+    Attributes
+    ----------
+    grid:
+        Shared spatial grid.
+    times:
+        Output times, shape ``(n_times,)``.
+    states:
+        Solution values, shape ``(n_times, n_nodes, batch)``.
+    """
+
+    grid: UniformGrid
+    times: np.ndarray
+    states: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        self.states = np.asarray(self.states, dtype=float)
+        if self.states.ndim != 3 or self.states.shape[:2] != (
+            self.times.size,
+            self.grid.num_points,
+        ):
+            raise ValueError(
+                f"states shape {self.states.shape} does not match "
+                f"(n_times={self.times.size}, n_nodes={self.grid.num_points}, batch)"
+            )
+
+    @property
+    def batch_size(self) -> int:
+        """Number of batch members."""
+        return int(self.states.shape[2])
+
+    def column(self, index: int) -> PDESolution:
+        """Extract one batch member as a standalone :class:`PDESolution`."""
+        metadata = dict(self.metadata)
+        metadata["batch_column"] = int(index)
+        return PDESolution(
+            grid=self.grid,
+            times=self.times.copy(),
+            states=self.states[:, :, index].copy(),
+            metadata=metadata,
+        )
+
+    def sample_surface(self, positions: Sequence[float]) -> np.ndarray:
+        """Interpolate all columns -> ``(n_times, n_positions, batch)``."""
+        positions = np.asarray(positions, dtype=float)
+        surface = np.empty((self.times.size, positions.size, self.batch_size))
+        for j in range(self.batch_size):
+            for i in range(self.times.size):
+                surface[i, :, j] = np.interp(
+                    positions, self.grid.nodes, self.states[i, :, j]
+                )
+        return surface
+
+
+def validated_output_times(output_times: Sequence[float], start_time: float) -> np.ndarray:
+    """Deduplicate, sort and range-check the requested output times."""
+    times = np.asarray(sorted(set(float(t) for t in output_times)), dtype=float)
+    if times.size == 0:
+        raise ValueError("at least one output time is required")
+    if times[0] < start_time - 1e-12:
+        raise ValueError(
+            f"output times start at {times[0]}, before the problem start time "
+            f"{start_time}"
+        )
+    return times
+
+
 class ReactionDiffusionSolver:
-    """Method-of-lines solver with pluggable time integration.
+    """Method-of-lines solver with pluggable time integration and backends.
 
     Parameters
     ----------
@@ -160,9 +342,12 @@ class ReactionDiffusionSolver:
         Upper bound on the internal time step (in the same units as the
         output times, i.e. hours for the DL model).
     backend:
-        ``"internal"`` uses the integrators in this package; ``"scipy"``
-        delegates to :func:`scipy.integrate.solve_ivp` (LSODA), which is used
-        for cross-validation in tests and the solver ablation benchmark.
+        Either the name of a registered backend (``"internal"`` uses the
+        integrators in this package; ``"scipy"`` delegates to
+        :func:`scipy.integrate.solve_ivp`) or a
+        :class:`~repro.numerics.backends.SolverBackend` instance.  Unknown
+        names raise a :class:`ValueError` listing the registered backends;
+        see :func:`repro.numerics.backends.register_backend` to add new ones.
     """
 
     def __init__(
@@ -171,13 +356,13 @@ class ReactionDiffusionSolver:
         max_step: float = 0.05,
         backend: str = "internal",
     ) -> None:
+        from repro.numerics.backends import get_backend
+
         if max_step <= 0:
             raise ValueError(f"max_step must be positive, got {max_step}")
-        if backend not in ("internal", "scipy"):
-            raise ValueError(f"unknown backend {backend!r}; expected 'internal' or 'scipy'")
         self._integrator = integrator if integrator is not None else CrankNicolsonIntegrator()
         self._max_step = max_step
-        self._backend = backend
+        self._backend = get_backend(backend)
 
     @property
     def integrator(self) -> TimeIntegrator:
@@ -186,8 +371,18 @@ class ReactionDiffusionSolver:
 
     @property
     def backend(self) -> str:
-        """Either ``"internal"`` or ``"scipy"``."""
+        """Name of the solver backend in use (e.g. ``"internal"``, ``"scipy"``)."""
+        return self._backend.name
+
+    @property
+    def backend_instance(self) -> "object":
+        """The resolved :class:`~repro.numerics.backends.SolverBackend`."""
         return self._backend
+
+    @property
+    def max_step(self) -> float:
+        """Upper bound on the internal time step."""
+        return self._max_step
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -201,114 +396,22 @@ class ReactionDiffusionSolver:
         problem's ``start_time``.  The initial time itself may be included and
         is returned verbatim as the initial condition.
         """
-        times = np.asarray(sorted(set(float(t) for t in output_times)), dtype=float)
-        if times.size == 0:
-            raise ValueError("at least one output time is required")
-        if times[0] < problem.start_time - 1e-12:
-            raise ValueError(
-                f"output times start at {times[0]}, before the problem start time "
-                f"{problem.start_time}"
-            )
-        if self._backend == "scipy":
-            return self._solve_scipy(problem, times)
-        return self._solve_internal(problem, times)
-
-    # ------------------------------------------------------------------ #
-    # Internal backend
-    # ------------------------------------------------------------------ #
-    def _solve_internal(
-        self, problem: ReactionDiffusionProblem, times: np.ndarray
-    ) -> PDESolution:
-        grid = problem.grid
-        laplacian = NeumannLaplacian(grid)
-        nodes = grid.nodes
-        state = problem.initial_state()
-        current_time = problem.start_time
-
-        outputs = np.empty((times.size, grid.num_points))
-        output_index = 0
-        # Emit any output times that coincide with the start time.
-        while output_index < times.size and abs(times[output_index] - current_time) < 1e-12:
-            outputs[output_index] = state
-            output_index += 1
-
-        steps_taken = 0
-        constant_diffusion = problem.diffusion_is_constant
-        diffusion_matrix = None
-        if constant_diffusion:
-            diffusion_matrix = float(problem.diffusion) * laplacian.matrix
-            self._integrator.prepare(diffusion_matrix, self._max_step)
-
-        def reaction(u: np.ndarray, t: float) -> np.ndarray:
-            return problem.reaction(u, nodes, t)
-
-        while output_index < times.size:
-            target = times[output_index]
-            while current_time < target - 1e-12:
-                if not constant_diffusion:
-                    d_values = problem.diffusion_at(current_time)
-                    diffusion_matrix = d_values[:, None] * laplacian.matrix
-                assert diffusion_matrix is not None
-                dt = min(self._max_step, target - current_time)
-                dt = self._integrator.suggested_dt(diffusion_matrix, dt)
-                state = self._integrator.step(
-                    state, current_time, dt, diffusion_matrix, reaction
-                )
-                current_time += dt
-                steps_taken += 1
-            outputs[output_index] = state
-            output_index += 1
-
-        return PDESolution(
-            grid=grid,
-            times=times,
-            states=outputs,
-            metadata={
-                "backend": "internal",
-                "integrator": self._integrator.name,
-                "steps": steps_taken,
-                "max_step": self._max_step,
-            },
+        times = validated_output_times(output_times, problem.start_time)
+        return self._backend.solve(
+            problem, times, integrator=self._integrator, max_step=self._max_step
         )
 
-    # ------------------------------------------------------------------ #
-    # scipy backend
-    # ------------------------------------------------------------------ #
-    def _solve_scipy(
-        self, problem: ReactionDiffusionProblem, times: np.ndarray
-    ) -> PDESolution:
-        from scipy.integrate import solve_ivp
+    def solve_batch(
+        self, problem: BatchReactionDiffusionProblem, output_times: Sequence[float]
+    ) -> BatchPDESolution:
+        """Advance every batch member together and sample at ``output_times``.
 
-        grid = problem.grid
-        laplacian = NeumannLaplacian(grid)
-        nodes = grid.nodes
-        state0 = problem.initial_state()
-
-        def rhs(t: float, u: np.ndarray) -> np.ndarray:
-            d_values = problem.diffusion_at(t)
-            return d_values * laplacian.apply(u) + problem.reaction(u, nodes, t)
-
-        t_span = (problem.start_time, float(times[-1]))
-        if t_span[1] <= t_span[0]:
-            # Degenerate case: only the initial time was requested.
-            states = np.tile(state0, (times.size, 1))
-            return PDESolution(grid=grid, times=times, states=states, metadata={"backend": "scipy"})
-
-        result = solve_ivp(
-            rhs,
-            t_span,
-            state0,
-            t_eval=times,
-            method="LSODA",
-            max_step=self._max_step,
-            rtol=1e-7,
-            atol=1e-9,
-        )
-        if not result.success:
-            raise RuntimeError(f"scipy solve_ivp failed: {result.message}")
-        return PDESolution(
-            grid=grid,
-            times=np.asarray(result.t, dtype=float),
-            states=np.asarray(result.y.T, dtype=float),
-            metadata={"backend": "scipy", "nfev": int(result.nfev)},
+        Columns of the state matrix are stepped in lockstep, so the whole
+        batch shares each prefactorized diffusion operator and each reaction
+        evaluation.  Backends without a native batched implementation fall
+        back to solving the members one by one.
+        """
+        times = validated_output_times(output_times, problem.start_time)
+        return self._backend.solve_batch(
+            problem, times, integrator=self._integrator, max_step=self._max_step
         )

@@ -66,3 +66,32 @@ class TestFit:
         predicted = baseline.predict([2.0, 4.0, 6.0])
         assert predicted.values.shape == (3, 5)
         assert np.all(np.isfinite(predicted.values))
+
+
+class TestBatchedFitEquivalence:
+    def test_joint_fit_matches_independent_fits(self):
+        """The vectorised joint fit finds the same per-distance optima."""
+        from repro.numerics.ode import fit_logistic_curve
+
+        surface = logistic_surface()
+        training_times = [float(t) for t in range(1, 7)]
+        baseline = PerDistanceLogisticBaseline().fit(surface, training_times=training_times)
+        training = surface.restrict_times(training_times)
+        for j, fit in enumerate(baseline._fits):
+            independent = fit_logistic_curve(training.times, training.values[:, j])
+            assert fit.curve is not None
+            assert fit.curve.growth_rate == pytest.approx(
+                independent.growth_rate, rel=1e-2
+            )
+            assert fit.curve.carrying_capacity == pytest.approx(
+                independent.carrying_capacity, rel=1e-2
+            )
+
+    def test_batched_predict_matches_per_curve_evaluation(self):
+        surface = logistic_surface()
+        baseline = PerDistanceLogisticBaseline().fit(surface)
+        times = [7.0, 9.0, 11.0]
+        predicted = baseline.predict(times)
+        for j, fit in enumerate(baseline._fits):
+            expected = np.asarray(fit.curve(np.asarray(times)))
+            assert np.allclose(predicted.values[:, j], np.maximum(expected, 0.0), rtol=1e-12)

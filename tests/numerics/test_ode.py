@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.numerics.ode import LogisticCurve, fit_logistic_curve, solve_logistic_ode
+from repro.numerics.ode import (
+    LogisticCurve,
+    fit_logistic_curve,
+    fit_logistic_curves,
+    solve_logistic_ode,
+)
 
 
 class TestLogisticCurve:
@@ -41,6 +46,21 @@ class TestLogisticCurve:
             LogisticCurve(0.5, 0.0, 1.0)
         with pytest.raises(ValueError):
             LogisticCurve(0.5, 10.0, 0.0)
+
+    def test_numpy_scalar_input_returns_python_float(self):
+        # Regression: np.isscalar(np.float64(...)) is False, so numpy scalars
+        # used to come back as 0-d arrays instead of floats.
+        curve = LogisticCurve(0.5, 10.0, 2.0, initial_time=1.0)
+        for scalar in (np.float64(2.0), np.float32(2.0), np.array(2.0)):
+            value = curve(scalar)
+            assert type(value) is float
+            assert value == pytest.approx(curve(2.0))
+
+    def test_array_input_still_returns_array(self):
+        curve = LogisticCurve(0.5, 10.0, 2.0)
+        values = curve(np.array([1.0, 2.0]))
+        assert isinstance(values, np.ndarray)
+        assert values.shape == (2,)
 
 
 class TestSolveLogisticODE:
@@ -80,6 +100,57 @@ class TestSolveLogisticODE:
         with pytest.raises(ValueError):
             solve_logistic_ode(1.0, [1.0, 2.0], 0.5, 10.0, steps_per_unit=0)
 
+    def test_rejects_any_nonpositive_batched_capacity(self):
+        with pytest.raises(ValueError):
+            solve_logistic_ode([1.0, 1.0], [1.0, 2.0], 0.5, np.array([10.0, 0.0]))
+
+
+class TestBatchedSolveLogisticODE:
+    def test_batch_matches_per_trajectory_solves(self):
+        times = np.linspace(1.0, 8.0, 15)
+        initial = np.array([1.0, 2.0, 0.5])
+        rates = np.array([0.4, 0.8, 1.2])
+        capacities = np.array([10.0, 20.0, 5.0])
+        batched = solve_logistic_ode(initial, times, rates, capacities)
+        assert batched.shape == (times.size, 3)
+        for j in range(3):
+            single = solve_logistic_ode(
+                float(initial[j]), times, float(rates[j]), float(capacities[j])
+            )
+            assert np.allclose(batched[:, j], single, rtol=1e-12, atol=1e-12)
+
+    def test_scalar_inputs_keep_flat_output_shape(self):
+        values = solve_logistic_ode(2.0, [1.0, 2.0, 3.0], 0.5, 10.0)
+        assert values.shape == (3,)
+
+    def test_time_dependent_rate_broadcasts_over_batch(self):
+        times = np.linspace(1.0, 6.0, 11)
+        batched = solve_logistic_ode(
+            np.array([1.0, 3.0]), times, lambda t: np.exp(-(t - 1.0)), 20.0
+        )
+        assert batched.shape == (times.size, 2)
+        for j, start in enumerate((1.0, 3.0)):
+            single = solve_logistic_ode(start, times, lambda t: np.exp(-(t - 1.0)), 20.0)
+            assert np.allclose(batched[:, j], single, rtol=1e-12)
+
+    def test_per_trajectory_rate_callable(self):
+        times = np.linspace(0.0, 5.0, 11)
+        rates = np.array([0.5, 1.5])
+
+        def rate(t):
+            return rates * np.exp(-0.1 * t)
+
+        batched = solve_logistic_ode(np.array([1.0, 1.0]), times, rate, 10.0)
+        assert batched.shape == (times.size, 2)
+        assert batched[-1, 1] > batched[-1, 0]
+
+    def test_batched_callable_rate_widens_scalar_inputs(self):
+        # Regression: the batch shape used to ignore a callable's output
+        # shape, crashing when only the rate was per-trajectory.
+        values = solve_logistic_ode(1.0, [1.0, 2.0], lambda t: np.array([0.5, 1.5]), 10.0)
+        assert values.shape == (2, 2)
+        assert values[-1, 1] > values[-1, 0]
+
 
 class TestFitLogisticCurve:
     def test_recovers_known_parameters(self):
@@ -110,6 +181,67 @@ class TestFitLogisticCurve:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             fit_logistic_curve([1.0, 2.0, 3.0], [1.0, 2.0])
+
+
+class TestFitLogisticCurves:
+    def test_recovers_known_parameters_per_column(self):
+        times = np.linspace(1.0, 12.0, 23)
+        truths = [
+            LogisticCurve(0.75, 18.0, 2.0, initial_time=1.0),
+            LogisticCurve(0.4, 8.0, 1.0, initial_time=1.0),
+        ]
+        observations = np.column_stack([np.asarray(t(times)) for t in truths])
+        fitted = fit_logistic_curves(times, observations)
+        assert len(fitted) == 2
+        for curve, truth in zip(fitted, truths):
+            assert curve.growth_rate == pytest.approx(truth.growth_rate, rel=1e-3)
+            assert curve.carrying_capacity == pytest.approx(truth.carrying_capacity, rel=1e-3)
+
+    def test_matches_independent_fits(self):
+        times = np.linspace(1.0, 10.0, 19)
+        rng = np.random.default_rng(5)
+        truths = [LogisticCurve(r, k, 1.5, initial_time=1.0) for r, k in ((0.6, 12.0), (1.0, 25.0))]
+        observations = np.column_stack(
+            [np.clip(np.asarray(t(times)) + rng.normal(0, 0.02, times.size), 0.05, None) for t in truths]
+        )
+        observations[0] = [1.5, 1.5]
+        joint = fit_logistic_curves(times, observations)
+        for j, curve in enumerate(joint):
+            independent = fit_logistic_curve(times, observations[:, j])
+            assert curve.growth_rate == pytest.approx(independent.growth_rate, rel=1e-2)
+            assert curve.carrying_capacity == pytest.approx(
+                independent.carrying_capacity, rel=1e-2
+            )
+
+    def test_rejects_nonpositive_first_observation(self):
+        times = np.array([1.0, 2.0, 3.0])
+        observations = np.array([[1.0, 0.0], [2.0, 1.0], [3.0, 2.0]])
+        with pytest.raises(ValueError):
+            fit_logistic_curves(times, observations)
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            fit_logistic_curves([1.0, 2.0, 3.0], np.ones(3))
+        with pytest.raises(ValueError):
+            fit_logistic_curves([1.0, 2.0], np.ones((2, 2)))
+
+    def test_raises_on_nonconvergence(self, monkeypatch):
+        # curve_fit raises on non-convergence; the joint fit must mirror that
+        # so the logistic baseline's per-column fallback still triggers.
+        from repro.numerics.optimization import FitResult
+
+        def failing_fit(*args, **kwargs):
+            return FitResult(
+                parameters=np.zeros(4), loss=np.inf, success=False, message="no convergence"
+            )
+
+        monkeypatch.setattr(
+            "repro.numerics.optimization.least_squares_fit", failing_fit
+        )
+        times = np.linspace(1.0, 6.0, 6)
+        observations = np.ones((6, 2))
+        with pytest.raises(RuntimeError):
+            fit_logistic_curves(times, observations)
 
 
 @settings(max_examples=50, deadline=None)

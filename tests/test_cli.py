@@ -26,6 +26,34 @@ class TestParser:
         assert args.metric == "hops"
         assert args.hours == 6
         assert args.seed == 2009
+        assert args.backend == "internal"
+
+    def test_predict_batch_defaults(self):
+        args = build_parser().parse_args(["predict-batch"])
+        assert args.stories == ["s1", "s2", "s3", "s4"]
+        assert args.metric == "hops"
+        assert args.hours == 6
+        assert args.backend == "internal"
+        assert args.json is None
+        assert args.sequential_calibration is False
+
+    def test_backend_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict", "--backend", "cuda"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict-batch", "--backend", "cuda"])
+
+    def test_predict_batch_story_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["predict-batch", "--stories", "s1", "s9"])
+
+    def test_hours_window_validated(self):
+        # Calibration needs hour 1 (phi) plus at least one target hour, so a
+        # window shorter than 2 must fail at the parser, not as a traceback.
+        for command in ("predict", "predict-batch"):
+            for hours in ("1", "0", "-3"):
+                with pytest.raises(SystemExit):
+                    build_parser().parse_args([command, "--hours", hours])
 
     def test_story_choices_validated(self):
         with pytest.raises(SystemExit):
@@ -79,3 +107,39 @@ class TestPredict:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "first observed hour" in captured.err
+
+
+class TestPredictBatch:
+    def test_prints_summary_and_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "batch.json"
+        exit_code = main(
+            [
+                "predict-batch",
+                *CORPUS_ARGS,
+                "--stories",
+                "s1",
+                "--hours",
+                "4",
+                "--json",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Prediction accuracy" in out
+        assert "overall accuracy" in out
+        payload = json.loads(output.read_text())
+        assert payload["stories"]["s1"]["overall_accuracy"] > 0.0
+        assert payload["calibration"] == "batched"
+        assert payload["backend"] == "internal"
+
+    def test_skips_empty_stories_and_reports_them(self, capsys):
+        # s4 has no votes in its first hour on the small corpus; the batch
+        # command warns and continues with the stories that have data.
+        exit_code = main(
+            ["predict-batch", *CORPUS_ARGS, "--stories", "s1", "s4", "--hours", "4"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "skipping s4" in captured.err
+        assert "s1" in captured.out
