@@ -13,7 +13,19 @@ sequential path, so the performance trajectory can be tracked across PRs::
 
 The JSON reports sequential vs batched wall time, the speedup, and the
 maximum parameter/solution deltas (the batched path must win on time *at
-equal accuracy*, not by computing something different).
+equal accuracy*, not by computing something different).  Two further
+dimensions cover this PR-2 machinery:
+
+* ``operator`` -- per-step cost of one Crank-Nicolson solve on a fine grid
+  (n = 4000) under each operator factorization mode (``dense`` / ``banded`` /
+  ``thomas``), with the maximum state delta of each mode against the dense
+  reference.
+* ``refine`` -- wall time of the calibration refinement stage with batched
+  multi-start evaluation vs the sequential per-candidate reference.
+
+``benchmarks/check_regression.py`` consumes this JSON and fails CI when a
+speedup ratio regresses past 1.3x of the checked-in baseline or any
+equivalence delta exceeds its tolerance.
 """
 
 import argparse
@@ -38,7 +50,10 @@ from repro.core.parameters import (
 )
 from repro.network.distance import friendship_hop_distances
 from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
+from repro.numerics import operator_cache
+from repro.numerics.grid import UniformGrid
 from repro.numerics.operator_cache import clear_operator_caches
+from repro.numerics.pde_solver import ReactionDiffusionProblem, ReactionDiffusionSolver
 
 
 @pytest.fixture(scope="module")
@@ -179,17 +194,76 @@ def _parameter_delta(a, b) -> float:
     )
 
 
+def run_operator_mode_benchmark(num_points: int = 4000, quick: bool = False) -> dict:
+    """Per-step cost of the Crank-Nicolson operator modes on a fine grid.
+
+    Solves one DL-style logistic problem on ``num_points`` nodes with each
+    factorization mode, timing the stepping loop after a warm-up solve has
+    paid the (cached) factorization, and reports the per-step time plus the
+    maximum state delta of each mode against the dense-LU reference.
+    """
+    steps = 5 if quick else 20
+    max_step = 0.02
+    diffusion = 0.01
+    grid = UniformGrid(1.0, 5.0, num_points)
+    problem = ReactionDiffusionProblem(
+        grid=grid,
+        initial_condition=lambda x: 5.0 * np.exp(-((x - 1.0) ** 2)),
+        diffusion=diffusion,
+        reaction=lambda u, x, t: 0.8 * u * (1.0 - u / 25.0),
+        start_time=1.0,
+    )
+    horizon = 1.0 + steps * max_step
+
+    report = {"num_points": num_points, "max_step": max_step, "steps": steps}
+    dense_states = None
+    for mode in ("dense", "banded", "thomas"):
+        clear_operator_caches()
+        solver = ReactionDiffusionSolver(max_step=max_step, operator=mode)
+        solver.solve(problem, [1.0 + max_step])  # pay the factorization up front
+        start = time.perf_counter()
+        solution = solver.solve(problem, [horizon])
+        elapsed = time.perf_counter() - start
+        steps_taken = int(solution.metadata["steps"])
+        factor = operator_cache.crank_nicolson_operator(
+            num_points, grid.spacing, max_step, diffusion, mode
+        )
+        entry = {
+            "seconds": elapsed,
+            "steps": steps_taken,
+            "per_step_seconds": elapsed / steps_taken,
+            "factor_nbytes": int(factor.nbytes),
+        }
+        if mode == "dense":
+            dense_states = solution.states
+            dense_per_step = entry["per_step_seconds"]
+        else:
+            entry["speedup_vs_dense"] = dense_per_step / entry["per_step_seconds"]
+            entry["max_state_delta_vs_dense"] = float(
+                np.max(np.abs(solution.states - dense_states))
+            )
+        report[mode] = entry
+    clear_operator_caches()  # drop the 128 MB dense factor before returning
+    return report
+
+
 def run_batched_solver_benchmark(quick: bool = False) -> dict:
     """Time the batched solver engine against the sequential path.
 
-    Two comparisons are reported:
+    Four comparisons are reported:
 
     * ``calibration`` -- the grid-then-refine calibration with every grid
       candidate evaluated in batched solves vs candidate-by-candidate
       sequential solves (identical algorithm, so the parameter deltas double
       as an accuracy check).
+    * ``refine`` -- the multi-start refinement stage alone, batched vs
+      sequential residual/Jacobian evaluation (extracted from the
+      calibration runs' diagnostics).
     * ``solver`` -- one batched forward solve of N parameter candidates vs N
       sequential solves of the same candidates.
+    * ``operator`` -- dense vs banded vs Thomas factorizations of the
+      Crank-Nicolson operator at n = 4000 (see
+      :func:`run_operator_mode_benchmark`).
     """
     surface = _synthetic_calibration_surface()
     grids = (
@@ -234,6 +308,20 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
         for a, b in zip(solo, together)
     )
 
+    refine_sequential = sequential.details["refinement"]
+    refine_batched = batched.details["refinement"]
+    # Per-start equivalence of the refinement stage itself: every start's
+    # final (amplitude, decay, floor) must match between the two engines,
+    # not just the overall winner's.
+    refine_parameter_delta = float(
+        np.max(
+            np.abs(
+                np.asarray(refine_sequential["start_parameters"])
+                - np.asarray(refine_batched["start_parameters"])
+            )
+        )
+    )
+
     return {
         "benchmark": "substrate_batched_solver",
         "timestamp": time.time(),
@@ -246,6 +334,15 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             "max_parameter_delta": _parameter_delta(sequential, batched),
             "loss_delta": abs(sequential.loss - batched.loss),
         },
+        "refine": {
+            "starts": refine_batched["starts"],
+            "iterations": refine_batched["iterations"],
+            "n_evaluations": refine_batched["n_evaluations"],
+            "sequential_seconds": refine_sequential["seconds"],
+            "batched_seconds": refine_batched["seconds"],
+            "speedup": refine_sequential["seconds"] / refine_batched["seconds"],
+            "max_parameter_delta": refine_parameter_delta,
+        },
         "solver": {
             "batch_size": batch_size,
             "sequential_seconds": solver_sequential_seconds,
@@ -253,6 +350,7 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             "speedup": solver_sequential_seconds / solver_batched_seconds,
             "max_state_delta": max_state_delta,
         },
+        "operator": run_operator_mode_benchmark(quick=quick),
     }
 
 
@@ -281,10 +379,14 @@ def main(argv=None) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         calibration = report["calibration"]
+        operator = report["operator"]
         print(
             f"wrote {args.json}: calibration speedup "
             f"{calibration['speedup']:.1f}x over {calibration['candidates']} candidates "
-            f"(max parameter delta {calibration['max_parameter_delta']:.2e})",
+            f"(max parameter delta {calibration['max_parameter_delta']:.2e}); "
+            f"banded operator {operator['banded']['speedup_vs_dense']:.1f}x dense at "
+            f"n={operator['num_points']} "
+            f"(max state delta {operator['banded']['max_state_delta_vs_dense']:.2e})",
             file=sys.stderr,
         )
     return 0

@@ -1,0 +1,162 @@
+"""CI perf-regression gate for the substrate benchmark.
+
+Compares a freshly generated ``substrate-benchmark.json`` (see
+``bench_substrate_performance.py --json``) against the checked-in baseline at
+``benchmarks/baselines/substrate-baseline.json`` and exits non-zero when the
+performance or the numerical equivalence of the optimised paths regressed::
+
+    PYTHONPATH=src python benchmarks/bench_substrate_performance.py \
+        --quick --json substrate-benchmark.json
+    python benchmarks/check_regression.py substrate-benchmark.json
+
+Three families of checks run:
+
+* **Correctness-equivalence** (absolute, machine-independent): the batched /
+  banded / Thomas paths must still reproduce the sequential / dense
+  references to tight tolerances.  Any violation fails the gate regardless
+  of timing.
+* **Speedup ratios vs the baseline** (dimensionless, machine-independent):
+  each optimised-vs-reference speedup measured *within one run* must not
+  fall below ``baseline / max_slowdown`` (default 1.3x).  Ratios are used
+  instead of raw seconds so the gate is stable across differently sized CI
+  machines.
+* **Hard floors** from the acceptance criteria: the banded operator must
+  stay at least 2x faster than dense LU per step at n = 4000.
+
+Regenerate the baseline (only when a PR intentionally changes the
+performance envelope) with::
+
+    PYTHONPATH=src python benchmarks/bench_substrate_performance.py \
+        --quick --json benchmarks/baselines/substrate-baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baselines" / "substrate-baseline.json"
+
+#: (dotted metric path, absolute tolerance) -- numerical-equivalence gates.
+CORRECTNESS_CHECKS = (
+    ("calibration.max_parameter_delta", 1e-8),
+    ("calibration.loss_delta", 1e-8),
+    ("refine.max_parameter_delta", 1e-8),
+    ("solver.max_state_delta", 1e-10),
+    ("operator.banded.max_state_delta_vs_dense", 1e-10),
+    ("operator.thomas.max_state_delta_vs_dense", 1e-10),
+)
+
+#: Dotted metric paths of within-run speedup ratios gated against the baseline.
+SPEEDUP_CHECKS = (
+    "calibration.speedup",
+    "refine.speedup",
+    "solver.speedup",
+    "operator.banded.speedup_vs_dense",
+)
+
+#: (dotted metric path, minimum value) -- unconditional acceptance floors.
+FLOOR_CHECKS = (("operator.banded.speedup_vs_dense", 2.0),)
+
+
+def lookup(report: dict, path: str) -> float:
+    """Resolve a dotted path like ``operator.banded.speedup_vs_dense``."""
+    node = report
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            raise KeyError(path)
+        node = node[key]
+    return float(node)
+
+
+def run_checks(report: dict, baseline: dict, max_slowdown: float) -> "list[tuple[bool, str]]":
+    """Evaluate every gate; returns (passed, human-readable line) pairs."""
+    results = []
+
+    for path, tolerance in CORRECTNESS_CHECKS:
+        try:
+            value = lookup(report, path)
+        except KeyError:
+            results.append((False, f"MISSING {path}: not in the new report"))
+            continue
+        ok = value <= tolerance
+        results.append(
+            (ok, f"{'ok  ' if ok else 'FAIL'} {path} = {value:.3e} (tolerance {tolerance:.0e})")
+        )
+
+    for path in SPEEDUP_CHECKS:
+        try:
+            value = lookup(report, path)
+        except KeyError:
+            results.append((False, f"MISSING {path}: not in the new report"))
+            continue
+        try:
+            reference = lookup(baseline, path)
+        except KeyError:
+            results.append((False, f"MISSING {path}: not in the baseline (regenerate it)"))
+            continue
+        required = reference / max_slowdown
+        ok = value >= required
+        results.append(
+            (
+                ok,
+                f"{'ok  ' if ok else 'FAIL'} {path} = {value:.2f}x "
+                f"(baseline {reference:.2f}x, minimum {required:.2f}x)",
+            )
+        )
+
+    for path, minimum in FLOOR_CHECKS:
+        try:
+            value = lookup(report, path)
+        except KeyError:
+            results.append((False, f"MISSING {path}: not in the new report"))
+            continue
+        ok = value >= minimum
+        results.append(
+            (ok, f"{'ok  ' if ok else 'FAIL'} {path} = {value:.2f}x (floor {minimum:.2f}x)")
+        )
+
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when the substrate benchmark regressed against the baseline."
+    )
+    parser.add_argument("report", help="substrate-benchmark.json produced by this run")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="checked-in baseline JSON (default: benchmarks/baselines/substrate-baseline.json)",
+    )
+    parser.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.3,
+        help="largest tolerated speedup regression factor vs the baseline (default 1.3)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report, encoding="utf-8") as handle:
+        report = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    results = run_checks(report, baseline, args.max_slowdown)
+    failures = [line for ok, line in results if not ok]
+    for _, line in results:
+        print(line)
+    if failures:
+        print(
+            f"\nregression gate FAILED: {len(failures)} of {len(results)} checks",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nregression gate passed: {len(results)} checks")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

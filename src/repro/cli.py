@@ -21,8 +21,10 @@ Five subcommands cover the common workflows without writing any Python:
 
 The ``predict`` and ``predict-batch`` commands accept ``--backend`` to pick
 the PDE solver backend by registry name (``internal`` is the package's own
-Crank-Nicolson engine with operator caching; ``scipy`` delegates to
-``solve_ivp`` for cross-validation).
+Crank-Nicolson engine with banded operator caching; ``thomas`` pins the
+pure-numpy tridiagonal fallback; ``scipy`` delegates to ``solve_ivp`` for
+cross-validation).  Unknown names exit with the engine's error message
+listing every registered backend -- including ones registered at runtime.
 
 Run ``python -m repro --help`` for the full argument reference.
 """
@@ -46,7 +48,6 @@ from repro.analysis.reports import render_density_surface, render_figure_series
 from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
 from repro.core.prediction import BatchPredictor, DiffusionPredictor
 from repro.io.tables import format_table
-from repro.numerics.backends import available_backends
 
 STORY_CHOICES = ("s1", "s2", "s3", "s4")
 
@@ -77,16 +78,36 @@ def _hours_window(value: str) -> int:
 
 
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    # Deliberately NOT argparse choices: backends can be registered at
+    # runtime, so the name is validated against the live registry when the
+    # command runs (see _resolve_backend), producing the engine's own error
+    # message with the registered-backend list.
     parser.add_argument(
         "--backend",
         default="internal",
-        choices=list(available_backends()),
         help=(
             "PDE solver backend: 'internal' is the package's Crank-Nicolson "
-            "engine with operator caching and batched solves; 'scipy' "
-            "cross-validates through scipy.integrate.solve_ivp"
+            "engine with banded operator caching and batched solves; 'thomas' "
+            "pins the pure-numpy tridiagonal solver; 'scipy' cross-validates "
+            "through scipy.integrate.solve_ivp"
         ),
     )
+
+
+def _resolve_backend(name: str) -> "str | None":
+    """Validate a backend name against the registry.
+
+    Returns an error message (for stderr) when the name is unknown, None when
+    it is fine -- the same error path, and the same registered-backend list,
+    the solver engine itself produces.
+    """
+    from repro.numerics.backends import get_backend
+
+    try:
+        get_backend(name)
+    except ValueError as error:
+        return f"error: {error}"
+    return None
 
 
 def _corpus_config(args: argparse.Namespace) -> SyntheticDiggConfig:
@@ -219,6 +240,10 @@ def _command_characterize(args: argparse.Namespace) -> int:
 
 
 def _command_predict(args: argparse.Namespace) -> int:
+    backend_error = _resolve_backend(args.backend)
+    if backend_error is not None:
+        print(backend_error, file=sys.stderr)
+        return 2
     corpus = build_synthetic_digg_dataset(_corpus_config(args))
     observed = _observed_surface(corpus, args.story, args.metric)
     training_times = [float(t) for t in range(1, args.hours + 1)]
@@ -241,6 +266,10 @@ def _command_predict(args: argparse.Namespace) -> int:
 
 
 def _command_predict_batch(args: argparse.Namespace) -> int:
+    backend_error = _resolve_backend(args.backend)
+    if backend_error is not None:
+        print(backend_error, file=sys.stderr)
+        return 2
     corpus = build_synthetic_digg_dataset(_corpus_config(args))
     training_times = [float(t) for t in range(1, args.hours + 1)]
 

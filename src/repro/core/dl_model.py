@@ -118,8 +118,11 @@ class DiffusiveLogisticModel:
     max_step:
         Maximum internal time step in hours.
     backend:
-        ``"internal"`` or ``"scipy"`` (see
+        ``"internal"``, ``"thomas"`` or ``"scipy"`` (see
         :class:`~repro.numerics.pde_solver.ReactionDiffusionSolver`).
+    operator:
+        Crank-Nicolson operator factorization mode (``"auto"``, ``"banded"``,
+        ``"thomas"`` or ``"dense"``), forwarded to the solver.
     """
 
     def __init__(
@@ -129,13 +132,14 @@ class DiffusiveLogisticModel:
         integrator: "TimeIntegrator | None" = None,
         max_step: float = 0.02,
         backend: str = "internal",
+        operator: str = "auto",
     ) -> None:
         if points_per_unit < 2:
             raise ValueError("points_per_unit must be at least 2")
         self._parameters = parameters
         self._points_per_unit = points_per_unit
         self._solver = ReactionDiffusionSolver(
-            integrator=integrator, max_step=max_step, backend=backend
+            integrator=integrator, max_step=max_step, backend=backend, operator=operator
         )
 
     @property
@@ -245,6 +249,7 @@ def solve_dl_batch(
     points_per_unit: int = 20,
     max_step: float = 0.02,
     backend: str = "internal",
+    operator: str = "auto",
     grid: "UniformGrid | None" = None,
 ) -> "list[DLSolution]":
     """Solve many DL problems in one batched PDE solve.
@@ -314,7 +319,7 @@ def solve_dl_batch(
         # column solves.
         column_reactions=[p.reaction for p in parameter_sets],
     )
-    solver = ReactionDiffusionSolver(max_step=max_step, backend=backend)
+    solver = ReactionDiffusionSolver(max_step=max_step, backend=backend, operator=operator)
     batch_solution = solver.solve_batch(problem, times)
     return [
         DLSolution(

@@ -20,7 +20,7 @@ growth rates (:class:`SpaceTimeGrowthRate`, exercised by the EXT-1 benchmark).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

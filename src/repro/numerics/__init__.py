@@ -12,10 +12,12 @@ on:
 * :mod:`repro.numerics.integrators` -- explicit Euler, RK4 and Crank-Nicolson
   time steppers.
 * :mod:`repro.numerics.operator_cache` -- process-wide cache of prefactorized
-  diffusion operators, keyed by (grid, dt, d) and shared across solves.
+  diffusion operators, keyed by (grid, dt, d, mode) and shared across solves;
+  the tridiagonal Neumann operator is stored banded (LAPACK ``gttrf``) or as
+  a pure-numpy Thomas factorization, with dense LU as the reference mode.
 * :mod:`repro.numerics.backends` -- the pluggable solver-backend registry
-  (``"internal"``, ``"scipy"``, and anything registered at runtime) plus the
-  vectorised Crank-Nicolson engine behind batched solves.
+  (``"internal"``, ``"thomas"``, ``"scipy"``, and anything registered at
+  runtime) plus the vectorised Crank-Nicolson engine behind batched solves.
 * :mod:`repro.numerics.pde_solver` -- a method-of-lines reaction-diffusion
   solver used by the DL model, with sequential and batched entry points.
 * :mod:`repro.numerics.ode` -- the scalar logistic equation (analytic and
@@ -30,6 +32,7 @@ from repro.numerics.spline import CubicSpline, FlatEndDensityInterpolator
 from repro.numerics.finite_difference import (
     NeumannLaplacian,
     laplacian_matrix,
+    laplacian_tridiagonal,
     second_derivative,
 )
 from repro.numerics.integrators import (
@@ -38,7 +41,15 @@ from repro.numerics.integrators import (
     RungeKutta4Integrator,
     TimeIntegrator,
 )
-from repro.numerics.operator_cache import cache_stats, clear_operator_caches
+from repro.numerics.operator_cache import (
+    OPERATOR_MODES,
+    BandedFactorization,
+    DenseFactorization,
+    ThomasFactorization,
+    cache_stats,
+    clear_operator_caches,
+    crank_nicolson_operator,
+)
 from repro.numerics.pde_solver import (
     BatchPDESolution,
     BatchReactionDiffusionProblem,
@@ -62,10 +73,12 @@ from repro.numerics.ode import (
 )
 from repro.numerics.optimization import (
     FitResult,
+    MultiStartFitResult,
     grid_candidates,
     grid_search,
     least_squares_fit,
     mean_relative_error,
+    multi_start_least_squares,
     sum_of_squares,
 )
 
@@ -75,6 +88,7 @@ __all__ = [
     "FlatEndDensityInterpolator",
     "NeumannLaplacian",
     "laplacian_matrix",
+    "laplacian_tridiagonal",
     "second_derivative",
     "TimeIntegrator",
     "ExplicitEulerIntegrator",
@@ -82,6 +96,11 @@ __all__ = [
     "CrankNicolsonIntegrator",
     "cache_stats",
     "clear_operator_caches",
+    "crank_nicolson_operator",
+    "OPERATOR_MODES",
+    "DenseFactorization",
+    "BandedFactorization",
+    "ThomasFactorization",
     "ReactionDiffusionProblem",
     "BatchReactionDiffusionProblem",
     "ReactionDiffusionSolver",
@@ -98,8 +117,10 @@ __all__ = [
     "fit_logistic_curve",
     "fit_logistic_curves",
     "FitResult",
+    "MultiStartFitResult",
     "grid_candidates",
     "least_squares_fit",
+    "multi_start_least_squares",
     "grid_search",
     "sum_of_squares",
     "mean_relative_error",

@@ -7,11 +7,16 @@ registry in this module.  Two backends ship with the package:
 * ``"internal"`` -- the integrators from :mod:`repro.numerics.integrators`,
   plus a vectorised Crank-Nicolson engine that advances every column of a
   :class:`~repro.numerics.pde_solver.BatchReactionDiffusionProblem` in
-  lockstep.  Each step performs one ``(n, n) @ (n, batch)`` product for the
-  diffusion term and one multi-right-hand-side triangular solve per distinct
-  diffusion rate, with the LU factors shared through
+  lockstep.  The Neumann Laplacian is tridiagonal, so each step applies the
+  diffusion term matrix-free and performs one multi-right-hand-side *banded*
+  solve per distinct diffusion rate -- O(n) memory and O(n) work per step --
+  with the factorizations shared through
   :mod:`repro.numerics.operator_cache` across steps, solves and calibration
-  candidates.
+  candidates.  The ``operator_mode`` knob (``"banded"`` by default, via
+  ``"auto"``) can force the pure-numpy ``"thomas"`` solver or the legacy
+  ``"dense"`` LU for cross-checking.
+* ``"thomas"`` -- the internal engine pinned to the pure-numpy Thomas
+  tridiagonal solver; a scipy-free fallback for the Crank-Nicolson hot path.
 * ``"scipy"`` -- :func:`scipy.integrate.solve_ivp` (LSODA), used for
   cross-validation in tests and the solver ablation benchmark.  It has no
   native batched mode and falls back to solving batch members one by one.
@@ -172,9 +177,41 @@ class InternalBackend(SolverBackend):
     so sequential and batched paths share both the code and the cached
     operator factorizations.  Other integrators and time-varying diffusion
     use the generic stepping loop.
+
+    Parameters
+    ----------
+    operator_mode:
+        Factorization used for the Crank-Nicolson operator: ``"auto"``
+        (resolves to ``"banded"``), ``"banded"``, ``"thomas"`` or ``"dense"``.
+        See :func:`repro.numerics.operator_cache.crank_nicolson_operator`.
     """
 
     name = "internal"
+    _DEFAULT_OPERATOR_MODE = "banded"
+
+    def __init__(self, operator_mode: str = "auto") -> None:
+        self.operator_mode = operator_mode
+
+    @property
+    def operator_mode(self) -> str:
+        """Requested operator mode (``"auto"`` resolves lazily to banded)."""
+        return self._operator_mode
+
+    @operator_mode.setter
+    def operator_mode(self, mode: str) -> None:
+        if mode != "auto" and mode not in operator_cache.OPERATOR_MODES:
+            raise ValueError(
+                f"unknown operator mode {mode!r}; expected 'auto' or one of "
+                f"{operator_cache.OPERATOR_MODES}"
+            )
+        self._operator_mode = mode
+
+    @property
+    def resolved_operator_mode(self) -> str:
+        """The concrete factorization mode the Crank-Nicolson engine will use."""
+        if self._operator_mode == "auto":
+            return self._DEFAULT_OPERATOR_MODE
+        return self._operator_mode
 
     def solve(
         self,
@@ -202,6 +239,7 @@ class InternalBackend(SolverBackend):
                     "integrator": integrator.name,
                     "steps": batch_solution.metadata["steps"],
                     "max_step": max_step,
+                    "operator": batch_solution.metadata["operator"],
                     "operator_cache": True,
                 },
             )
@@ -303,7 +341,15 @@ class InternalBackend(SolverBackend):
         num_points = grid.num_points
         spacing = grid.spacing
         nodes = grid.nodes
-        laplacian = operator_cache.neumann_laplacian_matrix(num_points, spacing)
+        operator_mode = self.resolved_operator_mode
+        # The dense matrix is only materialised for the dense reference mode;
+        # banded/thomas apply the diffusion term matrix-free, keeping the whole
+        # step O(n) in time and memory.
+        laplacian = (
+            operator_cache.neumann_laplacian_matrix(num_points, spacing)
+            if operator_mode == "dense"
+            else None
+        )
         rates = problem.diffusion_rates
         # Columns sharing a diffusion rate share one LU factorization per dt.
         unique_rates, group_of_column = np.unique(rates, return_inverse=True)
@@ -338,6 +384,7 @@ class InternalBackend(SolverBackend):
                     spacing,
                     tolerance,
                     max_iterations,
+                    operator_mode,
                 )
                 current_time += dt
                 steps_taken += 1
@@ -352,6 +399,7 @@ class InternalBackend(SolverBackend):
                 "backend": self.name,
                 "integrator": "crank_nicolson",
                 "engine": "batched_crank_nicolson",
+                "operator": operator_mode,
                 "steps": steps_taken,
                 "max_step": max_step,
                 "batch_size": batch,
@@ -364,7 +412,7 @@ class InternalBackend(SolverBackend):
         states: np.ndarray,
         time: float,
         dt: float,
-        laplacian: np.ndarray,
+        laplacian: "np.ndarray | None",
         rates: np.ndarray,
         unique_rates: np.ndarray,
         group_columns: "list[np.ndarray]",
@@ -374,6 +422,7 @@ class InternalBackend(SolverBackend):
         spacing: float,
         tolerance: float,
         max_iterations: int,
+        operator_mode: str,
     ) -> np.ndarray:
         """One IMEX Crank-Nicolson step for every column at once.
 
@@ -382,13 +431,16 @@ class InternalBackend(SolverBackend):
         then freezes, so batched trajectories are identical to sequential
         ones regardless of how the rest of the batch converges.
         """
-        from scipy.linalg import lu_solve
-
         factors = [
-            operator_cache.crank_nicolson_factor(num_points, spacing, dt, float(rate))
+            operator_cache.crank_nicolson_operator(
+                num_points, spacing, dt, float(rate), operator_mode
+            )
             for rate in unique_rates
         ]
-        diffusion_term = (laplacian @ states) * rates[None, :]
+        if laplacian is None:
+            diffusion_term = second_derivative(states, spacing) * rates[None, :]
+        else:
+            diffusion_term = (laplacian @ states) * rates[None, :]
         explicit_part = states + 0.5 * dt * diffusion_term
         reaction_old = reaction(states, nodes, time)
 
@@ -399,7 +451,7 @@ class InternalBackend(SolverBackend):
             reaction_new = reaction(new_states, nodes, time + dt)
             rhs = explicit_part + 0.5 * dt * (reaction_old + reaction_new)
             for factor, columns in zip(factors, group_columns):
-                candidate[:, columns] = lu_solve(factor, rhs[:, columns])
+                candidate[:, columns] = factor.solve(rhs[:, columns])
             change = np.max(np.abs(candidate - new_states), axis=0)
             new_states[:, active] = candidate[:, active]
             active &= change >= tolerance
@@ -483,5 +535,20 @@ class ScipyBackend(SolverBackend):
         )
 
 
+class ThomasBackend(InternalBackend):
+    """The internal engine pinned to the pure-numpy Thomas tridiagonal solver.
+
+    Functionally identical to ``"internal"`` but its Crank-Nicolson hot path
+    never touches scipy: the operator is factorized and solved by the
+    :class:`~repro.numerics.operator_cache.ThomasFactorization` fallback.
+    """
+
+    name = "thomas"
+
+    def __init__(self) -> None:
+        super().__init__(operator_mode="thomas")
+
+
 register_backend(InternalBackend.name, InternalBackend)
 register_backend(ScipyBackend.name, ScipyBackend)
+register_backend(ThomasBackend.name, ThomasBackend)

@@ -56,16 +56,43 @@ def laplacian_matrix(num_points: int, spacing: float) -> np.ndarray:
     return matrix
 
 
+def laplacian_tridiagonal(
+    num_points: int, spacing: float
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Tridiagonal ``(sub, diag, super)`` bands of the Neumann Laplacian.
+
+    The same entries as :func:`laplacian_matrix` without the O(n^2) zeros:
+    ``sub`` holds the subdiagonal (length ``num_points - 1``), ``diag`` the
+    main diagonal and ``super`` the superdiagonal.  The mirrored ghost nodes
+    of the Neumann boundaries double the first superdiagonal and the last
+    subdiagonal entry, which is what makes the matrix nonsymmetric in the
+    boundary rows.
+    """
+    if num_points < 2:
+        raise ValueError(f"num_points must be >= 2, got {num_points}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    inv_h2 = 1.0 / (spacing * spacing)
+    diag = np.full(num_points, -2.0 * inv_h2)
+    sub = np.full(num_points - 1, inv_h2)
+    sup = np.full(num_points - 1, inv_h2)
+    sup[0] = 2.0 * inv_h2
+    sub[-1] = 2.0 * inv_h2
+    return sub, diag, sup
+
+
 def second_derivative(values: np.ndarray, spacing: float) -> np.ndarray:
     """Matrix-free second derivative with Neumann boundary conditions.
 
     Equivalent to ``laplacian_matrix(len(values), spacing) @ values`` but
-    without building the matrix.
+    without building the matrix.  ``values`` may be one state vector ``(n,)``
+    or a block of batch columns ``(n, k)``; the operator is applied along the
+    first axis either way.
     """
     values = np.asarray(values, dtype=float)
-    if values.ndim != 1:
-        raise ValueError("values must be one-dimensional")
-    if values.size < 2:
+    if values.ndim not in (1, 2):
+        raise ValueError("values must be one- or two-dimensional")
+    if values.shape[0] < 2:
         raise ValueError("at least two values are required")
     if spacing <= 0:
         raise ValueError(f"spacing must be positive, got {spacing}")

@@ -7,6 +7,12 @@ s1.  For the reproduction we additionally provide automated calibration
 
 * :func:`least_squares_fit` -- a thin, bounded wrapper around
   ``scipy.optimize.least_squares`` returning a structured :class:`FitResult`.
+* :func:`multi_start_least_squares` -- a projected Levenberg-Marquardt
+  refinement that advances *many* starting points in lockstep, evaluating
+  every residual and finite-difference Jacobian column of every start through
+  one batched callback per iteration.  This is what lets the DL calibration
+  refine N seed candidates as columns of a single batched PDE solve instead
+  of running N sequential ``scipy.optimize.least_squares`` loops.
 * :func:`grid_search` -- coarse exhaustive search used to seed the local
   optimiser (the DL objective is non-convex in (d, r-parameters, K)).
 * loss helpers (:func:`sum_of_squares`, :func:`mean_relative_error`).
@@ -22,6 +28,16 @@ import numpy as np
 
 ResidualFunction = Callable[[np.ndarray], np.ndarray]
 """Maps a parameter vector to a residual vector (not squared)."""
+
+BatchResidualFunction = Callable[[np.ndarray, np.ndarray], "Sequence[np.ndarray]"]
+"""Maps ``(points, start_indices)`` to one residual vector per point.
+
+``points`` has shape ``(m, n_params)``; ``start_indices`` has shape ``(m,)``
+and tells the callback which *start* each row refines, for callers whose
+residual depends on per-start fixed context (e.g. the diffusion rate each
+calibration seed is pinned to).  Implementations are expected to evaluate all
+rows together -- that is the whole point of the batched refinement.
+"""
 
 ScalarObjective = Callable[[np.ndarray], float]
 """Maps a parameter vector to a scalar loss."""
@@ -132,6 +148,221 @@ def least_squares_fit(
         n_evaluations=int(result.nfev),
         message=str(result.message),
         names=tuple(names) if names is not None else tuple(),
+    )
+
+
+@dataclass
+class MultiStartFitResult:
+    """Outcome of a batched multi-start refinement.
+
+    Attributes
+    ----------
+    best:
+        The overall winner as a plain :class:`FitResult`.
+    start_parameters:
+        Final parameter vector of every start, shape ``(n_starts, n_params)``.
+    start_losses:
+        Final loss of every start, shape ``(n_starts,)``.
+    best_start:
+        Row index of the winning start.
+    iterations:
+        Levenberg-Marquardt iterations performed (shared by all starts).
+    n_evaluations:
+        Total number of residual evaluations (rows passed to the callback).
+    converged:
+        Per-start convergence flags.
+    """
+
+    best: FitResult
+    start_parameters: np.ndarray
+    start_losses: np.ndarray
+    best_start: int
+    iterations: int
+    n_evaluations: int
+    converged: np.ndarray
+
+
+def multi_start_least_squares(
+    residual_batch: BatchResidualFunction,
+    seeds: "np.ndarray | Sequence[Sequence[float]]",
+    bounds: "tuple[Sequence[float], Sequence[float]] | None" = None,
+    names: "Sequence[str] | None" = None,
+    max_iterations: int = 40,
+    finite_difference_step: float = 1e-6,
+    gradient_tolerance: float = 1e-10,
+    step_tolerance: float = 1e-10,
+    loss_tolerance: float = 1e-12,
+    max_step_retries: int = 6,
+) -> MultiStartFitResult:
+    """Refine many starting points at once with a projected Levenberg-Marquardt.
+
+    All starts advance in lockstep: each iteration gathers the residuals of
+    every start plus the forward-difference perturbations of every parameter
+    into *one* ``residual_batch`` call, then each start takes its own damped
+    Gauss-Newton step (clipped into the bounds box).  The callback therefore
+    sees large blocks of parameter vectors it can evaluate together -- for the
+    DL calibration those blocks become columns of a single batched PDE solve.
+
+    The algorithm is deterministic and uses only accepted (loss-decreasing)
+    steps, so the final loss of each start never exceeds its seed loss.
+
+    Parameters
+    ----------
+    residual_batch:
+        Batched residual callback; see :data:`BatchResidualFunction`.
+    seeds:
+        Starting points, shape ``(n_starts, n_params)``.
+    bounds:
+        Optional ``(lower, upper)`` box; seeds are clipped into it.
+    names:
+        Optional parameter names recorded on the winning :class:`FitResult`.
+    max_iterations:
+        Cap on Levenberg-Marquardt iterations.
+    finite_difference_step:
+        Relative forward-difference step for the Jacobian.
+    gradient_tolerance, step_tolerance, loss_tolerance:
+        A start freezes when its projected gradient, accepted step or loss
+        improvement falls below the corresponding tolerance.
+    max_step_retries:
+        Damping escalations tried per iteration before a start is declared
+        stalled.
+    """
+    points = np.array(seeds, dtype=float)
+    if points.ndim != 2 or points.size == 0:
+        raise ValueError("seeds must be a non-empty (n_starts, n_params) array")
+    n_starts, n_params = points.shape
+    if bounds is None:
+        lower = np.full(n_params, -np.inf)
+        upper = np.full(n_params, np.inf)
+    else:
+        lower = np.asarray(bounds[0], dtype=float)
+        upper = np.asarray(bounds[1], dtype=float)
+        if lower.shape != (n_params,) or upper.shape != (n_params,):
+            raise ValueError("bounds must match the seed parameter dimension")
+        points = np.clip(points, lower, upper)
+
+    all_indices = np.arange(n_starts)
+    residuals = [np.asarray(r, dtype=float) for r in residual_batch(points, all_indices)]
+    if len(residuals) != n_starts:
+        raise ValueError(
+            f"residual_batch returned {len(residuals)} residual vectors for "
+            f"{n_starts} points"
+        )
+    losses = np.array([sum_of_squares(r) for r in residuals])
+    n_evaluations = n_starts
+    damping = np.full(n_starts, 1e-3)
+    active = np.isfinite(losses)
+    converged = np.zeros(n_starts, dtype=bool)
+    iterations = 0
+
+    for _ in range(max_iterations):
+        active_idx = np.nonzero(active)[0]
+        if active_idx.size == 0:
+            break
+        iterations += 1
+
+        # One batched call evaluates every forward-difference perturbation of
+        # every active start (steps flip backward at the upper bound so the
+        # perturbed point stays inside the box).
+        steps = np.empty((active_idx.size, n_params))
+        block = np.empty((active_idx.size * n_params, n_params))
+        block_start = np.empty(active_idx.size * n_params, dtype=int)
+        for row, s in enumerate(active_idx):
+            x = points[s]
+            h = finite_difference_step * np.maximum(1.0, np.abs(x))
+            h = np.where(x + h > upper, -h, h)
+            steps[row] = h
+            for j in range(n_params):
+                perturbed = x.copy()
+                perturbed[j] += h[j]
+                block[row * n_params + j] = perturbed
+                block_start[row * n_params + j] = s
+        perturbed_residuals = residual_batch(block, block_start)
+        n_evaluations += block.shape[0]
+
+        jacobians: dict[int, np.ndarray] = {}
+        for row, s in enumerate(active_idx):
+            base = residuals[s]
+            jacobian = np.empty((base.size, n_params))
+            for j in range(n_params):
+                shifted = np.asarray(perturbed_residuals[row * n_params + j], dtype=float)
+                jacobian[:, j] = (shifted - base) / steps[row, j]
+            jacobians[s] = jacobian
+            if np.max(np.abs(jacobian.T @ base)) < gradient_tolerance:
+                active[s] = False
+                converged[s] = True
+
+        # Damped Gauss-Newton steps, escalating the damping of any start whose
+        # candidate fails to decrease its loss.
+        pending = [s for s in active_idx if active[s]]
+        for _retry in range(max_step_retries):
+            if not pending:
+                break
+            candidates = np.empty((len(pending), n_params))
+            for row, s in enumerate(pending):
+                jacobian = jacobians[s]
+                normal = jacobian.T @ jacobian
+                gradient = jacobian.T @ residuals[s]
+                scaling = np.maximum(np.diag(normal), 1e-12)
+                try:
+                    delta = np.linalg.solve(
+                        normal + damping[s] * np.diag(scaling), -gradient
+                    )
+                except np.linalg.LinAlgError:
+                    delta = -gradient / scaling
+                candidates[row] = np.clip(points[s] + delta, lower, upper)
+            candidate_residuals = residual_batch(candidates, np.asarray(pending))
+            n_evaluations += len(pending)
+
+            still_pending = []
+            for row, s in enumerate(pending):
+                candidate_residual = np.asarray(candidate_residuals[row], dtype=float)
+                candidate_loss = sum_of_squares(candidate_residual)
+                if np.isfinite(candidate_loss) and candidate_loss < losses[s]:
+                    improvement = losses[s] - candidate_loss
+                    step_size = np.max(np.abs(candidates[row] - points[s]))
+                    points[s] = candidates[row]
+                    residuals[s] = candidate_residual
+                    losses[s] = candidate_loss
+                    damping[s] = max(damping[s] * 0.3, 1e-12)
+                    if improvement < loss_tolerance * max(1.0, candidate_loss) or (
+                        step_size < step_tolerance * (1.0 + np.max(np.abs(points[s])))
+                    ):
+                        active[s] = False
+                        converged[s] = True
+                else:
+                    damping[s] *= 4.0
+                    still_pending.append(s)
+            pending = still_pending
+        for s in pending:
+            # Damping exhausted without an accepted step: treat as converged
+            # at the current (best-known) point.
+            active[s] = False
+            converged[s] = True
+
+    finite = np.where(np.isfinite(losses), losses, np.inf)
+    best_start = int(np.argmin(finite))
+    if not np.isfinite(finite[best_start]):
+        raise RuntimeError("no start produced a finite refinement loss")
+    best = FitResult(
+        parameters=points[best_start].copy(),
+        loss=float(losses[best_start]),
+        success=bool(converged[best_start]),
+        n_evaluations=n_evaluations,
+        message=(
+            f"multi-start Levenberg-Marquardt: {n_starts} starts, "
+            f"{iterations} iterations"
+        ),
+        names=tuple(names) if names is not None else tuple(),
+    )
+    return MultiStartFitResult(
+        best=best,
+        start_parameters=points,
+        start_losses=losses,
+        best_start=best_start,
+        iterations=iterations,
+        n_evaluations=n_evaluations,
+        converged=converged,
     )
 
 

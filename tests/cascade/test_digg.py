@@ -5,7 +5,6 @@ about the qualitative structure the corpus must reproduce (Section III-B of
 the paper), not about exact values.
 """
 
-import numpy as np
 import pytest
 
 from repro.cascade.digg import (

@@ -7,7 +7,6 @@ the same pipeline, alternative cascade mechanisms feeding the DL model).
 """
 
 import numpy as np
-import pytest
 
 from repro.baselines.independent_cascade import independent_cascade
 from repro.cascade.dataset import CascadeDataset

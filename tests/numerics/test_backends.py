@@ -6,7 +6,6 @@ import pytest
 from repro.numerics.backends import (
     InternalBackend,
     ScipyBackend,
-    SolverBackend,
     available_backends,
     get_backend,
     register_backend,
@@ -178,14 +177,14 @@ class TestBatchedEngine:
 
 
 class TestOperatorCache:
-    def test_repeated_solves_hit_the_factor_cache(self):
+    def test_repeated_solves_hit_the_operator_cache(self):
         clear_operator_caches()
         problem = dl_like_batch_problem(batch=4)
         solver = ReactionDiffusionSolver(max_step=0.05)
         solver.solve_batch(problem, [2.0])
-        first = cache_stats()["crank_nicolson_factor"]
+        first = cache_stats()["crank_nicolson_operator"]
         solver.solve_batch(problem, [2.0])
-        second = cache_stats()["crank_nicolson_factor"]
+        second = cache_stats()["crank_nicolson_operator"]
         assert second["misses"] == first["misses"]
         assert second["hits"] > first["hits"]
 
@@ -194,9 +193,9 @@ class TestOperatorCache:
         problem = dl_like_batch_problem(batch=2)
         solver = ReactionDiffusionSolver(max_step=0.05)
         solver.solve_batch(problem, [2.0])
-        misses_after_batch = cache_stats()["crank_nicolson_factor"]["misses"]
+        misses_after_batch = cache_stats()["crank_nicolson_operator"]["misses"]
         solver.solve(problem.column_problem(0), [2.0])
-        assert cache_stats()["crank_nicolson_factor"]["misses"] == misses_after_batch
+        assert cache_stats()["crank_nicolson_operator"]["misses"] == misses_after_batch
 
     def test_cached_laplacian_is_read_only(self):
         from repro.numerics.finite_difference import NeumannLaplacian
@@ -204,3 +203,71 @@ class TestOperatorCache:
         matrix = NeumannLaplacian(UniformGrid(0.0, 1.0, 11)).matrix
         with pytest.raises(ValueError):
             matrix[0, 0] = 1.0
+
+
+class TestOperatorModes:
+    def test_default_mode_is_banded(self):
+        solver = ReactionDiffusionSolver(max_step=0.05)
+        assert solver.operator == "banded"
+        batched = solver.solve_batch(dl_like_batch_problem(batch=2), [2.0])
+        assert batched.metadata["operator"] == "banded"
+
+    @pytest.mark.parametrize("mode", ["dense", "banded", "thomas"])
+    def test_explicit_mode_reported_in_metadata(self, mode):
+        solver = ReactionDiffusionSolver(max_step=0.05, operator=mode)
+        assert solver.operator == mode
+        batched = solver.solve_batch(dl_like_batch_problem(batch=2), [2.0])
+        assert batched.metadata["operator"] == mode
+
+    @pytest.mark.parametrize("mode", ["banded", "thomas"])
+    def test_modes_match_dense_reference(self, mode):
+        problem = dl_like_batch_problem(batch=5)
+        times = [1.0, 2.0, 4.0]
+        dense = ReactionDiffusionSolver(max_step=0.05, operator="dense").solve_batch(
+            problem, times
+        )
+        other = ReactionDiffusionSolver(max_step=0.05, operator=mode).solve_batch(
+            problem, times
+        )
+        assert np.max(np.abs(other.states - dense.states)) < 1e-12
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ReactionDiffusionSolver(operator="sparse-qr")
+
+    def test_mode_selection_rejected_for_scipy_backend(self):
+        with pytest.raises(ValueError):
+            ReactionDiffusionSolver(backend="scipy", operator="banded")
+
+    def test_mode_selection_does_not_mutate_shared_backend_instance(self):
+        shared = InternalBackend()
+        first = ReactionDiffusionSolver(backend=shared)
+        second = ReactionDiffusionSolver(backend=shared, operator="dense")
+        assert second.operator == "dense"
+        # The caller's instance (and any solver already holding it) is untouched.
+        assert shared.operator_mode == "auto"
+        assert first.operator == "banded"
+
+    def test_scipy_backend_ignores_auto_mode(self):
+        solver = ReactionDiffusionSolver(backend="scipy")
+        assert solver.operator is None
+
+    def test_thomas_backend_registered(self):
+        assert "thomas" in available_backends()
+        solver = ReactionDiffusionSolver(backend="thomas")
+        assert solver.backend == "thomas"
+        assert solver.operator == "thomas"
+
+    def test_thomas_backend_matches_internal(self):
+        problem = dl_like_batch_problem(batch=3)
+        times = [1.0, 3.0]
+        internal = ReactionDiffusionSolver(max_step=0.05).solve_batch(problem, times)
+        thomas = ReactionDiffusionSolver(max_step=0.05, backend="thomas").solve_batch(
+            problem, times
+        )
+        assert np.max(np.abs(internal.states - thomas.states)) < 1e-12
+
+    def test_single_solve_metadata_reports_operator(self):
+        problem = dl_like_batch_problem(batch=2).column_problem(0)
+        solution = ReactionDiffusionSolver(max_step=0.05).solve(problem, [2.0])
+        assert solution.metadata["operator"] == "banded"

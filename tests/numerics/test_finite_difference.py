@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.numerics.finite_difference import (
     NeumannLaplacian,
     laplacian_matrix,
+    laplacian_tridiagonal,
     second_derivative,
 )
 from repro.numerics.grid import UniformGrid
@@ -46,6 +47,28 @@ class TestLaplacianMatrix:
             laplacian_matrix(5, -1.0)
 
 
+class TestLaplacianTridiagonal:
+    @pytest.mark.parametrize("num_points", [2, 3, 7, 24])
+    def test_bands_match_dense_matrix(self, num_points):
+        sub, diag, sup = laplacian_tridiagonal(num_points, 0.4)
+        dense = laplacian_matrix(num_points, 0.4)
+        rebuilt = np.diag(diag) + np.diag(sub, -1) + np.diag(sup, 1)
+        assert np.array_equal(rebuilt, dense)
+
+    def test_boundary_entries_doubled(self):
+        sub, diag, sup = laplacian_tridiagonal(6, 0.5)
+        inv_h2 = 4.0
+        assert sup[0] == pytest.approx(2.0 * inv_h2)
+        assert sub[-1] == pytest.approx(2.0 * inv_h2)
+        assert np.all(diag == pytest.approx(-2.0 * inv_h2))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            laplacian_tridiagonal(1, 0.1)
+        with pytest.raises(ValueError):
+            laplacian_tridiagonal(5, 0.0)
+
+
 class TestSecondDerivative:
     def test_matches_matrix_application(self):
         rng = np.random.default_rng(0)
@@ -76,6 +99,17 @@ class TestSecondDerivative:
         assert errors[1] < errors[0] / 3.0
         assert errors[2] < errors[1] / 3.0
 
+    def test_column_block_matches_per_column_application(self):
+        # The batched Crank-Nicolson engine applies the operator to a whole
+        # (n, batch) state matrix at once.
+        rng = np.random.default_rng(3)
+        block = rng.normal(size=(17, 5))
+        spacing = 0.37
+        result = second_derivative(block, spacing)
+        assert result.shape == block.shape
+        for j in range(block.shape[1]):
+            assert np.allclose(result[:, j], second_derivative(block[:, j], spacing))
+
     def test_rejects_bad_input(self):
         with pytest.raises(ValueError):
             second_derivative(np.array([1.0]), 0.1)
@@ -83,6 +117,8 @@ class TestSecondDerivative:
             second_derivative(np.array([[1.0, 2.0]]), 0.1)
         with pytest.raises(ValueError):
             second_derivative(np.array([1.0, 2.0]), -0.5)
+        with pytest.raises(ValueError):
+            second_derivative(np.ones((2, 2, 2)), 0.1)
 
 
 class TestNeumannLaplacian:
