@@ -21,7 +21,9 @@ Three families of checks run:
   instead of raw seconds so the gate is stable across differently sized CI
   machines.
 * **Hard floors** from the acceptance criteria: the banded operator must
-  stay at least 2x faster than dense LU per step at n = 4000.
+  stay at least 2x faster than dense LU per step at n = 4000, and the async
+  prediction service at least 2x faster than the sequential per-story loop
+  at corpus size 100.
 
 Regenerate the baseline (only when a PR intentionally changes the
 performance envelope) with::
@@ -47,9 +49,16 @@ CORRECTNESS_CHECKS = (
     ("solver.max_state_delta", 1e-10),
     ("operator.banded.max_state_delta_vs_dense", 1e-10),
     ("operator.thomas.max_state_delta_vs_dense", 1e-10),
+    # The async service reorganises scheduling, never numerics: per-story
+    # results must match the synchronous BatchPredictor exactly.
+    ("service.max_result_delta_vs_batch", 1e-12),
 )
 
 #: Dotted metric paths of within-run speedup ratios gated against the baseline.
+#: service.speedup is deliberately NOT here: its numerator and denominator are
+#: corpus-level wall-clock times whose ratio swings far more than 1.3x between
+#: runs on shared/single-core CI machines (observed 3.6x-8x at identical
+#: code), so it is gated by the hard floor below instead.
 SPEEDUP_CHECKS = (
     "calibration.speedup",
     "refine.speedup",
@@ -58,7 +67,12 @@ SPEEDUP_CHECKS = (
 )
 
 #: (dotted metric path, minimum value) -- unconditional acceptance floors.
-FLOOR_CHECKS = (("operator.banded.speedup_vs_dense", 2.0),)
+FLOOR_CHECKS = (
+    ("operator.banded.speedup_vs_dense", 2.0),
+    # Acceptance criterion of the service layer: >= 2x throughput over the
+    # sequential per-story loop at corpus size 100.
+    ("service.speedup", 2.0),
+)
 
 
 def lookup(report: dict, path: str) -> float:

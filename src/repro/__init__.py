@@ -14,6 +14,9 @@ as a standalone Python library:
   generators and the two distance metrics (friendship hops, shared interests).
 * :mod:`repro.cascade` -- vote cascades, the stochastic cascade simulator,
   the synthetic Digg corpus and density-surface extraction.
+* :mod:`repro.service` -- the async multi-story prediction service: corpus
+  sharding by spatial signature plus a bounded worker pool with
+  submit/await/stream APIs (``repro serve-batch``).
 * :mod:`repro.baselines` -- temporal-only and graph-level diffusion baselines.
 * :mod:`repro.analysis` -- pattern characterisation, per-figure/table
   experiment runners and text reports.
@@ -55,6 +58,7 @@ from repro.core import (
     solve_dl_batch,
 )
 from repro.network import SocialGraph, generate_digg_like_graph
+from repro.service import CorpusSharder, PredictionService, score_corpus_sync
 
 __version__ = "1.0.0"
 
@@ -83,4 +87,7 @@ __all__ = [
     "build_synthetic_digg_dataset",
     "SocialGraph",
     "generate_digg_like_graph",
+    "PredictionService",
+    "CorpusSharder",
+    "score_corpus_sync",
 ]

@@ -15,16 +15,23 @@ Five subcommands cover the common workflows without writing any Python:
     calibration through the batched grid-then-refine path and all forward
     solves advanced together in one vectorised batched PDE solve.  Use
     ``--json`` to emit machine-readable results.
+``serve-batch``
+    Score a whole corpus of stories through the async prediction service:
+    the manifest's stories are sharded by spatial signature, drained by a
+    bounded worker pool, and each per-story result is streamed to stdout as
+    one JSON line the moment its shard completes.
 ``report``
     Run every registered experiment and print a compact paper-vs-measured
     summary (a quick, text-only version of the benchmark harness).
 
-The ``predict`` and ``predict-batch`` commands accept ``--backend`` to pick
-the PDE solver backend by registry name (``internal`` is the package's own
-Crank-Nicolson engine with banded operator caching; ``thomas`` pins the
-pure-numpy tridiagonal fallback; ``scipy`` delegates to ``solve_ivp`` for
-cross-validation).  Unknown names exit with the engine's error message
-listing every registered backend -- including ones registered at runtime.
+The prediction commands accept ``--backend`` to pick the PDE solver backend
+by registry name (``internal`` is the package's own Crank-Nicolson engine
+with banded operator caching; ``thomas`` pins the pure-numpy tridiagonal
+fallback; ``scipy`` delegates to ``solve_ivp`` for cross-validation) and
+``--operator`` to pick the Crank-Nicolson operator factorization mode
+(``auto`` | ``banded`` | ``thomas`` | ``dense``).  Unknown names exit with
+the engine's error message listing every registered backend / mode --
+including backends registered at runtime.
 
 Run ``python -m repro --help`` for the full argument reference.
 """
@@ -80,8 +87,8 @@ def _hours_window(value: str) -> int:
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     # Deliberately NOT argparse choices: backends can be registered at
     # runtime, so the name is validated against the live registry when the
-    # command runs (see _resolve_backend), producing the engine's own error
-    # message with the registered-backend list.
+    # command runs (see _resolve_solver_config), producing the engine's own
+    # error message with the registered-backend list.
     parser.add_argument(
         "--backend",
         default="internal",
@@ -92,19 +99,31 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
             "through scipy.integrate.solve_ivp"
         ),
     )
+    # Same runtime-validation rationale: unknown modes exit with the engine's
+    # own error message listing every registered operator mode.
+    parser.add_argument(
+        "--operator",
+        default="auto",
+        help=(
+            "Crank-Nicolson operator factorization mode: 'auto' (the "
+            "backend's default, banded for the internal engine), 'banded', "
+            "'thomas' or 'dense'"
+        ),
+    )
 
 
-def _resolve_backend(name: str) -> "str | None":
-    """Validate a backend name against the registry.
+def _resolve_solver_config(backend: str, operator: str = "auto") -> "str | None":
+    """Validate a (backend, operator) pair against the live engine.
 
-    Returns an error message (for stderr) when the name is unknown, None when
-    it is fine -- the same error path, and the same registered-backend list,
-    the solver engine itself produces.
+    Returns an error message (for stderr) when either name is unknown or the
+    backend does not support operator selection, None when the combination is
+    fine -- the same error paths, and the same registered-name lists, the
+    solver engine itself produces.
     """
-    from repro.numerics.backends import get_backend
+    from repro.numerics.pde_solver import ReactionDiffusionSolver
 
     try:
-        get_backend(name)
+        ReactionDiffusionSolver(backend=backend, operator=operator)
     except ValueError as error:
         return f"error: {error}"
     return None
@@ -191,6 +210,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(predict_batch)
 
+    serve_batch = subparsers.add_parser(
+        "serve-batch",
+        help="score a manifest of stories through the async prediction service",
+        description=(
+            "Read a story manifest (corpus references and/or inline density "
+            "surfaces), shard the stories by spatial signature, drain the "
+            "shards through the async prediction service's bounded worker "
+            "pool, and stream one JSON result line per story to stdout as it "
+            "completes.  The human-readable summary goes to stderr.  Corpus "
+            "flags given explicitly override the manifest's 'corpus' block "
+            "(like --hours overrides its 'hours')."
+        ),
+    )
+    _add_corpus_arguments(serve_batch)
+    # For serve-batch the corpus flags are *overrides* of the manifest's
+    # corpus block, so their defaults become None ("not given"); unset fields
+    # fall back to the manifest and then to the shared CLI defaults
+    # (repro.service.manifest.CORPUS_FIELD_DEFAULTS).
+    serve_batch.set_defaults(users=None, background_stories=None, seed=None, horizon=None)
+    serve_batch.add_argument(
+        "--manifest", required=True, help="path of the story-manifest JSON file"
+    )
+    serve_batch.add_argument(
+        "--hours",
+        type=_hours_window,
+        default=None,
+        help=(
+            "length of the training/evaluation window in hours (>= 2); "
+            "overrides the manifest's 'hours' (default 6)"
+        ),
+    )
+    serve_batch.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="number of shard solves in flight at once (thread pool size)",
+    )
+    serve_batch.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        help="backpressure bound: maximum queued+running stories",
+    )
+    serve_batch.add_argument(
+        "--shard-size",
+        type=int,
+        default=32,
+        help="maximum stories advanced together in one batched solve",
+    )
+    serve_batch.add_argument(
+        "--sequential-calibration",
+        action="store_true",
+        help="calibrate with the sequential per-candidate protocol instead of the batched grid",
+    )
+    serve_batch.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the streamed JSON lines to PATH",
+    )
+    _add_backend_argument(serve_batch)
+
     report = subparsers.add_parser(
         "report", help="run the main experiments and print a compact summary"
     )
@@ -240,9 +321,9 @@ def _command_characterize(args: argparse.Namespace) -> int:
 
 
 def _command_predict(args: argparse.Namespace) -> int:
-    backend_error = _resolve_backend(args.backend)
-    if backend_error is not None:
-        print(backend_error, file=sys.stderr)
+    config_error = _resolve_solver_config(args.backend, args.operator)
+    if config_error is not None:
+        print(config_error, file=sys.stderr)
         return 2
     corpus = build_synthetic_digg_dataset(_corpus_config(args))
     observed = _observed_surface(corpus, args.story, args.metric)
@@ -254,7 +335,7 @@ def _command_predict(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    predictor = DiffusionPredictor(backend=args.backend).fit(
+    predictor = DiffusionPredictor(backend=args.backend, operator=args.operator).fit(
         observed, training_times=training_times
     )
     result = predictor.evaluate(observed, times=training_times[1:])
@@ -265,11 +346,40 @@ def _command_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _warn_skipped(story: str) -> None:
+    """Stderr warning shared by predict-batch and serve-batch skip paths."""
+    print(
+        f"warning: skipping {story}: no influenced users at any distance "
+        f"in the first observed hour",
+        file=sys.stderr,
+    )
+
+
+def _story_payload(result, parameters) -> dict:
+    """Machine-readable per-story result shared by predict-batch and serve-batch.
+
+    ``parameters`` is emitted as the structured ``to_json_dict`` form --
+    numeric fields that survive ``json.loads`` -- never as a Python repr
+    (the repr stays in the human-readable summary only).
+    """
+    return {
+        "overall_accuracy": result.overall_accuracy,
+        "parameters": parameters.to_json_dict(),
+        "accuracy_by_distance": {
+            str(distance): result.accuracy_at_distance(distance)
+            for distance in result.predicted.distances
+        },
+    }
+
+
 def _command_predict_batch(args: argparse.Namespace) -> int:
-    backend_error = _resolve_backend(args.backend)
-    if backend_error is not None:
-        print(backend_error, file=sys.stderr)
+    config_error = _resolve_solver_config(args.backend, args.operator)
+    if config_error is not None:
+        print(config_error, file=sys.stderr)
         return 2
+    # args.stories is never empty here: --stories is nargs="+" with a
+    # non-empty default.  The empty-story-list case only exists for
+    # serve-batch manifests, which handle it with a distinct message.
     corpus = build_synthetic_digg_dataset(_corpus_config(args))
     training_times = [float(t) for t in range(1, args.hours + 1)]
 
@@ -279,14 +389,11 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
         surface = _observed_surface(corpus, story, args.metric)
         if surface.profile(training_times[0]).sum() <= 0:
             skipped.append(story)
+            # Warn as soon as the story is skipped, not after the loop, so a
+            # long story list shows progress while it is still being read.
+            _warn_skipped(story)
             continue
         surfaces[story] = surface
-    for story in skipped:
-        print(
-            f"warning: skipping {story}: no influenced users at any distance "
-            f"in the first observed hour",
-            file=sys.stderr,
-        )
     if not surfaces:
         print(
             "error: every requested story is empty in the first observed hour; "
@@ -297,6 +404,7 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
 
     predictor = BatchPredictor(
         backend=args.backend,
+        operator=args.operator,
         calibration_batch=not args.sequential_calibration,
     ).fit(surfaces, training_times=training_times)
     results = predictor.evaluate(surfaces, times=training_times[1:])
@@ -323,18 +431,12 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
             "metric": args.metric,
             "hours": args.hours,
             "backend": args.backend,
+            "operator": args.operator,
             "calibration": "sequential" if args.sequential_calibration else "batched",
             "overall_accuracy": results.overall_accuracy,
             "skipped_stories": skipped,
             "stories": {
-                story: {
-                    "overall_accuracy": results[story].overall_accuracy,
-                    "parameters": repr(predictor.parameters_for(story)),
-                    "accuracy_by_distance": {
-                        str(distance): results[story].accuracy_at_distance(distance)
-                        for distance in results[story].predicted.distances
-                    },
-                }
+                story: _story_payload(results[story], predictor.parameters_for(story))
                 for story in surfaces
             },
         }
@@ -346,6 +448,165 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
                 handle.write(text + "\n")
             print(f"wrote JSON results to {args.json}")
     return 0
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import (
+        JobStatus,
+        ManifestError,
+        PredictionService,
+        load_manifest,
+        resolve_manifest,
+    )
+
+    config_error = _resolve_solver_config(args.backend, args.operator)
+    if config_error is not None:
+        print(config_error, file=sys.stderr)
+        return 2
+    for flag, value in (
+        ("--workers", args.workers),
+        ("--queue-depth", args.queue_depth),
+        ("--shard-size", args.shard_size),
+    ):
+        if value < 1:
+            print(f"error: {flag} must be >= 1, got {value}", file=sys.stderr)
+            return 2
+    try:
+        manifest = load_manifest(args.manifest)
+    except FileNotFoundError:
+        print(f"error: manifest {args.manifest} does not exist", file=sys.stderr)
+        return 2
+    except ManifestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if not manifest.stories:
+        # Distinct from the all-skipped case below: an empty manifest is a
+        # producer-side problem, not a property of the corpus.
+        print(
+            f"error: the manifest {args.manifest} contains no stories",
+            file=sys.stderr,
+        )
+        return 1
+
+    hours = args.hours if args.hours is not None else (manifest.hours or 6)
+    training_times = [float(t) for t in range(1, hours + 1)]
+    evaluation_times = training_times[1:]
+    corpus_overrides = {
+        field: value
+        for field, value in (
+            ("users", args.users),
+            ("background_stories", args.background_stories),
+            ("seed", args.seed),
+            ("horizon", args.horizon),
+        )
+        if value is not None  # only explicitly given flags override the manifest
+    }
+    try:
+        resolved = resolve_manifest(manifest, corpus_overrides, training_times)
+    except ManifestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    output_handle = open(args.output, "w", encoding="utf-8") if args.output else None
+
+    def emit_line(payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        print(line, flush=True)
+        if output_handle is not None:
+            output_handle.write(line + "\n")
+
+    def emit(job) -> None:
+        if job.status is JobStatus.SUCCEEDED:
+            payload = {
+                "story": job.name,
+                "status": job.status.value,
+                **_story_payload(job.result, job.result.parameters),
+            }
+        else:
+            payload = {
+                "story": job.name,
+                "status": job.status.value,
+                "error": str(job.error),
+            }
+        emit_line(payload)
+
+    async def run():
+        async with PredictionService(
+            backend=args.backend,
+            operator=args.operator,
+            calibration_batch=not args.sequential_calibration,
+            max_workers=args.workers,
+            queue_depth=args.queue_depth,
+            max_shard_size=args.shard_size,
+        ) as service:
+            jobs = []
+
+            async def watch(job) -> None:
+                await job.finished()
+                emit(job)
+                jobs.append(job)
+
+            # Watchers stream each result the moment its shard completes,
+            # including while this loop is suspended in submit() by
+            # backpressure (queue_depth may be far below corpus size).
+            watchers = [
+                asyncio.ensure_future(
+                    watch(
+                        await service.submit(
+                            name, surface, training_times, evaluation_times
+                        )
+                    )
+                )
+                for name, surface in resolved.surfaces.items()
+            ]
+            await asyncio.gather(*watchers)
+            return jobs, service.stats()
+
+    try:
+        # Skipped stories get a record in the machine-readable stream too
+        # (mirroring predict-batch's "skipped_stories"), so a consumer can
+        # reconcile the manifest against the results without parsing stderr.
+        for story in resolved.skipped:
+            _warn_skipped(story)
+            emit_line(
+                {
+                    "story": story,
+                    "status": "skipped",
+                    "reason": "no influenced users at any distance in the "
+                    "first observed hour",
+                }
+            )
+        if not resolved.surfaces:
+            print(
+                "error: every story in the manifest is empty in the first observed "
+                "hour; try a different metric or seed",
+                file=sys.stderr,
+            )
+            return 1
+        jobs, stats = asyncio.run(run())
+    finally:
+        if output_handle is not None:
+            output_handle.close()
+
+    succeeded = [job for job in jobs if job.status is JobStatus.SUCCEEDED]
+    failed = [job for job in jobs if job.status is JobStatus.FAILED]
+    story_word = "story" if len(jobs) == 1 else "stories"
+    print(
+        f"scored {len(succeeded)}/{len(jobs)} {story_word} "
+        f"({manifest.metric}, hours 2-{hours}, {args.backend} backend, "
+        f"{stats['shards_solved']} shards, {args.workers} workers)",
+        file=sys.stderr,
+    )
+    if succeeded:
+        mean_accuracy = sum(job.result.overall_accuracy for job in succeeded) / len(succeeded)
+        print(f"overall accuracy (mean over stories): {mean_accuracy:.4f}", file=sys.stderr)
+        for job in succeeded:
+            print(f"{job.name}: parameters = {job.result.parameters}", file=sys.stderr)
+    for job in failed:
+        print(f"error: {job.name} failed: {job.error}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 def _command_report(args: argparse.Namespace) -> int:
@@ -381,6 +642,7 @@ _COMMANDS = {
     "characterize": _command_characterize,
     "predict": _command_predict,
     "predict-batch": _command_predict_batch,
+    "serve-batch": _command_serve_batch,
     "report": _command_report,
 }
 

@@ -135,10 +135,15 @@ def _prediction_residuals(
     points_per_unit: int,
     max_step: float,
     backend: str = "internal",
+    operator: str = "auto",
 ) -> np.ndarray:
     """Residuals of one candidate, computed through a sequential solve."""
     model = DiffusiveLogisticModel(
-        parameters, points_per_unit=points_per_unit, max_step=max_step, backend=backend
+        parameters,
+        points_per_unit=points_per_unit,
+        max_step=max_step,
+        backend=backend,
+        operator=operator,
     )
     predicted = model.predict(initial_density, list(target_times), observed.distances)
     return _surface_residuals(predicted, observed, target_times)
@@ -152,6 +157,7 @@ def _batch_prediction_residuals(
     points_per_unit: int,
     max_step: float,
     backend: str = "internal",
+    operator: str = "auto",
 ) -> "list[np.ndarray]":
     """Residuals of many candidates, all advanced in one batched solve."""
     solutions = solve_dl_batch(
@@ -161,6 +167,7 @@ def _batch_prediction_residuals(
         points_per_unit=points_per_unit,
         max_step=max_step,
         backend=backend,
+        operator=operator,
     )
     return [
         _surface_residuals(solution.to_surface(observed.distances), observed, target_times)
@@ -177,6 +184,7 @@ def fit_growth_rate(
     max_step: float = 0.05,
     initial_guess: "Sequence[float] | None" = None,
     backend: str = "internal",
+    operator: str = "auto",
 ) -> CalibrationResult:
     """Fit the exponential-decay growth rate with d and K fixed.
 
@@ -198,6 +206,8 @@ def fit_growth_rate(
         the batched calibration passes its grid winner here.
     backend:
         Solver backend used for the residual solves.
+    operator:
+        Crank-Nicolson operator factorization mode forwarded to the solver.
     """
     if training_times is None:
         training_times = [float(t) for t in observed.times[: min(6, observed.times.size)]]
@@ -225,6 +235,7 @@ def fit_growth_rate(
             points_per_unit,
             max_step,
             backend=backend,
+            operator=operator,
         )
 
     fit = least_squares_fit(
@@ -267,6 +278,7 @@ def calibrate_dl_model(
     max_step: float = 0.05,
     batch: bool = False,
     backend: str = "internal",
+    operator: str = "auto",
 ) -> CalibrationResult:
     """Joint calibration of (d, r(t)-parameters) with K from the heuristic.
 
@@ -293,6 +305,7 @@ def calibrate_dl_model(
             points_per_unit=points_per_unit,
             max_step=max_step,
             backend=backend,
+            operator=operator,
         )
     if carrying_capacity is None:
         carrying_capacity = choose_carrying_capacity(observed)
@@ -310,6 +323,7 @@ def calibrate_dl_model(
             points_per_unit=points_per_unit,
             max_step=max_step,
             backend=backend,
+            operator=operator,
         )
         per_candidate[float(candidate)] = result.loss
         if best is None or result.loss < best.loss:
@@ -336,6 +350,7 @@ def calibrate_dl_model_batched(
     refine_starts: int = 4,
     engine: str = "batched",
     backend: str = "internal",
+    operator: str = "auto",
 ) -> CalibrationResult:
     """Grid-then-refine calibration with vectorised candidate evaluation.
 
@@ -404,6 +419,7 @@ def calibrate_dl_model_batched(
             points_per_unit,
             max_step,
             backend=backend,
+            operator=operator,
         )
     else:
         residual_vectors = [
@@ -415,6 +431,7 @@ def calibrate_dl_model_batched(
                 points_per_unit,
                 max_step,
                 backend=backend,
+                operator=operator,
             )
             for parameters in parameter_sets
         ]
@@ -486,6 +503,7 @@ def calibrate_dl_model_batched(
                 points_per_unit,
                 max_step,
                 backend=backend,
+                operator=operator,
             )
 
     else:
@@ -500,6 +518,7 @@ def calibrate_dl_model_batched(
                     points_per_unit,
                     max_step,
                     backend=backend,
+                    operator=operator,
                 )
                 for theta, s in zip(points, start_indices)
             ]

@@ -42,6 +42,15 @@ class GrowthRate:
         value = self(np.asarray([0.0]), time)
         return float(np.asarray(value).ravel()[0])
 
+    def to_json_dict(self) -> dict:
+        """JSON-serializable description of the rate.
+
+        Subclasses with numeric parameters override this with their full
+        parameterisation; the fallback only records the family name (e.g. for
+        :class:`SpaceTimeGrowthRate`, whose callable cannot be serialized).
+        """
+        return {"type": type(self).__name__}
+
 
 @dataclass(frozen=True)
 class ConstantGrowthRate(GrowthRate):
@@ -55,6 +64,9 @@ class ConstantGrowthRate(GrowthRate):
 
     def __call__(self, positions: np.ndarray, time: float) -> np.ndarray:
         return np.full(np.asarray(positions, dtype=float).shape, self.rate)
+
+    def to_json_dict(self) -> dict:
+        return {"type": "constant", "rate": float(self.rate)}
 
 
 @dataclass(frozen=True)
@@ -89,6 +101,15 @@ class ExponentialDecayGrowthRate(GrowthRate):
 
     def at_time(self, time: float) -> float:
         return self.scalar(time)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "type": "exponential_decay",
+            "amplitude": float(self.amplitude),
+            "decay": float(self.decay),
+            "floor": float(self.floor),
+            "reference_time": float(self.reference_time),
+        }
 
 
 @dataclass(frozen=True)
@@ -176,6 +197,19 @@ class DLParameters:
         return DLParameters(
             self.diffusion_rate, _as_growth_rate(growth_rate), self.carrying_capacity
         )
+
+    def to_json_dict(self) -> dict:
+        """Structured JSON-serializable form ``{"d": ..., "r": {...}, "K": ...}``.
+
+        Every numeric field survives a ``json.dumps``/``json.loads`` round
+        trip (unlike ``repr``, which machine consumers cannot parse); ``r``
+        is the growth rate's own parameterisation dict.
+        """
+        return {
+            "d": float(self.diffusion_rate),
+            "r": self.growth_rate.to_json_dict(),
+            "K": float(self.carrying_capacity),
+        }
 
 
 def dl_parameters(

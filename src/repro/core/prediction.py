@@ -90,6 +90,10 @@ class DiffusionPredictor:
     backend:
         Name of a registered PDE solver backend (``"internal"``, ``"scipy"``,
         or anything added via :func:`repro.numerics.backends.register_backend`).
+    operator:
+        Crank-Nicolson operator factorization mode (``"auto"``, ``"banded"``,
+        ``"thomas"`` or ``"dense"``), forwarded to every solve and to the
+        calibration's residual solves.
     calibration_batch:
         When True, :meth:`fit` calibrates through the batched grid-then-refine
         path (``calibrate_dl_model(batch=True)``) instead of the sequential
@@ -102,12 +106,14 @@ class DiffusionPredictor:
         points_per_unit: int = 20,
         max_step: float = 0.02,
         backend: str = "internal",
+        operator: str = "auto",
         calibration_batch: bool = False,
     ) -> None:
         self._configured_parameters = parameters
         self._points_per_unit = points_per_unit
         self._max_step = max_step
         self._backend = backend
+        self._operator = operator
         self._calibration_batch = calibration_batch
         self._fitted_parameters: "DLParameters | None" = None
         self._initial_density: "InitialDensity | None" = None
@@ -151,6 +157,7 @@ class DiffusionPredictor:
                 training_times=training_times,
                 batch=self._calibration_batch,
                 backend=self._backend,
+                operator=self._operator,
             )
             self._fitted_parameters = calibration.parameters
             self._calibration_details = {
@@ -188,6 +195,7 @@ class DiffusionPredictor:
             points_per_unit=self._points_per_unit,
             max_step=self._max_step,
             backend=self._backend,
+            operator=self._operator,
         )
 
     def predict(
@@ -345,7 +353,7 @@ class BatchPredictor:
         ``None`` to calibrate each story from its own training window, one
         :class:`DLParameters` shared by every story, or a mapping from story
         name to its parameters.
-    points_per_unit, max_step, backend:
+    points_per_unit, max_step, backend, operator:
         Solver configuration, as for :class:`DiffusionPredictor`.
     calibration_batch:
         Calibrate through the batched grid evaluation (default) or the
@@ -358,12 +366,14 @@ class BatchPredictor:
         points_per_unit: int = 20,
         max_step: float = 0.02,
         backend: str = "internal",
+        operator: str = "auto",
         calibration_batch: bool = True,
     ) -> None:
         self._configured_parameters = parameters
         self._points_per_unit = points_per_unit
         self._max_step = max_step
         self._backend = backend
+        self._operator = operator
         self._calibration_batch = calibration_batch
         self._initial_densities: "dict[str, InitialDensity]" = {}
         self._parameters: "dict[str, DLParameters]" = {}
@@ -390,6 +400,7 @@ class BatchPredictor:
             training_times=training_times,
             batch=self._calibration_batch,
             backend=self._backend,
+            operator=self._operator,
         )
         details = {
             "calibrated": True,
@@ -397,6 +408,42 @@ class BatchPredictor:
             "details": calibration.details,
         }
         return calibration.parameters, details
+
+    def fit_story(
+        self,
+        name: str,
+        observed: DensitySurface,
+        training_times: "Sequence[float] | None" = None,
+    ) -> "BatchPredictor":
+        """Build phi and resolve parameters for one story, incrementally.
+
+        This is the per-story stage of :meth:`fit`; the service layer uses it
+        to fill a predictor shard by shard.  Re-fitting an existing story name
+        replaces its state.  ``training_times=None`` defaults to the story's
+        own first six observed hours.
+        """
+        if training_times is None:
+            story_times = [
+                float(t) for t in observed.times[: min(6, observed.times.size)]
+            ]
+        else:
+            story_times = sorted(float(t) for t in training_times)
+        if not story_times:
+            raise ValueError(f"story {name!r} has no training times")
+        initial_time = story_times[0]
+        phi = InitialDensity(
+            distances=observed.distances,
+            densities=observed.profile(initial_time),
+            initial_time=initial_time,
+        )
+        parameters, details = self._resolve_parameters(name, observed, story_times)
+        # Commit only after every stage succeeded, so a failed fit (e.g. a
+        # calibration error) leaves no half-fitted story behind and the
+        # predictor remains usable for its other stories.
+        self._initial_densities[name] = phi
+        self._parameters[name] = parameters
+        self._calibration_details[name] = details
+        return self
 
     def fit(
         self,
@@ -414,23 +461,7 @@ class BatchPredictor:
         self._parameters = {}
         self._calibration_details = {}
         for name, observed in surfaces.items():
-            if training_times is None:
-                story_times = [
-                    float(t) for t in observed.times[: min(6, observed.times.size)]
-                ]
-            else:
-                story_times = sorted(float(t) for t in training_times)
-            if not story_times:
-                raise ValueError(f"story {name!r} has no training times")
-            initial_time = story_times[0]
-            self._initial_densities[name] = InitialDensity(
-                distances=observed.distances,
-                densities=observed.profile(initial_time),
-                initial_time=initial_time,
-            )
-            parameters, details = self._resolve_parameters(name, observed, story_times)
-            self._parameters[name] = parameters
-            self._calibration_details[name] = details
+            self.fit_story(name, observed, training_times)
         return self
 
     @property
@@ -455,6 +486,20 @@ class BatchPredictor:
     # ------------------------------------------------------------------ #
     # Prediction & evaluation
     # ------------------------------------------------------------------ #
+    def spatial_groups(self) -> "dict[tuple, list[str]]":
+        """Fitted stories grouped by spatial signature (interval, initial time).
+
+        Each group's stories can be advanced as columns of one batched solve
+        sharing every cached operator factorization; this is also the
+        signature :class:`repro.service.CorpusSharder` shards a corpus by.
+        """
+        self._require_fitted()
+        groups: "dict[tuple, list[str]]" = {}
+        for name, phi in self._initial_densities.items():
+            key = (phi.lower, phi.upper, phi.initial_time)
+            groups.setdefault(key, []).append(name)
+        return groups
+
     def solve(self, times: Sequence[float]) -> "dict[str, DLSolution]":
         """Integrate every story forward, batching compatible stories together.
 
@@ -462,14 +507,8 @@ class BatchPredictor:
         becomes one batched solve whose columns share every cached operator
         factorization.  Solutions come back keyed by story name.
         """
-        self._require_fitted()
-        groups: "dict[tuple, list[str]]" = {}
-        for name, phi in self._initial_densities.items():
-            key = (phi.lower, phi.upper, phi.initial_time)
-            groups.setdefault(key, []).append(name)
-
         solutions: "dict[str, DLSolution]" = {}
-        for names in groups.values():
+        for names in self.spatial_groups().values():
             solved = solve_dl_batch(
                 [self._parameters[name] for name in names],
                 [self._initial_densities[name] for name in names],
@@ -477,6 +516,7 @@ class BatchPredictor:
                 points_per_unit=self._points_per_unit,
                 max_step=self._max_step,
                 backend=self._backend,
+                operator=self._operator,
             )
             solutions.update(zip(names, solved))
         return {name: solutions[name] for name in self._initial_densities}

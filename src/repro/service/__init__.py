@@ -1,0 +1,50 @@
+"""The multi-story prediction service layer.
+
+Wraps the batched predictor behind an async job queue so whole corpora of
+cascades are scored concurrently:
+
+* :mod:`repro.service.sharding` -- group stories by the spatial signature
+  (grid, dt, backend, operator mode) that lets them share one batched solve
+  and its cached operator factorizations.
+* :mod:`repro.service.service` -- the :class:`PredictionService`: bounded
+  async worker pool with submit/await/stream APIs, per-job status,
+  cancellation and queue-depth backpressure.
+* :mod:`repro.service.manifest` -- the story-manifest format consumed by the
+  ``repro serve-batch`` CLI.
+"""
+
+from repro.service.manifest import (
+    ManifestError,
+    ManifestStory,
+    ResolvedManifest,
+    StoryManifest,
+    load_manifest,
+    parse_manifest,
+    resolve_manifest,
+)
+from repro.service.service import (
+    JobCancelledError,
+    JobStatus,
+    PredictionJob,
+    PredictionService,
+    score_corpus_sync,
+)
+from repro.service.sharding import CorpusSharder, Shard, ShardKey
+
+__all__ = [
+    "CorpusSharder",
+    "Shard",
+    "ShardKey",
+    "JobCancelledError",
+    "JobStatus",
+    "PredictionJob",
+    "PredictionService",
+    "score_corpus_sync",
+    "ManifestError",
+    "ManifestStory",
+    "ResolvedManifest",
+    "StoryManifest",
+    "load_manifest",
+    "parse_manifest",
+    "resolve_manifest",
+]

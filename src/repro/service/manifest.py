@@ -1,0 +1,314 @@
+"""Story manifests: the input format of ``repro serve-batch``.
+
+A manifest is a JSON document naming the stories a service run should score.
+Stories come from two sources, freely mixed:
+
+* **corpus stories** reference a representative story of the synthetic
+  Digg-like corpus (built once per manifest from the ``corpus`` block);
+* **inline stories** carry their observed density surface directly, so a
+  manifest can describe thousands of cascades without any simulation.
+
+Example::
+
+    {
+      "metric": "hops",
+      "hours": 6,
+      "corpus": {"users": 2000, "background_stories": 40, "seed": 2009},
+      "stories": [
+        "s1",
+        {"story": "s2"},
+        {"name": "cascade-17",
+         "distances": [1, 2, 3, 4, 5],
+         "times": [1, 2, 3, 4, 5, 6],
+         "values": [[5.0, 2.0, 2.5, 1.5, 1.0], ...]}
+      ]
+    }
+
+``metric`` (``hops`` | ``interests``) and ``hours`` (training window length,
+>= 2) apply to the whole manifest; both are optional with the CLI defaults.
+The ``corpus`` block mirrors the corpus flags of the other subcommands
+(``users``, ``background_stories``, ``seed``, ``horizon``) and is only
+required when at least one corpus story is listed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascade.density import DensitySurface
+
+VALID_METRICS = ("hops", "interests")
+
+#: Corpus-builder fields used when neither the manifest's ``corpus`` block
+#: nor the caller's overrides set them -- the same defaults as the CLI's
+#: corpus flags, so a manifest scores identically from the library and from
+#: ``repro serve-batch``.  Also the set of keys a ``corpus`` block may use.
+CORPUS_FIELD_DEFAULTS = {
+    "users": 2000,
+    "background_stories": 40,
+    "horizon": 50.0,
+    "seed": 2009,
+}
+
+
+@dataclass(frozen=True)
+class ManifestStory:
+    """One story entry: either a corpus reference or an inline surface."""
+
+    name: str
+    corpus_story: "str | None" = None
+    surface: "DensitySurface | None" = None
+
+    @property
+    def is_inline(self) -> bool:
+        return self.surface is not None
+
+
+@dataclass(frozen=True)
+class StoryManifest:
+    """A parsed manifest, ready to be resolved into density surfaces."""
+
+    stories: tuple[ManifestStory, ...]
+    metric: str = "hops"
+    hours: "int | None" = None
+    corpus_config: "dict | None" = None
+    source: str = "<memory>"
+
+    @property
+    def needs_corpus(self) -> bool:
+        """True when at least one story references the synthetic corpus."""
+        return any(not story.is_inline for story in self.stories)
+
+
+class ManifestError(ValueError):
+    """Raised when a manifest does not parse or validate."""
+
+
+def _coerce(kind, value, description: str):
+    """Coerce a manifest field, mapping bad values to ManifestError."""
+    try:
+        return kind(value)
+    except (TypeError, ValueError) as error:
+        raise ManifestError(f"{description}: {error}") from error
+
+
+def _inline_surface(entry: dict, name: str) -> DensitySurface:
+    for required in ("distances", "times", "values"):
+        if required not in entry:
+            raise ManifestError(
+                f"inline story {name!r} is missing the {required!r} field"
+            )
+    distances = _coerce(
+        lambda v: np.asarray(v, dtype=float),
+        entry["distances"],
+        f"inline story {name!r} has non-numeric 'distances'",
+    )
+    times = _coerce(
+        lambda v: np.asarray(v, dtype=float),
+        entry["times"],
+        f"inline story {name!r} has non-numeric 'times'",
+    )
+    values = _coerce(
+        lambda v: np.asarray(v, dtype=float),
+        entry["values"],
+        f"inline story {name!r} has non-numeric 'values'",
+    )
+    if values.shape != (times.size, distances.size):
+        raise ManifestError(
+            f"inline story {name!r} has values of shape {values.shape}; expected "
+            f"(times={times.size}, distances={distances.size})"
+        )
+    return DensitySurface(
+        distances=distances,
+        times=times,
+        values=values,
+        group_sizes=np.ones(distances.size),
+        metadata={"story": name, "source": "manifest_inline"},
+    )
+
+
+def _parse_story(entry, index: int, seen: "set[str]") -> ManifestStory:
+    if isinstance(entry, str):
+        entry = {"story": entry}
+    if not isinstance(entry, dict):
+        raise ManifestError(
+            f"story #{index} must be a name or an object, got {type(entry).__name__}"
+        )
+    if "story" in entry:
+        inline_fields = [f for f in ("distances", "times", "values") if f in entry]
+        if inline_fields:
+            raise ManifestError(
+                f"story #{index} mixes a corpus reference ('story': "
+                f"{entry['story']!r}) with inline surface fields "
+                f"{inline_fields}; use one or the other"
+            )
+        name = str(entry.get("name", entry["story"]))
+        story = ManifestStory(name=name, corpus_story=str(entry["story"]))
+    else:
+        if "name" not in entry:
+            raise ManifestError(f"inline story #{index} needs a 'name' field")
+        name = str(entry["name"])
+        story = ManifestStory(name=name, surface=_inline_surface(entry, name))
+    if name in seen:
+        raise ManifestError(f"duplicate story name {name!r} in the manifest")
+    seen.add(name)
+    return story
+
+
+def parse_manifest(payload: dict, source: str = "<memory>") -> StoryManifest:
+    """Validate a decoded manifest document."""
+    if not isinstance(payload, dict):
+        raise ManifestError(f"the manifest root must be an object, got {type(payload).__name__}")
+    metric = str(payload.get("metric", "hops"))
+    if metric not in VALID_METRICS:
+        raise ManifestError(
+            f"unknown metric {metric!r}; expected one of {VALID_METRICS}"
+        )
+    hours = payload.get("hours")
+    if hours is not None:
+        hours = _coerce(int, hours, "'hours' must be an integer")
+        if hours < 2:
+            raise ManifestError(
+                f"'hours' must be at least 2 (hour 1 builds phi, later hours are "
+                f"the calibration targets), got {hours}"
+            )
+    entries = payload.get("stories", [])
+    if not isinstance(entries, list):
+        raise ManifestError("'stories' must be a list")
+    seen: "set[str]" = set()
+    stories = tuple(_parse_story(entry, i, seen) for i, entry in enumerate(entries))
+    corpus = payload.get("corpus")
+    if corpus is not None:
+        if not isinstance(corpus, dict):
+            raise ManifestError("'corpus' must be an object of corpus-builder fields")
+        unknown = sorted(set(corpus) - set(CORPUS_FIELD_DEFAULTS))
+        if unknown:
+            raise ManifestError(
+                f"unknown corpus field(s) {unknown}; expected a subset of "
+                f"{sorted(CORPUS_FIELD_DEFAULTS)}"
+            )
+    manifest = StoryManifest(
+        stories=stories,
+        metric=metric,
+        hours=hours,
+        corpus_config=corpus,
+        source=source,
+    )
+    if manifest.needs_corpus and corpus is None:
+        referenced = [s.name for s in stories if not s.is_inline]
+        raise ManifestError(
+            f"stories {referenced} reference the synthetic corpus but the "
+            f"manifest has no 'corpus' block"
+        )
+    return manifest
+
+
+def load_manifest(path: str) -> StoryManifest:
+    """Read and validate a manifest JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ManifestError(f"{path} is not valid JSON: {error}") from error
+    return parse_manifest(payload, source=path)
+
+
+@dataclass
+class ResolvedManifest:
+    """Manifest stories resolved into observed density surfaces.
+
+    ``skipped`` names stories whose first observed hour is empty (no
+    influenced users at any distance), which cannot anchor phi and are
+    excluded up front -- mirroring ``repro predict-batch``.
+    """
+
+    surfaces: "dict[str, DensitySurface]" = field(default_factory=dict)
+    skipped: "list[str]" = field(default_factory=list)
+
+
+def resolve_manifest(
+    manifest: StoryManifest,
+    corpus_overrides: "dict | None" = None,
+    training_times: "Sequence[float] | None" = None,
+) -> ResolvedManifest:
+    """Materialise every manifest story as an observed density surface.
+
+    ``corpus_overrides`` supplies corpus-builder fields (users, seed, ...)
+    that take precedence over the manifest's ``corpus`` block -- the CLI
+    passes explicitly given corpus flags here, mirroring how ``--hours``
+    overrides the manifest's ``hours``.  Unset fields fall back to
+    :data:`CORPUS_FIELD_DEFAULTS`.  ``training_times`` determines which hour
+    must be non-empty (default: each surface's first observed hour).
+    """
+    corpus = None
+    if manifest.needs_corpus:
+        from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
+
+        fields = dict(CORPUS_FIELD_DEFAULTS)
+        fields.update(manifest.corpus_config or {})
+        fields.update(corpus_overrides or {})
+        try:
+            config = SyntheticDiggConfig(
+                num_users=_coerce(
+                    int, fields["users"], "corpus 'users' must be an integer"
+                ),
+                num_background_stories=_coerce(
+                    int,
+                    fields["background_stories"],
+                    "corpus 'background_stories' must be an integer",
+                ),
+                horizon_hours=_coerce(
+                    float, fields["horizon"], "corpus 'horizon' must be a number"
+                ),
+                seed=_coerce(int, fields["seed"], "corpus 'seed' must be an integer"),
+            )
+        except ValueError as error:
+            # SyntheticDiggConfig's own bounds checks (e.g. >= 100 users)
+            # become manifest errors too; _coerce already raises ManifestError,
+            # a ValueError subclass, which re-raises unchanged here.
+            if isinstance(error, ManifestError):
+                raise
+            raise ManifestError(f"invalid corpus block: {error}") from error
+        corpus = build_synthetic_digg_dataset(config)
+
+    resolved = ResolvedManifest()
+    window = sorted(float(t) for t in training_times) if training_times else None
+    anchor = window[0] if window else None
+    for story in manifest.stories:
+        if story.is_inline:
+            surface = story.surface
+        else:
+            assert corpus is not None
+            try:
+                if manifest.metric == "hops":
+                    surface = corpus.hop_density_surface(story.corpus_story)
+                else:
+                    surface = corpus.interest_density_surface(story.corpus_story)
+            except KeyError as error:
+                raise ManifestError(
+                    f"story {story.name!r} references unknown corpus story "
+                    f"{story.corpus_story!r}; the corpus has {corpus.story_names}"
+                ) from error
+        first_hour = anchor if anchor is not None else float(surface.times[0])
+        if window is not None:
+            # Validate the whole training window up front: a missing later
+            # hour would otherwise surface as a cryptic per-job KeyError from
+            # deep inside calibration.
+            missing = [
+                hour for hour in window if not np.any(np.isclose(surface.times, hour))
+            ]
+            if missing:
+                raise ManifestError(
+                    f"story {story.name!r} has no observation at training "
+                    f"hour(s) {missing}; its times span "
+                    f"[{float(surface.times[0]):g}, {float(surface.times[-1]):g}]"
+                )
+        if surface.profile(first_hour).sum() <= 0:
+            resolved.skipped.append(story.name)
+            continue
+        resolved.surfaces[story.name] = surface
+    return resolved

@@ -1,0 +1,503 @@
+"""Async multi-story prediction service over the batched solver engine.
+
+:class:`PredictionService` turns the synchronous
+:class:`~repro.core.prediction.BatchPredictor` into a concurrent scoring
+service for whole corpora of cascades:
+
+* **submit** -- ``await service.submit(name, surface)`` enqueues one story
+  and returns a :class:`PredictionJob` with per-job status, result and
+  cancellation.
+* **shard** -- queued jobs are grouped by
+  :class:`~repro.service.sharding.CorpusSharder` signature, so every
+  dispatched batch shares its cached operator factorizations and advances as
+  the columns of one vectorised PDE solve.
+* **drain** -- a bounded worker pool offloads the numpy-heavy shard solves
+  to threads (the solver spends its time in LAPACK/BLAS, which release the
+  GIL), while the asyncio side stays responsive for submissions, streaming
+  and cancellation.
+* **backpressure** -- at most ``queue_depth`` jobs may be queued or running;
+  further ``submit`` calls suspend until capacity frees up, so an unbounded
+  producer cannot exhaust memory.
+
+Results are numerically identical to running :class:`BatchPredictor` on the
+same corpus synchronously -- the service only reorganises *when* each shard
+is solved, never *how* (the equivalence tests and the ``service`` section of
+the substrate benchmark assert this).
+
+For synchronous callers (CLI, benchmarks, examples) the module-level
+:func:`score_corpus_sync` wraps the whole submit/await cycle in one
+``asyncio.run`` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import AsyncIterator, Iterable, Mapping, Sequence
+
+from repro.cascade.density import DensitySurface
+from repro.core.parameters import DLParameters
+from repro.core.prediction import BatchPredictor, PredictionResult
+from repro.service.sharding import CorpusSharder, ShardKey
+
+DEFAULT_MAX_WORKERS = 4
+DEFAULT_QUEUE_DEPTH = 128
+DEFAULT_MAX_SHARD_SIZE = 32
+
+
+class JobStatus(str, Enum):
+    """Lifecycle of one submitted story."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class JobCancelledError(RuntimeError):
+    """Raised by :meth:`PredictionJob.wait` when the job was cancelled."""
+
+
+@dataclass
+class PredictionJob:
+    """One story queued for scoring.
+
+    Attributes
+    ----------
+    name:
+        Story name (unique within the jobs awaited together).
+    surface:
+        The observed density surface being scored.
+    key:
+        The shard signature the job was grouped by.
+    status:
+        Current :class:`JobStatus`.
+    result:
+        The :class:`PredictionResult` once ``status`` is ``SUCCEEDED``.
+    error:
+        The exception once ``status`` is ``FAILED``.
+    """
+
+    name: str
+    surface: DensitySurface
+    key: ShardKey
+    status: JobStatus = JobStatus.PENDING
+    result: "PredictionResult | None" = None
+    error: "BaseException | None" = None
+    _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+    _service: "PredictionService | None" = field(default=None, repr=False)
+
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal status."""
+        return self._done.is_set()
+
+    async def finished(self) -> "PredictionJob":
+        """Suspend until the job reaches a terminal status; never raises."""
+        await self._done.wait()
+        return self
+
+    async def wait(self) -> PredictionResult:
+        """Suspend until the job finishes; return its result.
+
+        Raises the shard's exception when the job ``FAILED`` and
+        :class:`JobCancelledError` when it was cancelled.
+        """
+        await self._done.wait()
+        if self.status is JobStatus.CANCELLED:
+            raise JobCancelledError(f"job {self.name!r} was cancelled")
+        if self.status is JobStatus.FAILED:
+            assert self.error is not None
+            raise self.error
+        assert self.result is not None
+        return self.result
+
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started; True when it was cancelled."""
+        if self._service is None:
+            return False
+        return self._service.cancel(self)
+
+
+class PredictionService:
+    """Score corpora of cascades concurrently through an async job queue.
+
+    Parameters
+    ----------
+    parameters:
+        Forwarded to :class:`~repro.core.prediction.BatchPredictor`: ``None``
+        calibrates each story from its training window, a single
+        :class:`DLParameters` is shared, a mapping assigns per story name.
+    points_per_unit, max_step, backend, operator, calibration_batch:
+        Solver configuration, exactly as for ``BatchPredictor``.
+    max_workers:
+        Number of shard solves in flight at once (thread-pool size).
+    queue_depth:
+        Backpressure bound: the maximum number of jobs queued or running
+        before :meth:`submit` suspends.
+    max_shard_size:
+        Largest number of stories solved in one batch; bigger shards
+        amortize factorizations further but increase per-batch latency.
+
+    Use as an async context manager (``async with PredictionService() as
+    service:``) or call :meth:`start` / :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        parameters: "DLParameters | Mapping[str, DLParameters] | None" = None,
+        points_per_unit: int = 20,
+        max_step: float = 0.02,
+        backend: str = "internal",
+        operator: str = "auto",
+        calibration_batch: bool = True,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        max_shard_size: "int | None" = DEFAULT_MAX_SHARD_SIZE,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self._parameters = parameters
+        self._predictor_config = dict(
+            points_per_unit=points_per_unit,
+            max_step=max_step,
+            backend=backend,
+            operator=operator,
+            calibration_batch=calibration_batch,
+        )
+        self._sharder = CorpusSharder(
+            points_per_unit=points_per_unit,
+            max_step=max_step,
+            backend=backend,
+            operator=operator,
+            max_shard_size=max_shard_size,
+        )
+        self._max_workers = max_workers
+        self._queue_depth = queue_depth
+        self._max_shard_size = max_shard_size
+
+        self._started = False
+        self._closed = False
+        self._active_names: "set[str]" = set()
+        self._pending: "dict[ShardKey, list[PredictionJob]]" = {}
+        self._slots: "asyncio.Semaphore | None" = None
+        self._workers: "asyncio.Semaphore | None" = None
+        self._kick: "asyncio.Event | None" = None
+        self._dispatcher: "asyncio.Task | None" = None
+        self._inflight: "set[asyncio.Task]" = set()
+        self._executor: "ThreadPoolExecutor | None" = None
+        self._counts = {status: 0 for status in JobStatus}
+        self._shards_solved = 0
+        self._stories_solved = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "PredictionService":
+        """Create the queue machinery; must run inside an event loop."""
+        if self._started:
+            return self
+        if self._closed:
+            raise RuntimeError("the service has been closed; create a new one")
+        self._slots = asyncio.Semaphore(self._queue_depth)
+        self._workers = asyncio.Semaphore(self._max_workers)
+        self._kick = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="repro-service"
+        )
+        self._dispatcher = asyncio.get_running_loop().create_task(self._dispatch_loop())
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Drain every queued/running job, then tear the pool down."""
+        if not self._started or self._closed:
+            self._closed = True
+            return
+        # Reject new submissions immediately -- including ones currently
+        # parked on the backpressure semaphore, which re-check this flag
+        # after acquiring a slot -- so nothing can be enqueued after the
+        # drain loop decides the queue is empty.
+        self._closed = True
+        while self._has_pending() or self._inflight:
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+            else:
+                # Pending but not dispatched yet: yield so the dispatcher runs.
+                await asyncio.sleep(0)
+        assert self._dispatcher is not None and self._executor is not None
+        self._dispatcher.cancel()
+        try:
+            await self._dispatcher
+        except asyncio.CancelledError:
+            pass
+        self._executor.shutdown(wait=True)
+        self._closed = True
+
+    async def __aenter__(self) -> "PredictionService":
+        return self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def _require_open(self) -> None:
+        if not self._started:
+            raise RuntimeError(
+                "the service is not running; use 'async with PredictionService()' "
+                "or call start() first"
+            )
+        if self._closed:
+            raise RuntimeError("the service has been closed; create a new one")
+
+    # ------------------------------------------------------------------ #
+    # Submission / results
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        name: str,
+        surface: DensitySurface,
+        training_times: "Sequence[float] | None" = None,
+        evaluation_times: "Sequence[float] | None" = None,
+    ) -> PredictionJob:
+        """Queue one story; suspends while the service is at ``queue_depth``.
+
+        The returned job completes once its shard has been solved; await
+        :meth:`PredictionJob.wait` (or :meth:`stream` several jobs) for the
+        :class:`~repro.core.prediction.PredictionResult`.
+
+        ``name`` must be unique among the jobs currently queued or running:
+        shard solves are keyed by story name, so a duplicate would silently
+        receive another surface's result.  A name becomes reusable once its
+        job reaches a terminal status.
+        """
+        self._require_open()
+        if name in self._active_names:
+            raise ValueError(
+                f"a job named {name!r} is already queued or running; story "
+                f"names must be unique among in-flight jobs"
+            )
+        # Reserve the name *before* suspending on backpressure, so a second
+        # concurrent submit with the same name fails fast instead of both
+        # passing the check while parked on a full queue.
+        self._active_names.add(name)
+        try:
+            key = self._sharder.key_for(surface, training_times, evaluation_times)
+            assert self._slots is not None and self._kick is not None
+            await self._slots.acquire()  # backpressure
+            if self._closed:
+                # close() started while this submit was parked on the
+                # semaphore; enqueueing now would leave the job pending
+                # forever (the dispatcher is being torn down).
+                self._slots.release()
+                raise RuntimeError("the service has been closed; job not accepted")
+        except BaseException:
+            self._active_names.discard(name)
+            raise
+        job = PredictionJob(name=name, surface=surface, key=key, _service=self)
+        self._pending.setdefault(key, []).append(job)
+        self._counts[JobStatus.PENDING] += 1
+        self._kick.set()
+        return job
+
+    async def stream(
+        self, jobs: Iterable[PredictionJob]
+    ) -> AsyncIterator[PredictionJob]:
+        """Yield jobs as they finish (any terminal status), earliest first."""
+        waiters = {asyncio.ensure_future(job.finished()): job for job in jobs}
+        try:
+            while waiters:
+                done, _ = await asyncio.wait(waiters, return_when=asyncio.FIRST_COMPLETED)
+                for waiter in done:
+                    yield waiters.pop(waiter)
+        finally:
+            for waiter in waiters:
+                waiter.cancel()
+
+    async def score_corpus(
+        self,
+        surfaces: "Mapping[str, DensitySurface]",
+        training_times: "Sequence[float] | None" = None,
+        evaluation_times: "Sequence[float] | None" = None,
+    ) -> "dict[str, PredictionResult]":
+        """Submit a whole corpus and await every result, keyed by story name."""
+        jobs = [
+            await self.submit(name, surface, training_times, evaluation_times)
+            for name, surface in surfaces.items()
+        ]
+        return {job.name: await job.wait() for job in jobs}
+
+    def cancel(self, job: PredictionJob) -> bool:
+        """Cancel a queued job; returns False once it is running or done."""
+        if job.status is not JobStatus.PENDING:
+            return False
+        queued = self._pending.get(job.key, [])
+        if job in queued:
+            queued.remove(job)
+            if not queued:
+                self._pending.pop(job.key, None)
+        self._transition(job, JobStatus.CANCELLED)
+        job._done.set()
+        assert self._slots is not None
+        self._slots.release()
+        return True
+
+    def stats(self) -> dict:
+        """Counters for monitoring and smoke tests."""
+        return {
+            "queued": self._counts[JobStatus.PENDING],
+            "running": self._counts[JobStatus.RUNNING],
+            "succeeded": self._counts[JobStatus.SUCCEEDED],
+            "failed": self._counts[JobStatus.FAILED],
+            "cancelled": self._counts[JobStatus.CANCELLED],
+            "shards_solved": self._shards_solved,
+            "stories_solved": self._stories_solved,
+            "queue_depth": self._queue_depth,
+            "max_workers": self._max_workers,
+            "max_shard_size": self._max_shard_size,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _has_pending(self) -> bool:
+        return any(self._pending.values())
+
+    def _next_batch(self) -> "list[PredictionJob]":
+        """Pop the next shard batch (oldest signature first)."""
+        for key in list(self._pending):
+            queued = self._pending[key]
+            if not queued:
+                del self._pending[key]
+                continue
+            size = self._max_shard_size or len(queued)
+            batch = queued[:size]
+            remainder = queued[size:]
+            if remainder:
+                self._pending[key] = remainder
+            else:
+                del self._pending[key]
+            return batch
+        return []
+
+    async def _dispatch_loop(self) -> None:
+        assert self._kick is not None and self._workers is not None
+        while True:
+            await self._kick.wait()
+            self._kick.clear()
+            while self._has_pending():
+                await self._workers.acquire()
+                batch = self._next_batch()
+                if not batch:
+                    self._workers.release()
+                    break
+                task = asyncio.get_running_loop().create_task(self._run_shard(batch))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    _TERMINAL_STATUSES = (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.CANCELLED)
+
+    def _transition(self, job: PredictionJob, status: JobStatus) -> None:
+        self._counts[job.status] -= 1
+        job.status = status
+        self._counts[status] += 1
+        if status in self._TERMINAL_STATUSES:
+            self._active_names.discard(job.name)
+
+    async def _run_shard(self, jobs: "list[PredictionJob]") -> None:
+        assert self._workers is not None and self._slots is not None
+        assert self._executor is not None
+        # A job can be cancelled between dispatch and this task running;
+        # cancel() already completed it and released its queue slot, so only
+        # still-pending jobs belong to this shard.  No await separates the
+        # filter from the RUNNING transition, so cancel() cannot interleave.
+        jobs = [job for job in jobs if job.status is JobStatus.PENDING]
+        if not jobs:
+            self._workers.release()
+            return
+        for job in jobs:
+            self._transition(job, JobStatus.RUNNING)
+        try:
+            outcomes = await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._solve_shard, jobs
+            )
+            solved = 0
+            for job in jobs:
+                outcome = outcomes[job.name]
+                if isinstance(outcome, BaseException):
+                    job.error = outcome
+                    self._transition(job, JobStatus.FAILED)
+                else:
+                    job.result = outcome
+                    self._transition(job, JobStatus.SUCCEEDED)
+                    solved += 1
+            if solved:
+                self._shards_solved += 1
+                self._stories_solved += solved
+        except Exception as error:  # noqa: BLE001 - failures surface via job.wait()
+            for job in jobs:
+                job.error = error
+                self._transition(job, JobStatus.FAILED)
+        finally:
+            for job in jobs:
+                job._done.set()
+                self._slots.release()
+            self._workers.release()
+
+    def _solve_shard(
+        self, jobs: "list[PredictionJob]"
+    ) -> "dict[str, PredictionResult | BaseException]":
+        """Synchronous shard solve, run on a worker thread.
+
+        The per-story workflow is exactly the synchronous
+        :class:`BatchPredictor` path: fit each story, then evaluate the whole
+        shard in batched solves sharing the cached operators.  A story whose
+        *fit* fails (bad surface, calibration error) is mapped to its own
+        exception without poisoning its shard-mates; only a failure of the
+        joint evaluate solve is shard-wide (and surfaces through the caller's
+        except path).
+        """
+        key = jobs[0].key
+        predictor = BatchPredictor(parameters=self._parameters, **self._predictor_config)
+        outcomes: "dict[str, PredictionResult | BaseException]" = {}
+        fitted = []
+        for job in jobs:
+            try:
+                predictor.fit_story(job.name, job.surface, key.training_times)
+                fitted.append(job)
+            except Exception as error:  # noqa: BLE001 - per-story failure
+                outcomes[job.name] = error
+        if fitted:
+            results = predictor.evaluate(
+                {job.name: job.surface for job in fitted},
+                times=key.evaluation_times,
+            )
+            for job in fitted:
+                outcomes[job.name] = results[job.name]
+        return outcomes
+
+
+def score_corpus_sync(
+    surfaces: "Mapping[str, DensitySurface]",
+    training_times: "Sequence[float] | None" = None,
+    evaluation_times: "Sequence[float] | None" = None,
+    **service_kwargs,
+) -> "dict[str, PredictionResult]":
+    """Score a corpus through the service from synchronous code.
+
+    Spins up a :class:`PredictionService` (keyword arguments are forwarded to
+    its constructor) inside ``asyncio.run``, scores every story and returns
+    the per-story results.  The benchmark's ``service`` section and the
+    examples use this; the CLI's ``serve-batch`` drives the service directly
+    so it can stream each result as it completes.
+    """
+
+    async def _run() -> "dict[str, PredictionResult]":
+        async with PredictionService(**service_kwargs) as service:
+            return await service.score_corpus(surfaces, training_times, evaluation_times)
+
+    return asyncio.run(_run())

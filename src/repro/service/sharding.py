@@ -1,0 +1,178 @@
+"""Corpus sharding: group stories that can share one batched solve.
+
+The batched solver engine advances every story of a shard as the columns of
+one state matrix, so all members must share the *spatial signature* of the
+solve: the distance interval, the initial (calibration-anchor) time, the
+grid resolution and time step, and the solver backend / operator mode --
+the values that key the operator cache in
+:mod:`repro.numerics.operator_cache`.  Stories with different training or
+evaluation windows also cannot ride in the same batch, so those windows are
+part of the key as well.
+
+:class:`CorpusSharder` computes that signature per story and groups a corpus
+into :class:`Shard` objects, optionally splitting oversized groups so one
+pathological signature cannot monopolise a worker of the
+:class:`~repro.service.service.PredictionService`.  Each shard amortizes one
+cached operator factorization per (dt, diffusion rate) across all of its
+stories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cascade.density import DensitySurface
+
+
+@dataclass(frozen=True)
+class ShardKey:
+    """Hashable spatial signature of one batched solve.
+
+    Attributes
+    ----------
+    lower, upper:
+        Distance interval ``[l, L]`` of the stories' surfaces.
+    initial_time:
+        The phi anchor time (first training hour).
+    points_per_unit, max_step:
+        Grid resolution and internal time step of the solve -- together with
+        the interval these determine the cached operator's ``(n, dx, dt)``.
+    backend, operator:
+        Solver backend name and operator factorization mode.
+    training_times:
+        The shared training window, or ``None`` when every story defaults to
+        its own first observed hours.
+    evaluation_times:
+        The shared evaluation window, or ``None`` for the per-story default
+        (hours 2..6 relative to the first observed hour).
+    """
+
+    lower: float
+    upper: float
+    initial_time: float
+    points_per_unit: int
+    max_step: float
+    backend: str
+    operator: str
+    training_times: "tuple[float, ...] | None" = None
+    evaluation_times: "tuple[float, ...] | None" = None
+
+
+@dataclass
+class Shard:
+    """One group of stories advanced together in a single batched solve."""
+
+    key: ShardKey
+    surfaces: "dict[str, DensitySurface]" = field(default_factory=dict)
+
+    @property
+    def story_names(self) -> tuple[str, ...]:
+        """Names of the shard's stories, in insertion order."""
+        return tuple(self.surfaces)
+
+    def __len__(self) -> int:
+        return len(self.surfaces)
+
+
+class CorpusSharder:
+    """Group a corpus of story surfaces by batched-solve compatibility.
+
+    Parameters
+    ----------
+    points_per_unit, max_step, backend, operator:
+        The solver configuration the shards will be scored with; these are
+        baked into every :class:`ShardKey` so shards from differently
+        configured sharders never mix.
+    max_shard_size:
+        Upper bound on stories per shard.  Groups larger than this are split
+        into consecutive chunks (each chunk still shares its factorizations);
+        ``None`` keeps every group whole.
+    """
+
+    def __init__(
+        self,
+        points_per_unit: int = 20,
+        max_step: float = 0.02,
+        backend: str = "internal",
+        operator: str = "auto",
+        max_shard_size: "int | None" = None,
+    ) -> None:
+        if max_shard_size is not None and max_shard_size < 1:
+            raise ValueError(f"max_shard_size must be >= 1, got {max_shard_size}")
+        self._points_per_unit = points_per_unit
+        self._max_step = max_step
+        self._backend = backend
+        self._operator = operator
+        self._max_shard_size = max_shard_size
+
+    @property
+    def max_shard_size(self) -> "int | None":
+        """Largest number of stories one shard may hold (None = unbounded)."""
+        return self._max_shard_size
+
+    def key_for(
+        self,
+        surface: DensitySurface,
+        training_times: "Sequence[float] | None" = None,
+        evaluation_times: "Sequence[float] | None" = None,
+    ) -> ShardKey:
+        """The shard signature of one story surface.
+
+        The initial time mirrors :meth:`repro.core.prediction.BatchPredictor.fit_story`:
+        the first training hour when a window is given, else the surface's
+        first observed hour.
+        """
+        if training_times is not None:
+            window = tuple(sorted(float(t) for t in training_times))
+            if not window:
+                raise ValueError("training_times must not be empty")
+            initial_time = window[0]
+        else:
+            window = None
+            if surface.times.size == 0:
+                raise ValueError("the surface has no observed times")
+            initial_time = float(surface.times[0])
+        evaluation = (
+            tuple(sorted(float(t) for t in evaluation_times))
+            if evaluation_times is not None
+            else None
+        )
+        return ShardKey(
+            lower=float(surface.distances[0]),
+            upper=float(surface.distances[-1]),
+            initial_time=initial_time,
+            points_per_unit=self._points_per_unit,
+            max_step=self._max_step,
+            backend=self._backend,
+            operator=self._operator,
+            training_times=window,
+            evaluation_times=evaluation,
+        )
+
+    def shard(
+        self,
+        surfaces: "Mapping[str, DensitySurface]",
+        training_times: "Sequence[float] | None" = None,
+        evaluation_times: "Sequence[float] | None" = None,
+    ) -> "list[Shard]":
+        """Split a corpus into shards, preserving story insertion order.
+
+        Stories with the same signature land in the same shard (until
+        ``max_shard_size`` forces a new chunk); the concatenation of all
+        shards contains every story exactly once.
+        """
+        shards: "list[Shard]" = []
+        open_shard_by_key: "dict[ShardKey, Shard]" = {}
+        for name, surface in surfaces.items():
+            key = self.key_for(surface, training_times, evaluation_times)
+            shard = open_shard_by_key.get(key)
+            if shard is None:
+                shard = Shard(key=key)
+                shards.append(shard)
+                open_shard_by_key[key] = shard
+            shard.surfaces[name] = surface
+            if self._max_shard_size is not None and len(shard) >= self._max_shard_size:
+                # The chunk is full: the next story with this key opens a new one.
+                del open_shard_by_key[key]
+        return shards

@@ -158,6 +158,30 @@ class TestBatchPredictorAPI:
         with pytest.raises(RuntimeError):
             BatchPredictor().solve([2.0])
 
+    def test_fit_story_is_incremental_and_matches_fit(self, two_story_surfaces):
+        whole = BatchPredictor(parameters=PAPER_S1_HOP_PARAMETERS).fit(two_story_surfaces)
+        incremental = BatchPredictor(parameters=PAPER_S1_HOP_PARAMETERS)
+        for name, surface in two_story_surfaces.items():
+            incremental.fit_story(name, surface)
+        assert incremental.story_names == whole.story_names
+        got = incremental.evaluate(two_story_surfaces, times=[2.0, 3.0])
+        want = whole.evaluate(two_story_surfaces, times=[2.0, 3.0])
+        for name in two_story_surfaces:
+            assert np.array_equal(got[name].predicted.values, want[name].predicted.values)
+
+    def test_failed_fit_story_leaves_no_partial_state(self, two_story_surfaces):
+        # A mapping without the story's parameters makes _resolve_parameters
+        # raise after phi construction; the predictor must not keep a
+        # half-fitted story behind.
+        predictor = BatchPredictor(parameters={"a": PAPER_S1_HOP_PARAMETERS})
+        predictor.fit_story("a", two_story_surfaces["a"])
+        with pytest.raises(KeyError):
+            predictor.fit_story("b", two_story_surfaces["b"])
+        assert predictor.story_names == ("a",)
+        # The predictor stays fully usable for its fitted stories.
+        results = predictor.evaluate({"a": two_story_surfaces["a"]}, times=[2.0, 3.0])
+        assert results["a"].overall_accuracy >= 0.0
+
     def test_empty_surfaces_rejected(self):
         with pytest.raises(ValueError):
             BatchPredictor().fit({})

@@ -11,6 +11,12 @@ from repro.cli import build_parser, main
 CORPUS_ARGS = ["--users", "900", "--background-stories", "25", "--seed", "1234"]
 
 
+def write_manifest(tmp_path, payload, name="manifest.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
 class TestParser:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
@@ -43,6 +49,40 @@ class TestParser:
         # argparse choices.
         args = build_parser().parse_args(["predict", "--backend", "cuda"])
         assert args.backend == "cuda"
+
+    def test_unknown_operator_accepted_by_parser(self):
+        # Operator modes are validated by the engine at run time (mirroring
+        # --backend), so the parser accepts any string.
+        args = build_parser().parse_args(["predict", "--operator", "cholesky"])
+        assert args.operator == "cholesky"
+
+    def test_operator_defaults_to_auto(self):
+        for command in ("predict", "predict-batch"):
+            assert build_parser().parse_args([command]).operator == "auto"
+        serve = build_parser().parse_args(["serve-batch", "--manifest", "m.json"])
+        assert serve.operator == "auto"
+
+    def test_serve_batch_defaults(self):
+        args = build_parser().parse_args(["serve-batch", "--manifest", "m.json"])
+        assert args.manifest == "m.json"
+        assert args.workers == 4
+        assert args.queue_depth == 128
+        assert args.shard_size == 32
+        assert args.hours is None
+        assert args.output is None
+        # Corpus flags default to "not given" so only explicit values
+        # override the manifest's corpus block.
+        assert args.users is None
+        assert args.background_stories is None
+        assert args.seed is None
+        assert args.horizon is None
+
+    def test_serve_batch_explicit_corpus_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve-batch", "--manifest", "m.json", "--seed", "7", "--users", "500"]
+        )
+        assert args.seed == 7
+        assert args.users == 500
 
     def test_predict_batch_story_choices_validated(self):
         with pytest.raises(SystemExit):
@@ -163,6 +203,68 @@ class TestPredictBatch:
         assert payload["stories"]["s1"]["overall_accuracy"] > 0.0
         assert payload["calibration"] == "batched"
         assert payload["backend"] == "internal"
+        assert payload["operator"] == "auto"
+
+    def test_json_parameters_are_structured_numbers(self, tmp_path, capsys):
+        # The payload must round-trip through json.loads with numeric
+        # parameter fields -- never a Python repr string.
+        output = tmp_path / "batch.json"
+        exit_code = main(
+            ["predict-batch", *CORPUS_ARGS, "--stories", "s1", "--hours", "4",
+             "--json", str(output)]
+        )
+        assert exit_code == 0
+        parameters = json.loads(output.read_text())["stories"]["s1"]["parameters"]
+        assert isinstance(parameters, dict)
+        assert isinstance(parameters["d"], float)
+        assert isinstance(parameters["K"], float)
+        assert parameters["d"] > 0 and parameters["K"] > 0
+        rate = parameters["r"]
+        assert rate["type"] == "exponential_decay"
+        for field in ("amplitude", "decay", "floor", "reference_time"):
+            assert isinstance(rate[field], float)
+        # The repr stays in the human-readable summary.
+        assert "DLParameters(" in capsys.readouterr().out
+
+    def test_operator_thomas_matches_banded(self, tmp_path, capsys):
+        payloads = {}
+        for operator in ("banded", "thomas"):
+            output = tmp_path / f"{operator}.json"
+            exit_code = main(
+                ["predict-batch", *CORPUS_ARGS, "--stories", "s1", "--hours", "3",
+                 "--operator", operator, "--json", str(output)]
+            )
+            assert exit_code == 0
+            payloads[operator] = json.loads(output.read_text())
+        capsys.readouterr()
+        banded, thomas = payloads["banded"], payloads["thomas"]
+        assert banded["operator"] == "banded" and thomas["operator"] == "thomas"
+        assert banded["overall_accuracy"] == pytest.approx(
+            thomas["overall_accuracy"], abs=1e-9
+        )
+        banded_params = banded["stories"]["s1"]["parameters"]
+        thomas_params = thomas["stories"]["s1"]["parameters"]
+        assert banded_params["r"].pop("type") == thomas_params["r"].pop("type")
+        for field in ("d", "K"):
+            assert banded_params[field] == pytest.approx(thomas_params[field], abs=1e-9)
+        assert banded_params["r"] == pytest.approx(thomas_params["r"], abs=1e-9)
+
+    def test_unknown_operator_exits_with_mode_list(self, capsys):
+        exit_code = main(["predict-batch", *CORPUS_ARGS, "--operator", "cholesky"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
+        assert "cholesky" in captured.err
+        for mode in ("'banded'", "'thomas'", "'dense'"):
+            assert mode in captured.err
+
+    def test_operator_on_scipy_backend_exits_cleanly(self, capsys):
+        exit_code = main(
+            ["predict-batch", *CORPUS_ARGS, "--backend", "scipy", "--operator", "dense"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "does not support operator" in captured.err
 
     def test_skips_empty_stories_and_reports_them(self, capsys):
         # s4 has no votes in its first hour on the small corpus; the batch
@@ -174,3 +276,134 @@ class TestPredictBatch:
         assert exit_code == 0
         assert "skipping s4" in captured.err
         assert "s1" in captured.out
+
+    def test_all_skipped_suggests_other_metric(self, capsys):
+        # Both requested stories are empty in hour 1 on this corpus: the
+        # error must be the all-skipped message, not the empty-list one.
+        exit_code = main(
+            ["predict-batch", *CORPUS_ARGS, "--stories", "s4", "--hours", "4"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "every requested story is empty" in captured.err
+
+
+class TestServeBatch:
+    CORPUS_BLOCK = {"users": 900, "background_stories": 25, "seed": 1234}
+
+    def test_streams_json_lines_matching_predict_batch(self, tmp_path, capsys):
+        # serve-batch must produce per-story results identical to the
+        # synchronous predict-batch path on the same corpus.
+        reference_path = tmp_path / "reference.json"
+        assert (
+            main(["predict-batch", *CORPUS_ARGS, "--stories", "s1", "--hours", "4",
+                  "--json", str(reference_path)])
+            == 0
+        )
+        capsys.readouterr()
+        manifest = write_manifest(
+            tmp_path, {"hours": 4, "corpus": self.CORPUS_BLOCK, "stories": ["s1"]}
+        )
+        exit_code = main(["serve-batch", *CORPUS_ARGS, "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        lines = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(lines) == 1
+        (record,) = lines
+        assert record["story"] == "s1"
+        assert record["status"] == "succeeded"
+        reference = json.loads(reference_path.read_text())["stories"]["s1"]
+        assert record["overall_accuracy"] == reference["overall_accuracy"]
+        assert record["parameters"] == reference["parameters"]
+        assert record["accuracy_by_distance"] == reference["accuracy_by_distance"]
+        assert "scored 1/1" in captured.err
+
+    def test_inline_manifest_needs_no_corpus(self, tmp_path, capsys):
+        inline = {
+            "name": "cascade-1",
+            "distances": [1, 2, 3, 4, 5],
+            "times": [1, 2, 3, 4],
+            "values": [
+                [5.0, 2.0, 2.5, 1.5, 1.0],
+                [7.0, 3.0, 3.5, 2.0, 1.4],
+                [9.0, 4.2, 4.6, 2.6, 1.9],
+                [11.0, 5.5, 5.8, 3.3, 2.5],
+            ],
+        }
+        manifest = write_manifest(tmp_path, {"hours": 4, "stories": [inline]})
+        output = tmp_path / "results.ndjson"
+        exit_code = main(
+            ["serve-batch", "--manifest", manifest, "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        record = json.loads(captured.out.strip())
+        assert record["story"] == "cascade-1"
+        assert record["status"] == "succeeded"
+        assert isinstance(record["parameters"]["d"], float)
+        # --output mirrors the streamed lines.
+        assert json.loads(output.read_text().strip()) == record
+
+    def test_empty_manifest_exits_with_distinct_message(self, tmp_path, capsys):
+        manifest = write_manifest(tmp_path, {"stories": []})
+        exit_code = main(["serve-batch", "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "contains no stories" in captured.err
+        # The all-skipped suggestion would mislead here.
+        assert "try a different metric or seed" not in captured.err
+
+    def test_all_skipped_manifest_suggests_other_metric(self, tmp_path, capsys):
+        # s4 is empty in hour 1 on the small corpus (see TestPredictBatch).
+        manifest = write_manifest(
+            tmp_path, {"hours": 4, "corpus": self.CORPUS_BLOCK, "stories": ["s4"]}
+        )
+        exit_code = main(["serve-batch", *CORPUS_ARGS, "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "skipping s4" in captured.err
+        assert "every story in the manifest is empty" in captured.err
+        assert "try a different metric or seed" in captured.err
+        # Skipped stories get a machine-readable record too.
+        (record,) = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert record == {
+            "story": "s4",
+            "status": "skipped",
+            "reason": "no influenced users at any distance in the first observed hour",
+        }
+
+    def test_invalid_pool_bounds_exit_cleanly(self, tmp_path, capsys):
+        manifest = write_manifest(
+            tmp_path, {"hours": 4, "corpus": self.CORPUS_BLOCK, "stories": ["s1"]}
+        )
+        for flag in ("--workers", "--queue-depth", "--shard-size"):
+            exit_code = main(["serve-batch", "--manifest", manifest, flag, "0"])
+            captured = capsys.readouterr()
+            assert exit_code == 2
+            assert f"{flag} must be >= 1" in captured.err
+
+    def test_inline_story_missing_training_anchor_exits_cleanly(self, tmp_path, capsys):
+        late = {
+            "name": "late",
+            "distances": [1, 2, 3],
+            "times": [2, 3, 4],
+            "values": [[5.0, 2.0, 1.0]] * 3,
+        }
+        manifest = write_manifest(tmp_path, {"hours": 4, "stories": [late]})
+        exit_code = main(["serve-batch", "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "training hour" in captured.err
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        exit_code = main(["serve-batch", "--manifest", str(tmp_path / "nope.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "does not exist" in captured.err
+
+    def test_invalid_manifest_exits_2(self, tmp_path, capsys):
+        manifest = write_manifest(tmp_path, {"stories": ["s1"]})  # no corpus block
+        exit_code = main(["serve-batch", "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
