@@ -27,6 +27,14 @@ dimensions cover the PR-2/PR-3 machinery:
   ``BatchPredictor``, at corpus sizes 10/100 (plus 1000 without ``--quick``),
   with the maximum per-story result delta against the synchronous batch
   reference.
+* ``daemon`` -- submission round-trip of the JSON-lines daemon (submit over
+  a Unix socket, stream every per-story result back) vs the same corpus
+  scored through the in-process service, with the result delta against the
+  synchronous batch reference (the protocol must add transport, never
+  numerics).
+* ``convergence`` (opt-in via ``--convergence``) -- the spatial-resolution
+  study: predicted accuracy and solve time vs ``points_per_unit`` on the
+  banded operator stack, against the finest grid as reference.
 
 ``benchmarks/check_regression.py`` consumes this JSON and fails CI when a
 speedup ratio regresses past 1.3x of the checked-in baseline or any
@@ -34,8 +42,11 @@ equivalence delta exceeds its tolerance.
 """
 
 import argparse
+import asyncio
 import json
+import os
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -53,8 +64,9 @@ from repro.core.parameters import (
     ExponentialDecayGrowthRate,
     PAPER_S1_HOP_PARAMETERS,
 )
+from repro.core.accuracy import build_accuracy_table
 from repro.core.prediction import BatchPredictor, DiffusionPredictor
-from repro.service import score_corpus_sync
+from repro.service import DaemonClient, PredictionDaemon, score_corpus_sync
 from repro.network.distance import friendship_hop_distances
 from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
 from repro.numerics import operator_cache
@@ -411,6 +423,179 @@ def run_service_benchmark(quick: bool = False) -> dict:
     return report
 
 
+def _daemon_manifest(corpus: dict) -> dict:
+    """Serialize a corpus of surfaces as an inline-story manifest document."""
+    return {
+        "hours": len(SERVICE_TRAINING_TIMES),
+        "stories": [
+            {
+                "name": name,
+                "distances": surface.distances.tolist(),
+                "times": surface.times.tolist(),
+                "values": surface.values.tolist(),
+            }
+            for name, surface in corpus.items()
+        ],
+    }
+
+
+def run_daemon_benchmark(quick: bool = False) -> dict:
+    """Submission round-trip of the daemon protocol vs the in-process service.
+
+    The same corpus is scored twice with the same explicit parameters:
+
+    * ``inprocess`` -- :func:`repro.service.score_corpus_sync`, the direct
+      library path (service startup + solve, no transport).
+    * ``daemon`` -- a :class:`~repro.service.daemon.PredictionDaemon` serving
+      a Unix socket in this process; the measured round-trip spans sending
+      the ``submit`` request to receiving the final ``job`` event, so it
+      prices manifest JSON encoding, protocol framing, event streaming and
+      scheduling -- everything the daemon adds on top of the service.
+
+    ``efficiency_vs_inprocess`` (in-process seconds / round-trip seconds,
+    ~1.0 when the protocol overhead vanishes against solve time) is
+    floor-gated by ``check_regression.py``; ``max_result_delta_vs_batch``
+    compares every streamed accuracy and parameter against the synchronous
+    :class:`BatchPredictor`, and must be bit-identical (the events carry
+    JSON floats, which round-trip exactly).
+    """
+    size = 8 if quick else 20
+    repeats = 2
+    parameters = PAPER_S1_HOP_PARAMETERS
+    training = list(SERVICE_TRAINING_TIMES)
+    evaluation = list(SERVICE_EVALUATION_TIMES)
+    corpus = _service_corpus(size)
+    manifest = _daemon_manifest(corpus)
+
+    inprocess_seconds, _ = best_of(
+        lambda: score_corpus_sync(
+            corpus,
+            training_times=training,
+            evaluation_times=evaluation,
+            parameters=parameters,
+            **SERVICE_SOLVER,
+        ),
+        repeats,
+    )
+
+    async def daemon_roundtrip() -> "tuple[float, dict]":
+        with tempfile.TemporaryDirectory() as tmpdir:
+            socket_path = os.path.join(tmpdir, "bench.sock")
+            daemon = PredictionDaemon(parameters=parameters, **SERVICE_SOLVER)
+            server = asyncio.ensure_future(daemon.serve_unix(socket_path))
+            while not os.path.exists(socket_path):
+                await asyncio.sleep(0.005)
+            results = {}
+            async with await DaemonClient.connect_unix(socket_path) as client:
+                start = time.perf_counter()
+                async for event in client.submit(manifest):
+                    if event.get("event") == "error":
+                        raise RuntimeError(f"daemon error: {event['error']}")
+                    if event.get("event") == "result":
+                        results[event["story"]] = event
+                elapsed = time.perf_counter() - start
+                await client.shutdown()
+            await server
+            return elapsed, results
+
+    roundtrip_seconds, daemon_results = float("inf"), None
+    for _ in range(repeats):
+        clear_operator_caches()
+        elapsed, results = asyncio.run(daemon_roundtrip())
+        if elapsed < roundtrip_seconds:
+            roundtrip_seconds, daemon_results = elapsed, results
+
+    batch_results = (
+        BatchPredictor(parameters=parameters, **SERVICE_SOLVER)
+        .fit(corpus, training_times=training)
+        .evaluate(corpus, times=evaluation)
+    )
+    max_delta = 0.0
+    for name in corpus:
+        streamed = daemon_results[name]
+        assert streamed["status"] == "succeeded", streamed
+        reference = batch_results[name]
+        deltas = [
+            abs(streamed["overall_accuracy"] - reference.overall_accuracy),
+            abs(
+                streamed["parameters"]["d"] - reference.parameters.diffusion_rate
+            ),
+            abs(
+                streamed["parameters"]["K"]
+                - reference.parameters.carrying_capacity
+            ),
+        ]
+        deltas.extend(
+            abs(streamed["accuracy_by_distance"][str(d)] - reference.accuracy_at_distance(d))
+            for d in reference.predicted.distances
+        )
+        max_delta = max(max_delta, *deltas)
+
+    return {
+        "stories": size,
+        "inprocess_seconds": inprocess_seconds,
+        "roundtrip_seconds": roundtrip_seconds,
+        "overhead_seconds": roundtrip_seconds - inprocess_seconds,
+        "per_story_overhead_seconds": (roundtrip_seconds - inprocess_seconds) / size,
+        "efficiency_vs_inprocess": inprocess_seconds / roundtrip_seconds,
+        "max_result_delta_vs_batch": max_delta,
+    }
+
+
+def run_convergence_benchmark(quick: bool = False) -> dict:
+    """Resolution-convergence study: accuracy vs ``points_per_unit``.
+
+    Solves one DL problem with the paper's S1 parameters on the banded
+    operator stack at increasing spatial resolutions and scores each
+    solution against the finest grid (the reference) with the paper's
+    accuracy metric -- the ROADMAP's "predicted accuracy vs
+    points_per_unit" artifact.  Also reports each resolution's wall time
+    and maximum pointwise delta, so the accuracy/cost trade-off is visible
+    in one table.
+    """
+    sweep_ppus = (4, 8, 16) if quick else (4, 8, 16, 32)
+    reference_ppu = 32 if quick else 64
+    max_step = 0.02
+    phi = InitialDensity([1, 2, 3, 4, 5], [5.0, 2.0, 2.5, 1.5, 1.0])
+    times = [float(t) for t in range(1, 7)]
+    scored_times = times[1:]
+
+    def predict(points_per_unit: int) -> "tuple[float, DensitySurface]":
+        clear_operator_caches()
+        model = DiffusiveLogisticModel(
+            PAPER_S1_HOP_PARAMETERS,
+            points_per_unit=points_per_unit,
+            max_step=max_step,
+            operator="banded",
+        )
+        start = time.perf_counter()
+        surface = model.predict(phi, times)
+        return time.perf_counter() - start, surface
+
+    reference_seconds, reference = predict(reference_ppu)
+    report = {
+        "reference_points_per_unit": reference_ppu,
+        "reference_seconds": reference_seconds,
+        "max_step": max_step,
+        "operator": "banded",
+        "sweep": {},
+    }
+    for ppu in sweep_ppus:
+        seconds, surface = predict(ppu)
+        accuracy = build_accuracy_table(
+            surface, reference, times=scored_times
+        ).overall_average
+        report["sweep"][str(ppu)] = {
+            "points_per_unit": ppu,
+            "seconds": seconds,
+            "accuracy_vs_reference": accuracy,
+            "max_delta_vs_reference": float(
+                np.max(np.abs(surface.values - reference.values))
+            ),
+        }
+    return report
+
+
 def run_batched_solver_benchmark(quick: bool = False) -> dict:
     """Time the batched solver engine against the sequential path.
 
@@ -513,6 +698,7 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
         },
         "operator": run_operator_mode_benchmark(quick=quick),
         "service": run_service_benchmark(quick=quick),
+        "daemon": run_daemon_benchmark(quick=quick),
     }
 
 
@@ -531,9 +717,20 @@ def main(argv=None) -> int:
         action="store_true",
         help="smaller candidate grids / batch sizes (for CI smoke runs)",
     )
+    parser.add_argument(
+        "--convergence",
+        action="store_true",
+        help=(
+            "also run the resolution-convergence study (accuracy vs "
+            "points_per_unit on the banded stack) and emit it as the "
+            "report's 'convergence' section"
+        ),
+    )
     args = parser.parse_args(argv)
 
     report = run_batched_solver_benchmark(quick=args.quick)
+    if args.convergence:
+        report["convergence"] = run_convergence_benchmark(quick=args.quick)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.json == "-":
         print(text)
@@ -553,7 +750,10 @@ def main(argv=None) -> int:
             f"service {service['speedup']:.1f}x sequential at "
             f"{service['corpus_size']} stories "
             f"({service['stories_per_second']:.1f} stories/s, max result delta "
-            f"{service['max_result_delta_vs_batch']:.2e})",
+            f"{service['max_result_delta_vs_batch']:.2e}); "
+            f"daemon round-trip {report['daemon']['efficiency_vs_inprocess']:.2f}x "
+            f"in-process at {report['daemon']['stories']} stories "
+            f"(max result delta {report['daemon']['max_result_delta_vs_batch']:.2e})",
             file=sys.stderr,
         )
     return 0

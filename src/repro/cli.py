@@ -19,7 +19,21 @@ Five subcommands cover the common workflows without writing any Python:
     Score a whole corpus of stories through the async prediction service:
     the manifest's stories are sharded by spatial signature, drained by a
     bounded worker pool, and each per-story result is streamed to stdout as
-    one JSON line the moment its shard completes.
+    one JSON line the moment its shard completes.  Exit code 3 signals
+    partial failure (some stories scored, some failed), so batch pipelines
+    can tell it from configuration errors (2) and total failure (1).
+``daemon``
+    Run the long-lived prediction daemon: a JSON-lines protocol over
+    stdin/stdout (default) or a Unix-domain socket (``--socket``), serving
+    submit/status/stats/shutdown requests against one shared worker pool;
+    ``--autotune`` sizes shards from observed solve times and ``--timeout``
+    sets a default per-story wall-clock deadline.
+``submit``
+    Submit a story manifest to a running daemon over its socket and stream
+    the per-story result events to stdout as they complete.
+``daemon-stats``
+    Fetch a running daemon's stats snapshot (job counts, service counters,
+    telemetry registry) and print it as JSON.
 ``report``
     Run every registered experiment and print a compact paper-vs-measured
     summary (a quick, text-only version of the benchmark harness).
@@ -57,6 +71,11 @@ from repro.core.prediction import BatchPredictor, DiffusionPredictor
 from repro.io.tables import format_table
 
 STORY_CHOICES = ("s1", "s2", "s3", "s4")
+
+#: Exit code of serve-batch / submit when some stories scored and some
+#: failed -- distinct from 1 (nothing usable) and 2 (bad configuration) so
+#: batch pipelines can detect partial failure without parsing the stream.
+EXIT_PARTIAL_FAILURE = 3
 
 
 def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
@@ -271,6 +290,109 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the streamed JSON lines to PATH",
     )
     _add_backend_argument(serve_batch)
+
+    daemon = subparsers.add_parser(
+        "daemon",
+        help="run the long-lived prediction daemon (JSON-lines protocol)",
+        description=(
+            "Serve prediction jobs over a JSON-lines protocol: submit/status/"
+            "stats/shutdown requests arrive over stdin (default) or a Unix-"
+            "domain socket, manifests are scored through one shared sharded "
+            "worker pool, and per-story results stream back to the "
+            "submitting client as their shards complete."
+        ),
+    )
+    daemon.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on this Unix-domain socket instead of stdin/stdout",
+    )
+    daemon.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="number of shard solves in flight at once (thread pool size)",
+    )
+    daemon.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        help="backpressure bound: maximum queued+running stories",
+    )
+    daemon.add_argument(
+        "--shard-size",
+        type=int,
+        default=32,
+        help="maximum stories advanced together in one batched solve",
+    )
+    daemon.add_argument(
+        "--autotune",
+        action="store_true",
+        help=(
+            "size shards from an EWMA of observed per-story solve times "
+            "(--shard-size then caps the autotuner's range)"
+        ),
+    )
+    daemon.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-story wall-clock deadline for submitted jobs",
+    )
+    daemon.add_argument(
+        "--sequential-calibration",
+        action="store_true",
+        help="calibrate with the sequential per-candidate protocol instead of the batched grid",
+    )
+    _add_backend_argument(daemon)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a story manifest to a running daemon",
+        description=(
+            "Connect to a daemon's Unix socket, submit one story manifest as "
+            "a job, and stream the daemon's per-story result events to "
+            "stdout as JSON lines (summary on stderr).  Exit code 3 signals "
+            "partial failure, mirroring serve-batch."
+        ),
+    )
+    submit.add_argument(
+        "--socket", metavar="PATH", required=True, help="the daemon's Unix socket"
+    )
+    submit.add_argument(
+        "--manifest", required=True, help="path of the story-manifest JSON file"
+    )
+    submit.add_argument(
+        "--id", default=None, help="job id (the daemon generates one when omitted)"
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-story wall-clock deadline for this job",
+    )
+    submit.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="also write the streamed JSON lines to PATH",
+    )
+
+    daemon_stats = subparsers.add_parser(
+        "daemon-stats",
+        help="print a running daemon's stats snapshot as JSON",
+        description=(
+            "Connect to a daemon's Unix socket, request its stats event "
+            "(job counts, service counters incl. autotuner state, telemetry "
+            "registry snapshot) and print it as indented JSON."
+        ),
+    )
+    daemon_stats.add_argument(
+        "--socket", metavar="PATH", required=True, help="the daemon's Unix socket"
+    )
 
     report = subparsers.add_parser(
         "report", help="run the main experiments and print a compact summary"
@@ -606,7 +728,198 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             print(f"{job.name}: parameters = {job.result.parameters}", file=sys.stderr)
     for job in failed:
         print(f"error: {job.name} failed: {job.error}", file=sys.stderr)
-    return 1 if failed else 0
+    if failed:
+        # Some stories scored and some did not: exit 3 (EXIT_PARTIAL_FAILURE)
+        # so batch pipelines can tell partial failure from configuration
+        # errors (2) and nothing-scored errors (1) without parsing the stream.
+        # When *nothing* scored, 3 would wrongly suggest usable partial
+        # results, so total failure stays exit 1.
+        if not succeeded:
+            print("error: every scored story failed", file=sys.stderr)
+            return 1
+        print(
+            f"warning: {len(failed)} of {len(jobs)} stories failed; "
+            f"exiting {EXIT_PARTIAL_FAILURE} (partial failure)",
+            file=sys.stderr,
+        )
+        return EXIT_PARTIAL_FAILURE
+    return 0
+
+
+def _daemon_pool_errors(args: argparse.Namespace) -> "str | None":
+    """Validate the shared worker-pool flags; returns an error line or None."""
+    for flag, value in (
+        ("--workers", args.workers),
+        ("--queue-depth", args.queue_depth),
+        ("--shard-size", args.shard_size),
+    ):
+        if value < 1:
+            return f"error: {flag} must be >= 1, got {value}"
+    if args.timeout is not None and args.timeout <= 0:
+        return f"error: --timeout must be > 0, got {args.timeout:g}"
+    return None
+
+
+def _command_daemon(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import PredictionDaemon
+
+    config_error = _resolve_solver_config(args.backend, args.operator)
+    if config_error is not None:
+        print(config_error, file=sys.stderr)
+        return 2
+    pool_error = _daemon_pool_errors(args)
+    if pool_error is not None:
+        print(pool_error, file=sys.stderr)
+        return 2
+    daemon = PredictionDaemon(
+        default_timeout=args.timeout,
+        backend=args.backend,
+        operator=args.operator,
+        calibration_batch=not args.sequential_calibration,
+        max_workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_shard_size=args.shard_size,
+        autotune=args.autotune,
+    )
+    try:
+        if args.socket:
+            print(
+                f"daemon listening on {args.socket} "
+                f"({args.workers} workers, queue depth {args.queue_depth}, "
+                f"{'autotuned' if args.autotune else 'fixed'} shards)",
+                file=sys.stderr,
+            )
+            asyncio.run(daemon.serve_unix(args.socket))
+        else:
+            asyncio.run(daemon.serve_stdio())
+    except KeyboardInterrupt:
+        print("daemon interrupted", file=sys.stderr)
+        return 130
+    print("daemon stopped", file=sys.stderr)
+    return 0
+
+
+def _connect_error(socket_path: str, error: OSError) -> str:
+    return (
+        f"error: cannot connect to the daemon at {socket_path}: {error}; "
+        f"is 'repro daemon --socket {socket_path}' running?"
+    )
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DaemonClient
+
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"error: --timeout must be > 0, got {args.timeout:g}", file=sys.stderr)
+        return 2
+    try:
+        with open(args.manifest, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        print(f"error: manifest {args.manifest} does not exist", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: {args.manifest} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+
+    output_handle = open(args.output, "w", encoding="utf-8") if args.output else None
+
+    def emit_line(payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True)
+        print(line, flush=True)
+        if output_handle is not None:
+            output_handle.write(line + "\n")
+
+    async def run() -> "tuple[dict, dict | None, str | None]":
+        counts: "dict[str, int]" = {}
+        job_event = None
+        async with await DaemonClient.connect_unix(args.socket) as client:
+            async for event in client.submit(
+                manifest, job_id=args.id, timeout=args.timeout
+            ):
+                kind = event.get("event")
+                if kind == "error":
+                    return counts, None, event.get("error", "unknown daemon error")
+                if kind == "accepted":
+                    print(
+                        f"job {event['id']} accepted: "
+                        f"{len(event['stories'])} stories, "
+                        f"{len(event['skipped'])} skipped",
+                        file=sys.stderr,
+                    )
+                elif kind == "result":
+                    emit_line(event)
+                    counts[event["status"]] = counts.get(event["status"], 0) + 1
+                elif kind == "job":
+                    job_event = event
+        return counts, job_event, None
+
+    try:
+        counts, job_event, error = asyncio.run(run())
+    except (ConnectionError, OSError) as oserror:
+        print(_connect_error(args.socket, oserror), file=sys.stderr)
+        return 2
+    finally:
+        if output_handle is not None:
+            output_handle.close()
+
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    assert job_event is not None
+    succeeded = counts.get("succeeded", 0)
+    unsuccessful = sum(
+        count for status, count in counts.items() if status not in ("succeeded", "skipped")
+    )
+    print(
+        f"job {job_event['id']} completed in {job_event['seconds']:.2f}s: "
+        + ", ".join(f"{count} {status}" for status, count in sorted(counts.items())),
+        file=sys.stderr,
+    )
+    if unsuccessful and succeeded:
+        return EXIT_PARTIAL_FAILURE
+    if unsuccessful:
+        return 1
+    if not succeeded:
+        # Every story was skipped: nothing scored, mirroring serve-batch's
+        # all-skipped exit 1 so pipelines keep their failure signal.
+        print(
+            "error: every story in the manifest was skipped (empty first "
+            "observed hour); try a different metric or seed",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _command_daemon_stats(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import DaemonClient
+
+    async def run() -> dict:
+        async with await DaemonClient.connect_unix(args.socket) as client:
+            return await client.stats()
+
+    try:
+        stats = asyncio.run(run())
+    except (ConnectionError, OSError) as error:
+        print(_connect_error(args.socket, error), file=sys.stderr)
+        return 2
+    print(json.dumps(stats, indent=2, sort_keys=True))
+    service = stats.get("service", {})
+    print(
+        f"uptime {stats.get('uptime_seconds', 0.0):.0f}s, "
+        f"{stats.get('jobs', {}).get('total', 0)} jobs, "
+        f"{service.get('stories_solved', 0)} stories solved in "
+        f"{service.get('shards_solved', 0)} shards",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _command_report(args: argparse.Namespace) -> int:
@@ -643,6 +956,9 @@ _COMMANDS = {
     "predict": _command_predict,
     "predict-batch": _command_predict_batch,
     "serve-batch": _command_serve_batch,
+    "daemon": _command_daemon,
+    "submit": _command_submit,
+    "daemon-stats": _command_daemon_stats,
     "report": _command_report,
 }
 

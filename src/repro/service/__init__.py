@@ -5,14 +5,29 @@ cascades are scored concurrently:
 
 * :mod:`repro.service.sharding` -- group stories by the spatial signature
   (grid, dt, backend, operator mode) that lets them share one batched solve
-  and its cached operator factorizations.
+  and its cached operator factorizations, plus the :class:`ShardAutotuner`
+  that sizes shards from observed solve times.
 * :mod:`repro.service.service` -- the :class:`PredictionService`: bounded
-  async worker pool with submit/await/stream APIs, per-job status,
-  cancellation and queue-depth backpressure.
+  async worker pool with submit/await/stream APIs, per-job status and
+  wall-clock timeouts, cancellation, bounded shard retry with bisection,
+  queue-depth backpressure and graceful drain.
+* :mod:`repro.service.telemetry` -- the in-process
+  :class:`MetricsRegistry` (counters, gauges, solve-time histograms) the
+  service and daemon report into.
+* :mod:`repro.service.daemon` -- the long-lived :class:`PredictionDaemon`
+  serving a JSON-lines protocol over stdio or a Unix socket (``repro
+  daemon`` / ``repro submit`` / ``repro daemon-stats``), plus the matching
+  :class:`DaemonClient`.
 * :mod:`repro.service.manifest` -- the story-manifest format consumed by the
-  ``repro serve-batch`` CLI.
+  ``repro serve-batch`` CLI and the daemon's ``submit`` requests.
 """
 
+from repro.service.daemon import (
+    DaemonClient,
+    DaemonJob,
+    PredictionDaemon,
+    story_result_payload,
+)
 from repro.service.manifest import (
     ManifestError,
     ManifestStory,
@@ -25,21 +40,33 @@ from repro.service.manifest import (
 from repro.service.service import (
     JobCancelledError,
     JobStatus,
+    JobTimeoutError,
     PredictionJob,
     PredictionService,
     score_corpus_sync,
 )
-from repro.service.sharding import CorpusSharder, Shard, ShardKey
+from repro.service.sharding import CorpusSharder, Shard, ShardAutotuner, ShardKey
+from repro.service.telemetry import Counter, Gauge, Histogram, MetricsRegistry
 
 __all__ = [
     "CorpusSharder",
     "Shard",
+    "ShardAutotuner",
     "ShardKey",
     "JobCancelledError",
     "JobStatus",
+    "JobTimeoutError",
     "PredictionJob",
     "PredictionService",
     "score_corpus_sync",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DaemonClient",
+    "DaemonJob",
+    "PredictionDaemon",
+    "story_result_payload",
     "ManifestError",
     "ManifestStory",
     "ResolvedManifest",

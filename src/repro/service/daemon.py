@@ -1,0 +1,685 @@
+"""Long-lived prediction daemon: a JSON-lines protocol over stdio or a socket.
+
+:class:`PredictionDaemon` turns the one-shot
+:class:`~repro.service.service.PredictionService` into a server that
+outlives any single manifest: clients connect over stdin/stdout or a
+Unix-domain socket, submit story manifests as **jobs**, and receive
+per-story results and job-status events streamed back as they complete,
+while the daemon keeps one shared sharded worker pool (and its cached
+operator factorizations) warm across jobs.
+
+Protocol
+--------
+Every request and every event is one JSON object per line (``\\n``
+terminated, UTF-8).  Requests carry an ``op`` field:
+
+``{"op": "submit", "manifest": {...}, "id": "job-1", "timeout": 30.0}``
+    Score one story manifest (the same document ``repro serve-batch``
+    reads, with corpus references and/or inline surfaces).  ``id`` names
+    the job (generated when omitted); ``timeout`` is a per-story wall-clock
+    deadline in seconds.  The daemon answers with an ``accepted`` event,
+    then one ``result`` event per story as its shard completes, then a
+    ``job`` event with final counts.
+``{"op": "status", "id": "job-1"}``
+    One ``status`` event with the job's current per-story counts.  Without
+    ``id``, a summary of every known job.
+``{"op": "stats"}``
+    One ``stats`` event: daemon uptime and job counts, the service's
+    counters (including autotuner state when enabled) and the full
+    telemetry-registry snapshot.
+``{"op": "ping"}`` / ``{"op": "shutdown", "drain": false}``
+    Liveness probe / graceful stop.  ``shutdown`` drains every queued and
+    running job before exiting unless ``drain`` is false, in which case
+    queued jobs are cancelled and only in-flight shards finish.
+
+Events mirror requests: ``accepted``, ``result``, ``job``, ``status``,
+``stats``, ``pong``, ``shutdown`` and ``error`` (malformed JSON, unknown
+ops and invalid manifests produce an ``error`` event on the offending
+connection, never a dead daemon).
+
+Results are bit-identical to the synchronous
+:class:`~repro.core.prediction.BatchPredictor` on the same stories -- the
+daemon only adds transport and scheduling, never numerics (the ``daemon``
+benchmark section and the CI ``daemon-smoke`` job assert this).
+
+:class:`DaemonClient` is the matching asyncio client used by ``repro
+submit`` / ``repro daemon-stats``, the benchmark harness and
+``examples/daemon_client.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import AsyncIterator
+
+from repro.core.prediction import PredictionResult
+from repro.service.manifest import ManifestError, parse_manifest, resolve_manifest
+from repro.service.service import JobStatus, PredictionJob, PredictionService
+
+DEFAULT_HOURS = 6
+_SUBMIT_FIELDS = {"op", "manifest", "id", "timeout"}
+
+
+def story_result_payload(result: PredictionResult) -> dict:
+    """Machine-readable per-story result, shared by every transport.
+
+    The same structure ``repro predict-batch --json`` and ``repro
+    serve-batch`` emit, so daemon clients and batch pipelines parse one
+    format.
+    """
+    return {
+        "overall_accuracy": result.overall_accuracy,
+        "parameters": result.parameters.to_json_dict(),
+        "accuracy_by_distance": {
+            str(distance): result.accuracy_at_distance(distance)
+            for distance in result.predicted.distances
+        },
+    }
+
+
+@dataclass
+class DaemonJob:
+    """One submitted manifest tracked for its whole lifetime."""
+
+    id: str
+    submitted_at: float
+    timeout: "float | None"
+    skipped: "list[str]" = field(default_factory=list)
+    story_jobs: "dict[str, PredictionJob]" = field(default_factory=dict)
+    completed: bool = False
+
+    def story_counts(self) -> dict:
+        """Per-status story counts (``skipped`` included)."""
+        counts = {status.value: 0 for status in JobStatus}
+        for job in self.story_jobs.values():
+            counts[job.status.value] += 1
+        counts["skipped"] = len(self.skipped)
+        return counts
+
+    def summary(self) -> dict:
+        counts = self.story_counts()
+        return {
+            "id": self.id,
+            "status": "completed" if self.completed else "running",
+            "stories": counts,
+            "age_seconds": time.time() - self.submitted_at,
+        }
+
+
+class _Connection:
+    """One JSON-lines peer: a serialized writer shared by event streamers."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+        self._write_lock = asyncio.Lock()
+
+    async def send(self, payload: dict) -> None:
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        # Concurrent job streamers share this connection; the lock keeps
+        # each event on its own line no matter how watchers interleave.
+        async with self._write_lock:
+            self.writer.write(line.encode("utf-8"))
+            try:
+                await self.writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass  # the peer hung up; the read loop will see EOF and exit
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except RuntimeError:
+            pass  # event loop already closing
+
+
+class PredictionDaemon:
+    """Serve prediction jobs over JSON lines, backed by one shared service.
+
+    Parameters
+    ----------
+    default_timeout:
+        Per-story wall-clock deadline (seconds) applied to submissions that
+        do not carry their own ``timeout``; ``None`` disables deadlines.
+    max_completed_jobs:
+        How many *completed* jobs stay queryable via ``status`` before the
+        oldest are evicted (their per-story results are only streamed, so
+        eviction loses nothing but history).  Bounds the daemon's memory
+        over an arbitrarily long life; active jobs are never evicted.
+    **service_kwargs:
+        Forwarded to :class:`~repro.service.service.PredictionService`
+        (workers, queue depth, shard size, autotune, backend, operator,
+        ...).  All jobs share this one service, so every manifest benefits
+        from the same warmed operator caches and autotuner state.
+
+    Call :meth:`serve_unix` (socket) or :meth:`serve_stdio` (pipe) -- both
+    run until a ``shutdown`` request (or EOF on stdio) and drain gracefully.
+    """
+
+    def __init__(
+        self,
+        default_timeout: "float | None" = None,
+        max_completed_jobs: int = 256,
+        **service_kwargs,
+    ) -> None:
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError(f"default_timeout must be > 0, got {default_timeout}")
+        if max_completed_jobs < 1:
+            raise ValueError(
+                f"max_completed_jobs must be >= 1, got {max_completed_jobs}"
+            )
+        self._default_timeout = default_timeout
+        self._max_completed_jobs = max_completed_jobs
+        self._service_kwargs = service_kwargs
+        self._service: "PredictionService | None" = None
+        self._jobs: "dict[str, DaemonJob]" = {}
+        self._job_sequence = 0
+        self._accepting = False
+        self._drain_on_stop = True
+        self._stop: "asyncio.Event | None" = None
+        self._job_tasks: "set[asyncio.Task]" = set()
+        self._connections: "set[_Connection]" = set()
+        self._started_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    async def serve_unix(self, socket_path: str) -> None:
+        """Serve on a Unix-domain socket until a ``shutdown`` request."""
+        # A stale socket file from a crashed daemon would fail the bind;
+        # binding over it is safe because connect() on a dead socket fails.
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)
+        async with self._running_service():
+            server = await asyncio.start_unix_server(
+                self._handle_socket_client, path=socket_path
+            )
+            try:
+                assert self._stop is not None
+                await self._stop.wait()
+                server.close()
+                await server.wait_closed()
+                await self._settle()
+            finally:
+                for connection in list(self._connections):
+                    connection.close()
+                if os.path.exists(socket_path):
+                    os.unlink(socket_path)
+
+    async def serve_stdio(self) -> None:
+        """Serve one client over stdin/stdout until ``shutdown`` or EOF."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader()
+        await loop.connect_read_pipe(
+            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
+        )
+        transport, protocol = await loop.connect_write_pipe(
+            asyncio.streams.FlowControlMixin, sys.stdout
+        )
+        writer = asyncio.StreamWriter(transport, protocol, reader, loop)
+        async with self._running_service():
+            connection = _Connection(reader, writer)
+            self._connections.add(connection)
+            try:
+                await self._read_loop(connection)
+                # EOF on stdin is the pipe client's shutdown: drain and exit.
+                self._accepting = False
+                await self._settle()
+            finally:
+                self._connections.discard(connection)
+
+    def _running_service(self):
+        daemon = self
+
+        class _Scope:
+            async def __aenter__(self):
+                daemon._service = PredictionService(**daemon._service_kwargs)
+                daemon._service.start()
+                daemon._stop = asyncio.Event()
+                daemon._accepting = True
+                daemon._drain_on_stop = True
+                daemon._started_at = time.time()
+                return daemon
+
+            async def __aexit__(self, exc_type, exc, tb):
+                assert daemon._service is not None
+                await daemon._service.close(drain=daemon._drain_on_stop)
+                daemon._accepting = False
+
+        return _Scope()
+
+    async def _settle(self) -> None:
+        """Finish every accepted job according to the drain policy."""
+        assert self._service is not None
+        if not self._drain_on_stop:
+            # Abort: cancel queued stories now so the streamers can finish.
+            await self._service.close(drain=False)
+        if self._job_tasks:
+            await asyncio.gather(*list(self._job_tasks), return_exceptions=True)
+
+    async def _handle_socket_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(reader, writer)
+        self._connections.add(connection)
+        try:
+            await self._read_loop(connection)
+        finally:
+            if self._stop is not None and self._stop.is_set():
+                # Shutdown path: the read loop exits promptly, but in-flight
+                # job streamers may still owe this peer result events during
+                # the drain -- serve_unix closes every registered connection
+                # after _settle().
+                pass
+            else:
+                # Peer hung up: release the connection now.
+                self._connections.discard(connection)
+                connection.close()
+
+    async def _read_loop(self, connection: _Connection) -> None:
+        # The loop must exit the moment shutdown is requested, even while
+        # parked in readline() on an idle connection that the peer keeps
+        # open -- otherwise the stdio transport (and Server.wait_closed on
+        # Python >= 3.12, which awaits every live handler) would hang until
+        # the peer happened to hang up.
+        assert self._stop is not None
+        stop_wait = asyncio.ensure_future(self._stop.wait())
+        try:
+            while not self._stop.is_set():
+                read = asyncio.ensure_future(connection.reader.readline())
+                await asyncio.wait(
+                    {read, stop_wait}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not read.done():
+                    read.cancel()
+                    await asyncio.gather(read, return_exceptions=True)
+                    return
+                try:
+                    line = read.result()
+                except (ConnectionResetError, BrokenPipeError):
+                    return
+                if not line:
+                    return
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                await self._dispatch(connection, text)
+        finally:
+            stop_wait.cancel()
+            await asyncio.gather(stop_wait, return_exceptions=True)
+
+    # ------------------------------------------------------------------ #
+    # Request dispatch
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, connection: _Connection, text: str) -> None:
+        assert self._service is not None
+        self._service.metrics.counter("daemon.requests").inc()
+        try:
+            message = json.loads(text)
+        except json.JSONDecodeError as error:
+            await self._error(connection, f"invalid JSON: {error}")
+            return
+        if not isinstance(message, dict):
+            await self._error(
+                connection, f"a request must be an object, got {type(message).__name__}"
+            )
+            return
+        op = message.get("op")
+        if op == "submit":
+            await self._handle_submit(connection, message)
+        elif op == "status":
+            await self._handle_status(connection, message)
+        elif op == "stats":
+            await connection.send(self._stats_payload())
+        elif op == "ping":
+            await connection.send({"event": "pong"})
+        elif op == "shutdown":
+            drain = message.get("drain", True)
+            self._accepting = False
+            self._drain_on_stop = bool(drain)
+            await connection.send({"event": "shutdown", "drain": self._drain_on_stop})
+            assert self._stop is not None
+            self._stop.set()
+        else:
+            await self._error(
+                connection,
+                f"unknown op {op!r}; expected one of "
+                f"'submit', 'status', 'stats', 'ping', 'shutdown'",
+            )
+
+    async def _error(
+        self, connection: _Connection, message: str, job_id: "str | None" = None
+    ) -> None:
+        assert self._service is not None
+        self._service.metrics.counter("daemon.errors").inc()
+        payload = {"event": "error", "error": message}
+        if job_id is not None:
+            payload["id"] = job_id
+        await connection.send(payload)
+
+    def _stats_payload(self) -> dict:
+        assert self._service is not None
+        active = sum(1 for job in self._jobs.values() if not job.completed)
+        return {
+            "event": "stats",
+            "uptime_seconds": time.time() - self._started_at,
+            "jobs": {
+                "active": active,
+                "completed": len(self._jobs) - active,
+                "total": len(self._jobs),
+            },
+            "service": self._service.stats(),
+            "metrics": self._service.metrics.snapshot(),
+        }
+
+    async def _handle_status(self, connection: _Connection, message: dict) -> None:
+        job_id = message.get("id")
+        if job_id is None:
+            await connection.send(
+                {
+                    "event": "status",
+                    "jobs": [job.summary() for job in self._jobs.values()],
+                }
+            )
+            return
+        job = self._jobs.get(str(job_id))
+        if job is None:
+            await self._error(
+                connection, f"unknown job {job_id!r}", job_id=str(job_id)
+            )
+            return
+        await connection.send({"event": "status", **job.summary()})
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    async def _handle_submit(self, connection: _Connection, message: dict) -> None:
+        assert self._service is not None
+        if not self._accepting:
+            await self._error(connection, "the daemon is shutting down")
+            return
+        unknown = sorted(set(message) - _SUBMIT_FIELDS)
+        if unknown:
+            await self._error(
+                connection,
+                f"unknown submit field(s) {unknown}; expected a subset of "
+                f"{sorted(_SUBMIT_FIELDS - {'op'})}",
+            )
+            return
+        if "manifest" not in message:
+            await self._error(connection, "submit needs a 'manifest' field")
+            return
+        job_id = str(message["id"]) if message.get("id") is not None else None
+        if job_id is not None and job_id in self._jobs:
+            await self._error(
+                connection, f"job id {job_id!r} already exists", job_id=job_id
+            )
+            return
+        timeout = message.get("timeout", self._default_timeout)
+        if timeout is not None and (
+            not isinstance(timeout, (int, float))
+            or isinstance(timeout, bool)
+            or timeout <= 0
+        ):
+            await self._error(
+                connection, f"'timeout' must be a positive number, got {timeout!r}"
+            )
+            return
+        try:
+            manifest = parse_manifest(message["manifest"], source="<protocol>")
+        except ManifestError as error:
+            await self._error(connection, f"invalid manifest: {error}", job_id=job_id)
+            return
+        if not manifest.stories:
+            await self._error(
+                connection, "the manifest contains no stories", job_id=job_id
+            )
+            return
+        hours = manifest.hours or DEFAULT_HOURS
+        training_times = [float(t) for t in range(1, hours + 1)]
+        try:
+            # Resolution may build a synthetic corpus (seconds of CPU); keep
+            # the event loop -- and every other client -- responsive.
+            resolved = await asyncio.get_running_loop().run_in_executor(
+                None, resolve_manifest, manifest, None, training_times
+            )
+        except ManifestError as error:
+            await self._error(connection, f"invalid manifest: {error}", job_id=job_id)
+            return
+        if job_id is None:
+            # Generated ids must also dodge client-chosen ones ("job-1" is a
+            # popular explicit id), or a generated job would silently
+            # overwrite another job's registry entry.
+            while True:
+                self._job_sequence += 1
+                job_id = f"job-{self._job_sequence}"
+                if job_id not in self._jobs:
+                    break
+        job = DaemonJob(
+            id=job_id,
+            submitted_at=time.time(),
+            timeout=timeout,
+            skipped=list(resolved.skipped),
+        )
+        self._jobs[job_id] = job
+        self._service.metrics.counter("daemon.jobs_submitted").inc()
+        await connection.send(
+            {
+                "event": "accepted",
+                "id": job_id,
+                "stories": list(resolved.surfaces),
+                "skipped": job.skipped,
+                "hours": hours,
+                "timeout": timeout,
+            }
+        )
+        for story in job.skipped:
+            await connection.send(
+                {
+                    "event": "result",
+                    "id": job_id,
+                    "story": story,
+                    "status": "skipped",
+                    "reason": "no influenced users at any distance in the "
+                    "first observed hour",
+                }
+            )
+        task = asyncio.get_running_loop().create_task(
+            self._run_job(connection, job, resolved.surfaces, training_times)
+        )
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+
+    async def _run_job(
+        self,
+        connection: _Connection,
+        job: DaemonJob,
+        surfaces: dict,
+        training_times: "list[float]",
+    ) -> None:
+        assert self._service is not None
+        evaluation_times = training_times[1:]
+        try:
+            watchers = []
+            for name, surface in surfaces.items():
+                try:
+                    # Story names are prefixed with the job id so concurrent
+                    # jobs listing the same story never collide in the
+                    # service's in-flight namespace.
+                    story_job = await self._service.submit(
+                        f"{job.id}:{name}",
+                        surface,
+                        training_times,
+                        evaluation_times,
+                        timeout=job.timeout,
+                    )
+                except (RuntimeError, ValueError) as error:
+                    # RuntimeError: the service stopped accepting (abort
+                    # shutdown) while this job was still submitting.
+                    # ValueError: a name collision in the service's in-flight
+                    # namespace.  Either way, report the story instead of
+                    # letting the job task die with results half-streamed.
+                    await connection.send(
+                        {
+                            "event": "result",
+                            "id": job.id,
+                            "story": name,
+                            "status": "cancelled",
+                            "error": str(error),
+                        }
+                    )
+                    continue
+                job.story_jobs[name] = story_job
+                watchers.append(
+                    asyncio.get_running_loop().create_task(
+                        self._stream_story(connection, job, name, story_job)
+                    )
+                )
+            if watchers:
+                await asyncio.gather(*watchers)
+        finally:
+            job.completed = True
+            self._prune_jobs()
+            await connection.send(
+                {
+                    "event": "job",
+                    "id": job.id,
+                    "status": "completed",
+                    "stories": job.story_counts(),
+                    "seconds": time.time() - job.submitted_at,
+                }
+            )
+
+    def _prune_jobs(self) -> None:
+        """Evict the oldest completed jobs beyond the retention cap.
+
+        A long-lived daemon would otherwise retain every DaemonJob -- with
+        its per-story PredictionJob objects, surfaces and results -- for the
+        life of the process.  Only completed jobs are evicted (dict order is
+        submission order, so the oldest go first); their results were
+        already streamed, so eviction only trims ``status`` history.
+        """
+        completed = [job_id for job_id, job in self._jobs.items() if job.completed]
+        for job_id in completed[: max(0, len(completed) - self._max_completed_jobs)]:
+            del self._jobs[job_id]
+
+    async def _stream_story(
+        self,
+        connection: _Connection,
+        job: DaemonJob,
+        name: str,
+        story_job: PredictionJob,
+    ) -> None:
+        await story_job.finished()
+        payload = {
+            "event": "result",
+            "id": job.id,
+            "story": name,
+            "status": story_job.status.value,
+        }
+        if story_job.status is JobStatus.SUCCEEDED:
+            assert story_job.result is not None
+            payload.update(story_result_payload(story_job.result))
+        elif story_job.error is not None:
+            payload["error"] = str(story_job.error)
+        await connection.send(payload)
+
+
+# ---------------------------------------------------------------------- #
+# Client
+# ---------------------------------------------------------------------- #
+class DaemonClient:
+    """Asyncio client for the daemon's JSON-lines protocol (Unix socket).
+
+    Use as an async context manager::
+
+        async with await DaemonClient.connect_unix(path) as client:
+            async for event in client.submit(manifest):
+                ...
+
+    One client drives one request at a time; open several connections for
+    concurrent submissions.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect_unix(cls, socket_path: str) -> "DaemonClient":
+        reader, writer = await asyncio.open_unix_connection(socket_path)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "DaemonClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _send(self, payload: dict) -> None:
+        self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await self._writer.drain()
+
+    async def _receive(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("the daemon closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    async def request(self, payload: dict) -> dict:
+        """Send one request and return its single response event."""
+        await self._send(payload)
+        return await self._receive()
+
+    async def submit(
+        self,
+        manifest: dict,
+        job_id: "str | None" = None,
+        timeout: "float | None" = None,
+    ) -> "AsyncIterator[dict]":
+        """Submit a manifest; yield events through the final ``job`` event.
+
+        Yields the ``accepted`` event, every per-story ``result`` event and
+        the closing ``job`` event.  An ``error`` event ends the stream
+        immediately (after being yielded) -- callers decide whether to
+        raise.
+        """
+        request: dict = {"op": "submit", "manifest": manifest}
+        if job_id is not None:
+            request["id"] = job_id
+        if timeout is not None:
+            request["timeout"] = timeout
+        await self._send(request)
+        while True:
+            event = await self._receive()
+            yield event
+            if event.get("event") == "error":
+                return
+            if event.get("event") == "job" and event.get("status") == "completed":
+                return
+
+    async def status(self, job_id: "str | None" = None) -> dict:
+        request: dict = {"op": "status"}
+        if job_id is not None:
+            request["id"] = job_id
+        return await self.request(request)
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def shutdown(self, drain: bool = True) -> dict:
+        return await self.request({"op": "shutdown", "drain": drain})

@@ -18,6 +18,20 @@ service for whole corpora of cascades:
 * **backpressure** -- at most ``queue_depth`` jobs may be queued or running;
   further ``submit`` calls suspend until capacity frees up, so an unbounded
   producer cannot exhaust memory.
+* **timeouts** -- each job may carry a wall-clock deadline (per submit or a
+  service-wide default); a job past its deadline completes as ``TIMED_OUT``
+  immediately, without stalling its shard-mates or later jobs.
+* **retry / requeue** -- a shard-wide solve failure does not sink the whole
+  shard: the shard is split in half and both halves are requeued (bounded
+  by ``max_shard_retries`` attempts per job), so a single poisoned story is
+  bisected away from its shard-mates and fails alone.
+* **telemetry** -- a :class:`~repro.service.telemetry.MetricsRegistry`
+  (job/shard/story counters, queue-depth gauge, solve-time histograms) is
+  updated throughout; the daemon exposes it over its ``stats`` command.
+* **autotuning** -- with ``autotune=True`` shard sizes follow a
+  :class:`~repro.service.sharding.ShardAutotuner`: an EWMA of observed
+  per-story solve times sizes each batch to a target latency instead of the
+  fixed ``max_shard_size`` grouping.
 
 Results are numerically identical to running :class:`BatchPredictor` on the
 same corpus synchronously -- the service only reorganises *when* each shard
@@ -32,6 +46,8 @@ For synchronous callers (CLI, benchmarks, examples) the module-level
 from __future__ import annotations
 
 import asyncio
+import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
@@ -40,11 +56,16 @@ from typing import AsyncIterator, Iterable, Mapping, Sequence
 from repro.cascade.density import DensitySurface
 from repro.core.parameters import DLParameters
 from repro.core.prediction import BatchPredictor, PredictionResult
-from repro.service.sharding import CorpusSharder, ShardKey
+from repro.service.sharding import CorpusSharder, ShardAutotuner, ShardKey
+from repro.service.telemetry import MetricsRegistry
 
 DEFAULT_MAX_WORKERS = 4
 DEFAULT_QUEUE_DEPTH = 128
 DEFAULT_MAX_SHARD_SIZE = 32
+#: Default bound on how often one job may be requeued after shard-wide solve
+#: failures.  Each retry halves the failing shard, so 6 attempts bisect a
+#: poisoned story out of any shard up to 64 stories wide.
+DEFAULT_MAX_SHARD_RETRIES = 6
 
 
 class JobStatus(str, Enum):
@@ -55,10 +76,15 @@ class JobStatus(str, Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    TIMED_OUT = "timed_out"
 
 
 class JobCancelledError(RuntimeError):
     """Raised by :meth:`PredictionJob.wait` when the job was cancelled."""
+
+
+class JobTimeoutError(RuntimeError):
+    """Raised by :meth:`PredictionJob.wait` when the job exceeded its deadline."""
 
 
 @dataclass
@@ -78,7 +104,13 @@ class PredictionJob:
     result:
         The :class:`PredictionResult` once ``status`` is ``SUCCEEDED``.
     error:
-        The exception once ``status`` is ``FAILED``.
+        The exception once ``status`` is ``FAILED`` or ``TIMED_OUT``.
+    timeout:
+        Wall-clock deadline in seconds, measured from submission; ``None``
+        means no deadline.
+    attempts:
+        How many times the job's shard has been requeued after a shard-wide
+        solve failure.
     """
 
     name: str
@@ -87,8 +119,11 @@ class PredictionJob:
     status: JobStatus = JobStatus.PENDING
     result: "PredictionResult | None" = None
     error: "BaseException | None" = None
+    timeout: "float | None" = None
+    attempts: int = 0
     _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
     _service: "PredictionService | None" = field(default=None, repr=False)
+    _deadline_handle: "asyncio.TimerHandle | None" = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -103,12 +138,17 @@ class PredictionJob:
     async def wait(self) -> PredictionResult:
         """Suspend until the job finishes; return its result.
 
-        Raises the shard's exception when the job ``FAILED`` and
-        :class:`JobCancelledError` when it was cancelled.
+        Raises the shard's exception when the job ``FAILED``,
+        :class:`JobCancelledError` when it was cancelled and
+        :class:`JobTimeoutError` when it exceeded its wall-clock deadline.
         """
         await self._done.wait()
         if self.status is JobStatus.CANCELLED:
             raise JobCancelledError(f"job {self.name!r} was cancelled")
+        if self.status is JobStatus.TIMED_OUT:
+            raise JobTimeoutError(
+                f"job {self.name!r} exceeded its {self.timeout:g}s deadline"
+            )
         if self.status is JobStatus.FAILED:
             assert self.error is not None
             raise self.error
@@ -141,6 +181,24 @@ class PredictionService:
     max_shard_size:
         Largest number of stories solved in one batch; bigger shards
         amortize factorizations further but increase per-batch latency.
+    job_timeout:
+        Default wall-clock deadline (seconds, from submission) applied to
+        every job that does not carry its own; ``None`` disables deadlines.
+    max_shard_retries:
+        How many times one job may be requeued after a shard-wide solve
+        failure before it is failed outright; each retry splits the failing
+        shard in half, so the default bisects a poisoned story out of any
+        default-sized shard.
+    autotune:
+        When True (or when ``autotuner`` is given), shard sizes follow a
+        :class:`~repro.service.sharding.ShardAutotuner` fed with observed
+        solve times instead of the fixed ``max_shard_size``;
+        ``max_shard_size`` then only caps the autotuner's range.
+    autotuner:
+        An explicitly configured autotuner instance (implies ``autotune``).
+    metrics:
+        A :class:`~repro.service.telemetry.MetricsRegistry` to update; one
+        is created when omitted (see :attr:`metrics`).
 
     Use as an async context manager (``async with PredictionService() as
     service:``) or call :meth:`start` / :meth:`close` explicitly.
@@ -157,11 +215,22 @@ class PredictionService:
         max_workers: int = DEFAULT_MAX_WORKERS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         max_shard_size: "int | None" = DEFAULT_MAX_SHARD_SIZE,
+        job_timeout: "float | None" = None,
+        max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+        autotune: bool = False,
+        autotuner: "ShardAutotuner | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0, got {job_timeout}")
+        if max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
         self._parameters = parameters
         self._predictor_config = dict(
             points_per_unit=points_per_unit,
@@ -180,11 +249,26 @@ class PredictionService:
         self._max_workers = max_workers
         self._queue_depth = queue_depth
         self._max_shard_size = max_shard_size
+        self._job_timeout = job_timeout
+        self._max_shard_retries = max_shard_retries
+        if autotuner is not None:
+            self._autotuner: "ShardAutotuner | None" = autotuner
+        elif autotune:
+            self._autotuner = ShardAutotuner(
+                max_size=max_shard_size if max_shard_size is not None else 64
+            )
+        else:
+            self._autotuner = None
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._shard_seconds = self._metrics.histogram("service.shard_solve_seconds")
+        self._story_seconds = self._metrics.histogram("service.story_solve_seconds")
+        self._queue_gauge = self._metrics.gauge("service.queue_depth")
 
         self._started = False
         self._closed = False
         self._active_names: "set[str]" = set()
         self._pending: "dict[ShardKey, list[PredictionJob]]" = {}
+        self._requeued: "deque[list[PredictionJob]]" = deque()
         self._slots: "asyncio.Semaphore | None" = None
         self._workers: "asyncio.Semaphore | None" = None
         self._kick: "asyncio.Event | None" = None
@@ -193,7 +277,18 @@ class PredictionService:
         self._executor: "ThreadPoolExecutor | None" = None
         self._counts = {status: 0 for status in JobStatus}
         self._shards_solved = 0
+        self._shards_retried = 0
         self._stories_solved = 0
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The telemetry registry this service updates."""
+        return self._metrics
+
+    @property
+    def autotuner(self) -> "ShardAutotuner | None":
+        """The shard autotuner, when autotuning is enabled."""
+        return self._autotuner
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -214,8 +309,30 @@ class PredictionService:
         self._started = True
         return self
 
-    async def close(self) -> None:
-        """Drain every queued/running job, then tear the pool down."""
+    async def drain(self) -> None:
+        """Suspend until every currently queued/running job has completed.
+
+        Does not close the service and does not block new submissions -- a
+        producer submitting concurrently extends the drain.  ``close()``
+        calls this after barring submissions, which is the graceful-shutdown
+        path; call it directly for a checkpoint ("everything submitted so
+        far is done") in a long-lived daemon.
+        """
+        while self._has_pending() or self._inflight:
+            if self._inflight:
+                await asyncio.gather(*list(self._inflight), return_exceptions=True)
+            else:
+                # Pending but not dispatched yet: yield so the dispatcher runs.
+                await asyncio.sleep(0)
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting jobs, settle the queue, then tear the pool down.
+
+        With ``drain=True`` (the default) every queued and running job is
+        completed first -- the graceful path.  With ``drain=False`` still
+        *queued* jobs are cancelled and only shards already solving are
+        awaited, for a fast abort.
+        """
         if not self._started or self._closed:
             self._closed = True
             return
@@ -224,12 +341,16 @@ class PredictionService:
         # after acquiring a slot -- so nothing can be enqueued after the
         # drain loop decides the queue is empty.
         self._closed = True
-        while self._has_pending() or self._inflight:
-            if self._inflight:
-                await asyncio.gather(*list(self._inflight), return_exceptions=True)
-            else:
-                # Pending but not dispatched yet: yield so the dispatcher runs.
-                await asyncio.sleep(0)
+        if not drain:
+            for batch in [list(q) for q in self._pending.values()] + [
+                list(b) for b in self._requeued
+            ]:
+                for job in batch:
+                    if job.status is JobStatus.PENDING:
+                        self._complete(job, JobStatus.CANCELLED)
+            self._pending.clear()
+            self._requeued.clear()
+        await self.drain()
         assert self._dispatcher is not None and self._executor is not None
         self._dispatcher.cancel()
         try:
@@ -263,6 +384,7 @@ class PredictionService:
         surface: DensitySurface,
         training_times: "Sequence[float] | None" = None,
         evaluation_times: "Sequence[float] | None" = None,
+        timeout: "float | None" = None,
     ) -> PredictionJob:
         """Queue one story; suspends while the service is at ``queue_depth``.
 
@@ -274,8 +396,16 @@ class PredictionService:
         shard solves are keyed by story name, so a duplicate would silently
         receive another surface's result.  A name becomes reusable once its
         job reaches a terminal status.
+
+        ``timeout`` is this job's wall-clock deadline in seconds, measured
+        from enqueue (``None`` falls back to the service's ``job_timeout``).
+        A job past its deadline completes as ``TIMED_OUT`` the moment the
+        deadline fires -- even while its shard is still solving -- so no
+        waiter is ever stalled by one slow story.
         """
         self._require_open()
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
         if name in self._active_names:
             raise ValueError(
                 f"a job named {name!r} is already queued or running; story "
@@ -298,9 +428,23 @@ class PredictionService:
         except BaseException:
             self._active_names.discard(name)
             raise
-        job = PredictionJob(name=name, surface=surface, key=key, _service=self)
+        job = PredictionJob(
+            name=name,
+            surface=surface,
+            key=key,
+            timeout=timeout if timeout is not None else self._job_timeout,
+            _service=self,
+        )
         self._pending.setdefault(key, []).append(job)
         self._counts[JobStatus.PENDING] += 1
+        self._metrics.counter("service.jobs_submitted").inc()
+        self._queue_gauge.set(
+            self._counts[JobStatus.PENDING] + self._counts[JobStatus.RUNNING]
+        )
+        if job.timeout is not None:
+            job._deadline_handle = asyncio.get_running_loop().call_later(
+                job.timeout, self._expire, job
+            )
         self._kick.set()
         return job
 
@@ -335,46 +479,60 @@ class PredictionService:
         """Cancel a queued job; returns False once it is running or done."""
         if job.status is not JobStatus.PENDING:
             return False
-        queued = self._pending.get(job.key, [])
-        if job in queued:
-            queued.remove(job)
-            if not queued:
-                self._pending.pop(job.key, None)
-        self._transition(job, JobStatus.CANCELLED)
-        job._done.set()
-        assert self._slots is not None
-        self._slots.release()
+        self._remove_from_queues(job)
+        self._complete(job, JobStatus.CANCELLED)
         return True
 
     def stats(self) -> dict:
         """Counters for monitoring and smoke tests."""
-        return {
+        stats = {
             "queued": self._counts[JobStatus.PENDING],
             "running": self._counts[JobStatus.RUNNING],
             "succeeded": self._counts[JobStatus.SUCCEEDED],
             "failed": self._counts[JobStatus.FAILED],
             "cancelled": self._counts[JobStatus.CANCELLED],
+            "timed_out": self._counts[JobStatus.TIMED_OUT],
             "shards_solved": self._shards_solved,
+            "shards_retried": self._shards_retried,
             "stories_solved": self._stories_solved,
             "queue_depth": self._queue_depth,
             "max_workers": self._max_workers,
             "max_shard_size": self._max_shard_size,
         }
+        if self._autotuner is not None:
+            stats["autotuner"] = self._autotuner.snapshot()
+        return stats
 
     # ------------------------------------------------------------------ #
     # Dispatch
     # ------------------------------------------------------------------ #
     def _has_pending(self) -> bool:
-        return any(self._pending.values())
+        return bool(self._requeued) or any(self._pending.values())
+
+    def _shard_size_limit(self) -> "int | None":
+        """The batch bound in force: autotuned when enabled, else fixed."""
+        if self._autotuner is not None:
+            return self._autotuner.recommended_size()
+        return self._max_shard_size
 
     def _next_batch(self) -> "list[PredictionJob]":
-        """Pop the next shard batch (oldest signature first)."""
+        """Pop the next shard batch (requeued halves first, then oldest key)."""
+        # Requeued halves jump the queue: their jobs have been waiting since
+        # before their first dispatch, and they must not be re-merged with
+        # newly submitted same-key jobs (the split is the fault-isolation).
+        while self._requeued:
+            batch = [
+                job for job in self._requeued.popleft()
+                if job.status is JobStatus.PENDING
+            ]
+            if batch:
+                return batch
         for key in list(self._pending):
             queued = self._pending[key]
             if not queued:
                 del self._pending[key]
                 continue
-            size = self._max_shard_size or len(queued)
+            size = self._shard_size_limit() or len(queued)
             batch = queued[:size]
             remainder = queued[size:]
             if remainder:
@@ -399,7 +557,12 @@ class PredictionService:
                 self._inflight.add(task)
                 task.add_done_callback(self._inflight.discard)
 
-    _TERMINAL_STATUSES = (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.CANCELLED)
+    _TERMINAL_STATUSES = (
+        JobStatus.SUCCEEDED,
+        JobStatus.FAILED,
+        JobStatus.CANCELLED,
+        JobStatus.TIMED_OUT,
+    )
 
     def _transition(self, job: PredictionJob, status: JobStatus) -> None:
         self._counts[job.status] -= 1
@@ -408,13 +571,109 @@ class PredictionService:
         if status in self._TERMINAL_STATUSES:
             self._active_names.discard(job.name)
 
+    def _complete(
+        self,
+        job: PredictionJob,
+        status: JobStatus,
+        result: "PredictionResult | None" = None,
+        error: "BaseException | None" = None,
+    ) -> bool:
+        """Move a job to a terminal status exactly once.
+
+        Every completion path -- shard solved, shard failed for good,
+        cancelled, deadline expired, abort on close -- funnels through here,
+        so the queue slot is released exactly once per job, the deadline
+        timer is always cancelled, and the per-status counters/metrics stay
+        consistent no matter which path fires first.  Returns False (and does
+        nothing) when the job already completed through another path.
+        """
+        if job.done:
+            return False
+        job.result = result
+        job.error = error
+        self._transition(job, status)
+        if job._deadline_handle is not None:
+            job._deadline_handle.cancel()
+            job._deadline_handle = None
+        job._done.set()
+        assert self._slots is not None
+        self._slots.release()
+        self._metrics.counter(f"service.jobs_{status.value}").inc()
+        self._queue_gauge.set(
+            self._counts[JobStatus.PENDING] + self._counts[JobStatus.RUNNING]
+        )
+        return True
+
+    def _remove_from_queues(self, job: PredictionJob) -> None:
+        """Drop a pending job from the key queues and any requeued batch."""
+        queued = self._pending.get(job.key, [])
+        if job in queued:
+            queued.remove(job)
+            if not queued:
+                self._pending.pop(job.key, None)
+            return
+        for batch in self._requeued:
+            if job in batch:
+                batch.remove(job)
+                if not batch:
+                    # An emptied batch must not keep _has_pending() true --
+                    # nothing would ever kick the dispatcher to discard it
+                    # and drain() would spin forever.
+                    self._requeued.remove(batch)
+                return
+
+    def _expire(self, job: PredictionJob) -> None:
+        """Deadline callback: complete the job as TIMED_OUT wherever it is.
+
+        A PENDING job is pulled out of the queue; a RUNNING job's shard keeps
+        solving on its worker thread (numpy solves cannot be interrupted),
+        but the job completes *now* -- its waiter unblocks, its slot frees,
+        and whatever the shard later produces for it is discarded.
+        """
+        if job.done:
+            return
+        if job.status is JobStatus.PENDING:
+            self._remove_from_queues(job)
+        error = JobTimeoutError(
+            f"job {job.name!r} exceeded its {job.timeout:g}s deadline"
+        )
+        self._complete(job, JobStatus.TIMED_OUT, error=error)
+
+    def _fail_or_requeue(self, jobs: "list[PredictionJob]", error: Exception) -> None:
+        """Handle a shard-wide solve failure: bisect-and-requeue, bounded.
+
+        Jobs with retry budget left are requeued -- as two halves when the
+        shard had more than one story, so a deterministically poisoned story
+        is bisected away from its shard-mates in O(log n) retries and fails
+        alone.  Jobs out of budget fail with the shard's error.
+        """
+        assert self._kick is not None
+        retryable = []
+        for job in jobs:
+            if job.attempts < self._max_shard_retries:
+                job.attempts += 1
+                retryable.append(job)
+            else:
+                self._complete(job, JobStatus.FAILED, error=error)
+        if not retryable:
+            return
+        self._shards_retried += 1
+        self._metrics.counter("service.shards_retried").inc()
+        for job in retryable:
+            self._transition(job, JobStatus.PENDING)
+        half = (len(retryable) + 1) // 2
+        for batch in (retryable[:half], retryable[half:]):
+            if batch:
+                self._requeued.append(batch)
+        self._kick.set()
+
     async def _run_shard(self, jobs: "list[PredictionJob]") -> None:
         assert self._workers is not None and self._slots is not None
         assert self._executor is not None
-        # A job can be cancelled between dispatch and this task running;
-        # cancel() already completed it and released its queue slot, so only
-        # still-pending jobs belong to this shard.  No await separates the
-        # filter from the RUNNING transition, so cancel() cannot interleave.
+        # A job can be cancelled or expire between dispatch and this task
+        # running; those completion paths already ran, so only still-pending
+        # jobs belong to this shard.  No await separates the filter from the
+        # RUNNING transition, so neither path can interleave.
         jobs = [job for job in jobs if job.status is JobStatus.PENDING]
         if not jobs:
             self._workers.release()
@@ -422,30 +681,36 @@ class PredictionService:
         for job in jobs:
             self._transition(job, JobStatus.RUNNING)
         try:
+            start = time.perf_counter()
             outcomes = await asyncio.get_running_loop().run_in_executor(
                 self._executor, self._solve_shard, jobs
             )
+            elapsed = time.perf_counter() - start
+            self._shard_seconds.observe(elapsed)
+            self._story_seconds.observe(elapsed / len(jobs))
+            if self._autotuner is not None:
+                self._autotuner.observe(len(jobs), elapsed)
             solved = 0
             for job in jobs:
+                if job.done:
+                    # Expired mid-solve: the TIMED_OUT completion already ran
+                    # and unblocked the waiter; the late result is dropped.
+                    self._metrics.counter("service.late_results_discarded").inc()
+                    continue
                 outcome = outcomes[job.name]
                 if isinstance(outcome, BaseException):
-                    job.error = outcome
-                    self._transition(job, JobStatus.FAILED)
+                    self._complete(job, JobStatus.FAILED, error=outcome)
                 else:
-                    job.result = outcome
-                    self._transition(job, JobStatus.SUCCEEDED)
+                    self._complete(job, JobStatus.SUCCEEDED, result=outcome)
                     solved += 1
             if solved:
                 self._shards_solved += 1
                 self._stories_solved += solved
+                self._metrics.counter("service.shards_solved").inc()
+                self._metrics.counter("service.stories_solved").inc(solved)
         except Exception as error:  # noqa: BLE001 - failures surface via job.wait()
-            for job in jobs:
-                job.error = error
-                self._transition(job, JobStatus.FAILED)
+            self._fail_or_requeue([job for job in jobs if not job.done], error)
         finally:
-            for job in jobs:
-                job._done.set()
-                self._slots.release()
             self._workers.release()
 
     def _solve_shard(

@@ -1,0 +1,209 @@
+"""In-process metrics for the prediction service and daemon.
+
+A tiny, dependency-free metrics registry in the spirit of a Prometheus
+client: :class:`Counter` (monotone totals), :class:`Gauge` (instantaneous
+levels such as queue depth) and :class:`Histogram` (solve-time
+distributions over fixed buckets), owned by a :class:`MetricsRegistry`
+whose :meth:`MetricsRegistry.snapshot` returns one plain-JSON-able dict.
+
+The registry is shared between the asyncio side of
+:class:`~repro.service.service.PredictionService` and its worker threads,
+so every instrument takes the registry's lock on update; updates are a few
+hundred nanoseconds against shard solves measured in milliseconds, so the
+lock never shows up in profiles.  Snapshots are consistent (taken under the
+same lock) and return copies -- mutating a snapshot never corrupts the
+registry.
+
+The daemon exposes snapshots through its ``stats`` protocol command and the
+``repro daemon-stats`` CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+#: Default histogram bucket upper bounds (seconds), chosen around the
+#: observed per-shard / per-story solve times of the batched engine
+#: (sub-millisecond cache hits up to multi-second cold calibrations).
+DEFAULT_TIME_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total.  Create via :meth:`MetricsRegistry.counter`."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (got {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """An instantaneous level (queue depth, in-flight shards, ...)."""
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Cumulative-bucket histogram of observed values (typically seconds).
+
+    ``buckets`` are the upper bounds of each bucket; an implicit ``+Inf``
+    bucket always exists, so ``observe`` never drops a value.  The snapshot
+    reports cumulative counts per bound (Prometheus ``le`` convention) plus
+    ``count``, ``sum``, ``min`` and ``max``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        self.name = name
+        self._lock = lock
+        self._bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            index = len(self._bounds)
+            for i, bound in enumerate(self._bounds):
+                if value <= bound:
+                    index = i
+                    break
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict:
+        """Cumulative bucket counts and summary stats, as one plain dict."""
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict:
+        cumulative, running = {}, 0
+        for bound, count in zip(self._bounds, self._bucket_counts):
+            running += count
+            cumulative[f"{bound:g}"] = running
+        cumulative["+Inf"] = running + self._bucket_counts[-1]
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "mean": (self._sum / self._count) if self._count else None,
+            "buckets": cumulative,
+        }
+
+
+class MetricsRegistry:
+    """Owns a named set of instruments; the service and daemon share one.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking twice
+    for the same name returns the same instrument, so independent components
+    (service, daemon, tests) can reference metrics without coordinating
+    creation order.  Asking for an existing name with a different instrument
+    kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "dict[str, Counter | Gauge | Histogram]" = {}
+
+    def _get_or_create(self, name: str, kind, factory):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, self._lock))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, self._lock))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, self._lock, buckets)
+        )
+
+    def snapshot(self) -> dict:
+        """One consistent {name: value-or-histogram-dict} view of every metric."""
+        with self._lock:
+            out: dict = {}
+            for name, metric in sorted(self._metrics.items()):
+                if isinstance(metric, Histogram):
+                    out[name] = metric._snapshot_locked()
+                else:
+                    out[name] = metric._value
+            return out

@@ -1,0 +1,470 @@
+"""Tests for the long-lived prediction daemon and its JSON-lines protocol.
+
+Transport coverage uses a Unix socket served inside the test's event loop
+(one subprocess test exercises the stdio transport through the real CLI).
+The load-bearing property mirrors the service tests: the daemon adds
+transport and scheduling, never numerics -- its streamed results must be
+bit-identical to the synchronous :class:`BatchPredictor`.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.core.prediction import BatchPredictor
+from repro.service import (
+    DaemonClient,
+    PredictionDaemon,
+    PredictionService,
+    parse_manifest,
+    resolve_manifest,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+HOURS = 4
+TRAINING_TIMES = [float(t) for t in range(1, HOURS + 1)]
+
+
+def inline_story(name: str, scale: float = 1.0) -> dict:
+    return {
+        "name": name,
+        "distances": [1, 2, 3, 4, 5],
+        "times": [1, 2, 3, 4],
+        "values": [
+            [scale * v for v in row]
+            for row in (
+                [5.0, 2.0, 2.5, 1.5, 1.0],
+                [7.0, 3.0, 3.5, 2.0, 1.4],
+                [9.0, 4.2, 4.6, 2.6, 1.9],
+                [11.0, 5.5, 5.8, 3.3, 2.5],
+            )
+        ],
+    }
+
+
+def manifest_payload(*stories) -> dict:
+    return {"metric": "hops", "hours": HOURS, "stories": list(stories)}
+
+
+@contextlib.asynccontextmanager
+async def running_daemon(tmp_path, **daemon_kwargs):
+    """A daemon serving a Unix socket in this loop; shut down on exit."""
+    socket_path = str(tmp_path / "daemon.sock")
+    daemon = PredictionDaemon(**daemon_kwargs)
+    server = asyncio.ensure_future(daemon.serve_unix(socket_path))
+    deadline = time.monotonic() + 5.0
+    while not os.path.exists(socket_path):
+        if server.done() or time.monotonic() > deadline:
+            await server  # surface the startup error
+            raise RuntimeError("daemon socket never appeared")
+        await asyncio.sleep(0.005)
+    try:
+        yield socket_path, daemon
+    finally:
+        if not server.done():
+            try:
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    await client.shutdown()
+            except (ConnectionError, OSError):
+                server.cancel()
+        await asyncio.gather(server, return_exceptions=True)
+
+
+async def collect_submission(client: DaemonClient, manifest: dict, **kwargs):
+    """Drive one submit; return (accepted, results-by-story, job, errors)."""
+    accepted, results, job_event, errors = None, {}, None, []
+    async for event in client.submit(manifest, **kwargs):
+        kind = event["event"]
+        if kind == "accepted":
+            accepted = event
+        elif kind == "result":
+            results[event["story"]] = event
+        elif kind == "job":
+            job_event = event
+        elif kind == "error":
+            errors.append(event)
+    return accepted, results, job_event, errors
+
+
+class TestProtocolFraming:
+    def test_malformed_and_unknown_requests_get_error_events(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    responses = []
+                    for raw in (
+                        "this is not json",
+                        '["an", "array"]',
+                        '{"op": "frobnicate"}',
+                        '{"op": "submit"}',
+                        '{"op": "submit", "manifest": {}, "surprise": 1}',
+                        '{"op": "submit", "manifest": {"stories": ["s1"]}}',
+                        '{"op": "status", "id": "nope"}',
+                    ):
+                        client._writer.write((raw + "\n").encode())
+                        await client._writer.drain()
+                        responses.append(await client._receive())
+                    # The connection survived all of it.
+                    assert (await client.ping())["event"] == "pong"
+                    return responses
+
+        responses = asyncio.run(run())
+        assert all(event["event"] == "error" for event in responses)
+        assert "invalid JSON" in responses[0]["error"]
+        assert "must be an object" in responses[1]["error"]
+        assert "unknown op 'frobnicate'" in responses[2]["error"]
+        assert "needs a 'manifest'" in responses[3]["error"]
+        assert "unknown submit field(s) ['surprise']" in responses[4]["error"]
+        assert "invalid manifest" in responses[5]["error"]  # corpus ref, no block
+        assert "unknown job 'nope'" in responses[6]["error"]
+
+    def test_empty_manifest_and_bad_timeout_rejected(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    empty = await client.request(
+                        {"op": "submit", "manifest": {"stories": []}}
+                    )
+                    bad_timeout = await client.request(
+                        {
+                            "op": "submit",
+                            "manifest": manifest_payload(inline_story("a")),
+                            "timeout": -3,
+                        }
+                    )
+                    return empty, bad_timeout
+
+        empty, bad_timeout = asyncio.run(run())
+        assert "contains no stories" in empty["error"]
+        assert "'timeout' must be a positive number" in bad_timeout["error"]
+
+
+class TestSubmission:
+    def test_results_bit_identical_to_batch_predictor(self, tmp_path):
+        manifest = manifest_payload(
+            inline_story("alpha"), inline_story("beta", scale=0.8)
+        )
+
+        async def run():
+            async with running_daemon(tmp_path, max_workers=2) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    return await collect_submission(client, manifest, job_id="bits")
+
+        accepted, results, job_event, errors = asyncio.run(run())
+        assert not errors
+        assert accepted["id"] == "bits"
+        assert accepted["stories"] == ["alpha", "beta"] and accepted["skipped"] == []
+        assert job_event["status"] == "completed"
+        assert job_event["stories"]["succeeded"] == 2
+
+        surfaces = resolve_manifest(
+            parse_manifest(manifest), None, TRAINING_TIMES
+        ).surfaces
+        reference = (
+            BatchPredictor()
+            .fit(surfaces, training_times=TRAINING_TIMES)
+            .evaluate(surfaces, times=TRAINING_TIMES[1:])
+        )
+        for name in surfaces:
+            record = results[name]
+            assert record["status"] == "succeeded"
+            # JSON floats round-trip exactly: bit-identical means ==.
+            assert record["overall_accuracy"] == reference[name].overall_accuracy
+            assert (
+                record["parameters"]
+                == reference[name].parameters.to_json_dict()
+            )
+            expected_by_distance = {
+                str(d): reference[name].accuracy_at_distance(d)
+                for d in reference[name].predicted.distances
+            }
+            assert record["accuracy_by_distance"] == expected_by_distance
+
+    def test_skipped_story_streams_a_skipped_result(self, tmp_path):
+        empty = inline_story("empty")
+        empty["values"][0] = [0.0] * 5  # nothing influenced in hour 1
+        manifest = manifest_payload(inline_story("good"), empty)
+
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    return await collect_submission(client, manifest)
+
+        accepted, results, job_event, errors = asyncio.run(run())
+        assert not errors
+        assert accepted["skipped"] == ["empty"]
+        assert results["empty"]["status"] == "skipped"
+        assert "first observed hour" in results["empty"]["reason"]
+        assert results["good"]["status"] == "succeeded"
+        assert job_event["stories"]["skipped"] == 1
+
+    def test_duplicate_job_id_rejected_generated_ids_unique(self, tmp_path):
+        manifest = manifest_payload(inline_story("a"))
+
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    first = await collect_submission(client, manifest, job_id="dup")
+                    second = await collect_submission(client, manifest, job_id="dup")
+                    third = await collect_submission(client, manifest)
+                    fourth = await collect_submission(client, manifest)
+                    return first, second, third, fourth
+
+        first, second, third, fourth = asyncio.run(run())
+        assert first[2]["status"] == "completed"
+        assert second[3] and "already exists" in second[3][0]["error"]
+        generated = {third[0]["id"], fourth[0]["id"]}
+        assert len(generated) == 2 and all(i.startswith("job-") for i in generated)
+
+    def test_generated_id_dodges_explicit_client_id(self, tmp_path):
+        # A client explicitly named its job "job-1"; the first generated id
+        # must not collide with (and overwrite) it.
+        manifest = manifest_payload(inline_story("a"))
+
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    explicit = await collect_submission(client, manifest, job_id="job-1")
+                    generated = await collect_submission(client, manifest)
+                    status = await client.status("job-1")
+                    return explicit, generated, status
+
+        explicit, generated, status = asyncio.run(run())
+        assert explicit[0]["id"] == "job-1"
+        assert generated[0]["id"] != "job-1"
+        assert status["stories"]["succeeded"] == 1  # job-1 untouched
+
+    def test_completed_jobs_are_pruned_beyond_retention_cap(self, tmp_path):
+        manifest = manifest_payload(inline_story("a"))
+
+        async def run():
+            async with running_daemon(tmp_path, max_completed_jobs=2) as (
+                socket_path,
+                daemon,
+            ):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    for index in range(4):
+                        await collect_submission(client, manifest, job_id=f"j{index}")
+                    listing = await client.status()
+                    evicted = await client.status("j0")
+                    return listing, evicted, set(daemon._jobs)
+
+        listing, evicted, retained = asyncio.run(run())
+        assert retained == {"j2", "j3"}  # oldest completed evicted
+        assert [job["id"] for job in listing["jobs"]] == ["j2", "j3"]
+        assert evicted["event"] == "error" and "unknown job" in evicted["error"]
+
+    def test_concurrent_jobs_over_separate_connections(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path, max_workers=2) as (socket_path, _):
+                async def one(job_id, scale):
+                    async with await DaemonClient.connect_unix(socket_path) as client:
+                        return await collect_submission(
+                            client,
+                            manifest_payload(inline_story(f"{job_id}-story", scale)),
+                            job_id=job_id,
+                        )
+
+                outcomes = await asyncio.gather(one("left", 1.0), one("right", 0.7))
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    stats = await client.stats()
+                return outcomes, stats
+
+        outcomes, stats = asyncio.run(run())
+        for accepted, results, job_event, errors in outcomes:
+            assert not errors
+            assert job_event["stories"]["succeeded"] == 1
+        assert stats["jobs"] == {"active": 0, "completed": 2, "total": 2}
+        # Both jobs shared one service: its counters aggregate across jobs.
+        assert stats["service"]["stories_solved"] == 2
+
+    def test_story_timeout_streams_timed_out_result(self, tmp_path, monkeypatch):
+        original = PredictionService._solve_shard
+
+        def slow(self, jobs):
+            time.sleep(0.5)
+            return original(self, jobs)
+
+        monkeypatch.setattr(PredictionService, "_solve_shard", slow)
+
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    return await collect_submission(
+                        client,
+                        manifest_payload(inline_story("slowpoke")),
+                        timeout=0.1,
+                    )
+
+        accepted, results, job_event, errors = asyncio.run(run())
+        assert not errors
+        assert accepted["timeout"] == 0.1
+        assert results["slowpoke"]["status"] == "timed_out"
+        assert "deadline" in results["slowpoke"]["error"]
+        assert job_event["stories"]["timed_out"] == 1
+
+
+class TestStatusAndStats:
+    def test_status_reports_counts_and_listing(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    await collect_submission(
+                        client, manifest_payload(inline_story("a")), job_id="tracked"
+                    )
+                    single = await client.status("tracked")
+                    listing = await client.status()
+                    return single, listing
+
+        single, listing = asyncio.run(run())
+        assert single["id"] == "tracked" and single["status"] == "completed"
+        assert single["stories"]["succeeded"] == 1
+        assert [job["id"] for job in listing["jobs"]] == ["tracked"]
+
+    def test_stats_exposes_service_counters_and_telemetry(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path, autotune=True) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    await collect_submission(
+                        client, manifest_payload(inline_story("a"))
+                    )
+                    return await client.stats()
+
+        stats = asyncio.run(run())
+        assert stats["uptime_seconds"] > 0.0
+        assert stats["service"]["succeeded"] == 1
+        assert stats["service"]["autotuner"]["observations"] == 1
+        metrics = stats["metrics"]
+        assert metrics["daemon.jobs_submitted"] == 1
+        assert metrics["service.jobs_succeeded"] == 1
+        assert metrics["service.shard_solve_seconds"]["count"] == 1
+
+
+class TestShutdown:
+    def test_shutdown_drains_inflight_jobs_before_exiting(self, tmp_path):
+        # A job submitted on one connection must still stream its results
+        # even when another connection requests shutdown right away.
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                submitter = await DaemonClient.connect_unix(socket_path)
+                stream = submitter.submit(
+                    manifest_payload(inline_story("draining")), job_id="draining"
+                )
+                accepted = await stream.__anext__()
+                assert accepted["event"] == "accepted"
+                async with await DaemonClient.connect_unix(socket_path) as other:
+                    ack = await other.shutdown()
+                assert ack == {"event": "shutdown", "drain": True}
+                events = [event async for event in stream]
+                await submitter.close()
+                return events
+
+        events = asyncio.run(run())
+        kinds = [event["event"] for event in events]
+        assert "result" in kinds and kinds[-1] == "job"
+        (result,) = [e for e in events if e["event"] == "result"]
+        assert result["status"] == "succeeded"
+
+    def test_submit_after_shutdown_gets_error_not_hang(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, daemon):
+                daemon._accepting = False  # as the shutdown op does first
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    return await client.request(
+                        {"op": "submit", "manifest": manifest_payload(inline_story("a"))}
+                    )
+
+        response = asyncio.run(run())
+        assert response["event"] == "error"
+        assert "shutting down" in response["error"]
+
+
+class TestCliSubmitExitCodes:
+    def test_all_skipped_job_exits_1(self, tmp_path, capsys):
+        # `repro submit` must mirror serve-batch: nothing scored (every
+        # story skipped) is exit 1, not a silent 0.
+        from repro.cli import main
+
+        empty = inline_story("void")
+        empty["values"] = [[0.0] * 5 for _ in range(4)]
+        manifest_path = tmp_path / "skipped.json"
+        manifest_path.write_text(json.dumps(manifest_payload(empty)))
+
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                # The CLI spins its own event loop, so run it off-loop.
+                return await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    main,
+                    ["submit", "--socket", socket_path, "--manifest", str(manifest_path)],
+                )
+
+        exit_code = asyncio.run(run())
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "every story in the manifest was skipped" in captured.err
+        (record,) = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert record["status"] == "skipped"
+
+
+class TestStdioTransport:
+    def test_cli_daemon_over_pipes_end_to_end(self):
+        requests = "\n".join(
+            json.dumps(line)
+            for line in (
+                {"op": "ping"},
+                {
+                    "op": "submit",
+                    "manifest": manifest_payload(inline_story("piped")),
+                    "id": "stdio-job",
+                },
+                {"op": "stats"},
+            )
+        )
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "daemon"],
+            input=requests + "\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env={**os.environ, "PYTHONPATH": REPO_SRC},
+        )
+        assert process.returncode == 0, process.stderr
+        events = [json.loads(line) for line in process.stdout.splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "pong"
+        assert "accepted" in kinds and "job" in kinds
+        (result,) = [e for e in events if e["event"] == "result"]
+        assert result["status"] == "succeeded" and result["story"] == "piped"
+        (stats,) = [e for e in events if e["event"] == "stats"]
+        assert stats["jobs"]["total"] == 1
+        assert "daemon stopped" in process.stderr
+
+    def test_shutdown_op_exits_even_with_stdin_held_open(self):
+        # The README promises a shutdown request drains and exits; that must
+        # hold while the client keeps the pipe open waiting for the exit --
+        # the read loop may not stay parked in readline().
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "daemon"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": REPO_SRC},
+        )
+        try:
+            process.stdin.write(json.dumps({"op": "shutdown"}) + "\n")
+            process.stdin.flush()
+            # stdin deliberately left open.
+            process.wait(timeout=60)
+        finally:
+            process.kill()
+        assert process.returncode == 0
+        ack = json.loads(process.stdout.readline())
+        assert ack == {"drain": True, "event": "shutdown"}

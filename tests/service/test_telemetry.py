@@ -1,0 +1,106 @@
+"""Tests for the in-process metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.service.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("jobs")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("queue")
+        gauge.set(10)
+        gauge.inc()
+        gauge.dec(4)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("t", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 5
+        assert snapshot["sum"] == pytest.approx(56.05)
+        assert snapshot["min"] == 0.05 and snapshot["max"] == 50.0
+        # Cumulative (Prometheus 'le') convention, +Inf catches the overflow.
+        assert snapshot["buckets"] == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = MetricsRegistry().histogram("t", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le convention: exactly-at-bound counts
+        assert histogram.snapshot()["buckets"]["1"] == 1
+
+    def test_empty_snapshot(self):
+        snapshot = MetricsRegistry().histogram("t").snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["min"] is None and snapshot["mean"] is None
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            MetricsRegistry().histogram("t", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.gauge("a").set(1)
+        registry.histogram("m").observe(0.2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "m", "z"]
+        assert snapshot["a"] == 1.0 and snapshot["z"] == 2.0
+        assert snapshot["m"]["count"] == 1
+        # Mutating the snapshot must not corrupt the registry.
+        snapshot["m"]["buckets"]["+Inf"] = 999
+        assert registry.histogram("m").snapshot()["buckets"]["+Inf"] == 1
+
+    def test_thread_safety_under_contention(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        histogram = registry.histogram("t", buckets=(0.5,))
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+        assert histogram.count == 4000
+
+    def test_instruments_importable_directly(self):
+        # The classes are part of the public service API surface.
+        assert Counter is not None and Gauge is not None and Histogram is not None

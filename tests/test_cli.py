@@ -407,3 +407,151 @@ class TestServeBatch:
         captured = capsys.readouterr()
         assert exit_code == 2
         assert captured.err.startswith("error:")
+
+    def test_partial_failure_exits_3(self, tmp_path, capsys, monkeypatch):
+        # One story scores, one fails its fit: batch pipelines need a
+        # distinct exit code (3) for partial failure -- 0 would hide the
+        # failure, 1 means nothing scored, 2 means bad configuration.
+        from repro.core.prediction import BatchPredictor
+
+        original = BatchPredictor.fit_story
+
+        def failing(self, name, observed, training_times=None):
+            if name == "doomed":
+                raise ValueError("synthetic per-story fit failure")
+            return original(self, name, observed, training_times)
+
+        monkeypatch.setattr(BatchPredictor, "fit_story", failing)
+        inline = {
+            "distances": [1, 2, 3, 4, 5],
+            "times": [1, 2, 3, 4],
+            "values": [
+                [5.0, 2.0, 2.5, 1.5, 1.0],
+                [7.0, 3.0, 3.5, 2.0, 1.4],
+                [9.0, 4.2, 4.6, 2.6, 1.9],
+                [11.0, 5.5, 5.8, 3.3, 2.5],
+            ],
+        }
+        manifest = write_manifest(
+            tmp_path,
+            {
+                "hours": 4,
+                "stories": [
+                    {"name": "good", **inline},
+                    {"name": "doomed", **inline},
+                ],
+            },
+        )
+        exit_code = main(["serve-batch", "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 3
+        records = {
+            record["story"]: record
+            for record in map(json.loads, captured.out.strip().splitlines())
+        }
+        assert records["good"]["status"] == "succeeded"
+        assert records["doomed"]["status"] == "failed"
+        assert "synthetic per-story fit failure" in records["doomed"]["error"]
+        assert "exiting 3 (partial failure)" in captured.err
+
+    def test_total_failure_exits_1_not_3(self, tmp_path, capsys, monkeypatch):
+        # Exit 3 promises usable partial results; when *every* story failed
+        # there are none, so the exit code must stay 1.
+        from repro.core.prediction import BatchPredictor
+
+        def failing(self, name, observed, training_times=None):
+            raise ValueError("synthetic per-story fit failure")
+
+        monkeypatch.setattr(BatchPredictor, "fit_story", failing)
+        manifest = write_manifest(
+            tmp_path,
+            {
+                "hours": 4,
+                "stories": [
+                    {
+                        "name": "doomed",
+                        "distances": [1, 2, 3, 4, 5],
+                        "times": [1, 2, 3, 4],
+                        "values": [
+                            [5.0, 2.0, 2.5, 1.5, 1.0],
+                            [7.0, 3.0, 3.5, 2.0, 1.4],
+                            [9.0, 4.2, 4.6, 2.6, 1.9],
+                            [11.0, 5.5, 5.8, 3.3, 2.5],
+                        ],
+                    }
+                ],
+            },
+        )
+        exit_code = main(["serve-batch", "--manifest", manifest])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "every scored story failed" in captured.err
+
+
+class TestDaemonCommands:
+    def test_daemon_parser_defaults(self):
+        args = build_parser().parse_args(["daemon"])
+        assert args.socket is None  # stdio by default
+        assert args.workers == 4
+        assert args.queue_depth == 128
+        assert args.shard_size == 32
+        assert args.autotune is False
+        assert args.timeout is None
+        assert args.backend == "internal"
+        assert args.operator == "auto"
+
+    def test_submit_requires_socket_and_manifest(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--manifest", "m.json"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--socket", "d.sock"])
+        args = build_parser().parse_args(
+            ["submit", "--socket", "d.sock", "--manifest", "m.json", "--id", "j1"]
+        )
+        assert args.id == "j1" and args.timeout is None and args.output is None
+
+    def test_daemon_stats_requires_socket(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["daemon-stats"])
+
+    def test_daemon_invalid_pool_bounds_exit_cleanly(self, capsys):
+        for flag in ("--workers", "--queue-depth", "--shard-size"):
+            exit_code = main(["daemon", "--socket", "d.sock", flag, "0"])
+            captured = capsys.readouterr()
+            assert exit_code == 2
+            assert f"{flag} must be >= 1" in captured.err
+        exit_code = main(["daemon", "--timeout", "-5"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--timeout must be > 0" in captured.err
+
+    def test_daemon_unknown_backend_exits_2(self, capsys):
+        exit_code = main(["daemon", "--backend", "cuda"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cuda" in captured.err
+
+    def test_submit_missing_manifest_exits_2(self, tmp_path, capsys):
+        exit_code = main(
+            ["submit", "--socket", str(tmp_path / "d.sock"), "--manifest",
+             str(tmp_path / "nope.json")]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "does not exist" in captured.err
+
+    def test_submit_unreachable_daemon_exits_2(self, tmp_path, capsys):
+        manifest = write_manifest(tmp_path, {"stories": []})
+        exit_code = main(
+            ["submit", "--socket", str(tmp_path / "gone.sock"), "--manifest", manifest]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot connect to the daemon" in captured.err
+        assert "repro daemon --socket" in captured.err
+
+    def test_daemon_stats_unreachable_daemon_exits_2(self, tmp_path, capsys):
+        exit_code = main(["daemon-stats", "--socket", str(tmp_path / "gone.sock")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "cannot connect to the daemon" in captured.err
