@@ -26,7 +26,9 @@ dimensions cover the PR-2/PR-3 machinery:
   service vs the sequential per-story predictor loop and the synchronous
   ``BatchPredictor``, at corpus sizes 10/100 (plus 1000 without ``--quick``),
   with the maximum per-story result delta against the synchronous batch
-  reference.
+  reference.  The ``service.logistic`` subsection runs the same corpus
+  through the model registry's ``logistic`` baseline, asserting the
+  model-agnostic serving path matches its direct fit/evaluate loop.
 * ``daemon`` -- submission round-trip of the JSON-lines daemon (submit over
   a Unix socket, stream every per-story result back) vs the same corpus
   scored through the in-process service, with the result delta against the
@@ -65,7 +67,9 @@ from repro.core.parameters import (
     PAPER_S1_HOP_PARAMETERS,
 )
 from repro.core.accuracy import build_accuracy_table
+from repro.core.config import ModelSpec, SolverConfig
 from repro.core.prediction import BatchPredictor, DiffusionPredictor
+from repro.models import get_model
 from repro.service import DaemonClient, PredictionDaemon, score_corpus_sync
 from repro.network.distance import friendship_hop_distances
 from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
@@ -423,6 +427,60 @@ def run_service_benchmark(quick: bool = False) -> dict:
     return report
 
 
+def run_service_model_benchmark(model: str = "logistic", quick: bool = False) -> dict:
+    """A registry baseline through the service vs its direct synchronous path.
+
+    The model-agnostic serving criterion: scoring a corpus with a non-DL
+    registered model through the async service must (a) return results
+    bit-identical to the model's direct ``fit`` + ``evaluate`` loop and
+    (b) not be catastrophically slower than that loop (the baselines have
+    no batched solve to amortize, so the service only adds scheduling --
+    the floor in ``check_regression.py`` is deliberately loose).
+    """
+    size = 20 if quick else 50
+    training = list(SERVICE_TRAINING_TIMES)
+    evaluation = list(SERVICE_EVALUATION_TIMES)
+    corpus = _service_corpus(size)
+    spec = ModelSpec(name=model, solver=SolverConfig(**SERVICE_SOLVER))
+
+    def run_direct():
+        fitter = get_model(model).batch_fitter(spec)
+        for name, surface in corpus.items():
+            fitter.fit_story(name, surface, training)
+        return fitter.evaluate(corpus, times=evaluation)
+
+    def run_service():
+        return score_corpus_sync(
+            corpus,
+            training_times=training,
+            evaluation_times=evaluation,
+            model=model,
+            **SERVICE_SOLVER,
+        )
+
+    direct_seconds, direct_results = best_of(run_direct)
+    service_seconds, service_results = best_of(run_service)
+    max_delta = max(
+        float(
+            np.max(
+                np.abs(
+                    service_results[name].predicted.values
+                    - direct_results[name].predicted.values
+                )
+            )
+        )
+        for name in corpus
+    )
+    return {
+        "model": model,
+        "stories": size,
+        "direct_seconds": direct_seconds,
+        "service_seconds": service_seconds,
+        "speedup_vs_direct": direct_seconds / service_seconds,
+        "max_result_delta_vs_direct": max_delta,
+    }
+
+
 def _daemon_manifest(corpus: dict) -> dict:
     """Serialize a corpus of surfaces as an inline-story manifest document."""
     return {
@@ -697,7 +755,12 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             "max_state_delta": max_state_delta,
         },
         "operator": run_operator_mode_benchmark(quick=quick),
-        "service": run_service_benchmark(quick=quick),
+        "service": {
+            **run_service_benchmark(quick=quick),
+            # The model-registry path: the logistic baseline served through
+            # the same queue (loosely floor-gated, delta-gated at 0).
+            "logistic": run_service_model_benchmark("logistic", quick=quick),
+        },
         "daemon": run_daemon_benchmark(quick=quick),
     }
 

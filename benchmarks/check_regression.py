@@ -60,6 +60,9 @@ CORRECTNESS_CHECKS = (
     # The async service reorganises scheduling, never numerics: per-story
     # results must match the synchronous BatchPredictor exactly.
     ("service.max_result_delta_vs_batch", 1e-12),
+    # The model registry adds dispatch, never numerics: a registered
+    # baseline served through the queue must match its direct loop exactly.
+    ("service.logistic.max_result_delta_vs_direct", 1e-12),
     # The daemon only adds transport (JSON events round-trip floats
     # exactly), so its streamed results must match the batch path exactly.
     ("daemon.max_result_delta_vs_batch", 1e-12),
@@ -89,6 +92,12 @@ FLOOR_CHECKS = (
     # this is a corpus-level wall-clock ratio, too noisy for the 1.3x
     # baseline band, so it is gated by a hard floor instead.
     ("daemon.efficiency_vs_inprocess", 0.4),
+    # The logistic baseline has no batched solve to amortize, so the
+    # service can only add scheduling overhead on top of its direct loop;
+    # the floor is deliberately loose (corpus-level wall-clock ratio, same
+    # noise caveat as service.speedup) and exists to catch the dispatch
+    # path becoming pathologically slow, not to demand a speedup.
+    ("service.logistic.speedup_vs_direct", 0.2),
 )
 
 

@@ -1,0 +1,190 @@
+"""Trend analysis over the benchmark-history ratio artifacts.
+
+``check_regression.py`` appends one JSON line of dimensionless ratios per
+gate run to ``benchmarks/history/ratios.jsonl``, and CI uploads the file as
+an artifact.  A single run can only be gated against the 1.3x band; a
+*slow monotone drift* -- each run a few percent worse, never tripping the
+band -- stays invisible.  This script closes that gap: it concatenates any
+number of history files (downloaded CI artifacts, the local file, or both),
+rebuilds each ratio's time series, and flags series that have been moving
+monotonically in the bad direction (down for speedups/floors, up for
+equivalence deltas) across the most recent runs while still inside the
+regression band::
+
+    python benchmarks/history/analyze_drift.py benchmarks/history/ratios.jsonl
+    python benchmarks/history/analyze_drift.py run1/ratios.jsonl run2/ratios.jsonl
+
+By default the script always exits 0 (it is wired as a *non-gating* CI
+step: drift is a heads-up for a human, not a merge blocker); ``--gate``
+turns flagged drifts into exit code 1 for local use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: A series is flagged when its last ``--window`` values are strictly
+#: monotone in the bad direction AND the total movement across the window
+#: exceeds this fraction of the window's starting value.  Both conditions
+#: together keep one-off noise (non-monotone) and flat jitter (movement
+#: below the threshold) from flagging.
+DEFAULT_WINDOW = 4
+DEFAULT_THRESHOLD = 0.05
+
+
+def load_records(paths: "list[str]") -> "list[dict]":
+    """Concatenate history files in argument order, skipping invalid lines."""
+    records: "list[dict]" = []
+    for path in paths:
+        text = Path(path).read_text(encoding="utf-8")
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"warning: skipping invalid JSON line in {path}", file=sys.stderr)
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    # Best-effort chronological order: records carry the benchmark's
+    # timestamp; lines without one keep their file order (stable sort).
+    records.sort(key=lambda r: r.get("timestamp") or 0.0)
+    return records
+
+
+def build_series(records: "list[dict]") -> "dict[tuple[str, str], list[float]]":
+    """(kind, metric path) -> chronological values.  Kinds: ratio, delta."""
+    series: "dict[tuple[str, str], list[float]]" = {}
+    for record in records:
+        for kind in ("ratios", "deltas"):
+            for path, value in (record.get(kind) or {}).items():
+                try:
+                    series.setdefault((kind, path), []).append(float(value))
+                except (TypeError, ValueError):
+                    continue
+    return series
+
+
+def monotone_drift(
+    values: "list[float]", window: int, threshold: float, bad_is_down: bool
+) -> "dict | None":
+    """Flag a strictly monotone bad-direction run over the trailing window.
+
+    Returns a description dict when the last ``window`` values moved
+    strictly in the bad direction and the cumulative move exceeds
+    ``threshold`` (as a fraction of the window's first value), else None.
+    """
+    if len(values) < window:
+        return None
+    tail = values[-window:]
+    pairs = list(zip(tail, tail[1:]))
+    if bad_is_down:
+        monotone = all(later < earlier for earlier, later in pairs)
+    else:
+        monotone = all(later > earlier for earlier, later in pairs)
+    if not monotone:
+        return None
+    start, end = tail[0], tail[-1]
+    reference = abs(start) if start else 1.0
+    movement = abs(end - start) / reference
+    if movement < threshold:
+        return None
+    return {
+        "window": window,
+        "start": start,
+        "end": end,
+        "movement_fraction": movement,
+        "direction": "down" if bad_is_down else "up",
+    }
+
+
+def analyze(
+    records: "list[dict]", window: int, threshold: float
+) -> "list[tuple[str, str, dict]]":
+    """Every flagged (kind, path, drift-description) triple."""
+    flagged = []
+    for (kind, path), values in sorted(build_series(records).items()):
+        # Speedups and floors degrade downward; equivalence deltas upward.
+        drift = monotone_drift(
+            values, window, threshold, bad_is_down=(kind == "ratios")
+        )
+        if drift is not None:
+            flagged.append((kind, path, drift))
+    return flagged
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Concatenate ratios.jsonl history artifacts and flag monotone "
+            "drifts inside the regression band."
+        )
+    )
+    parser.add_argument(
+        "history",
+        nargs="+",
+        help="one or more ratios.jsonl files (concatenated in order)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help=f"trailing runs that must be strictly monotone (default {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=(
+            "minimum cumulative movement across the window, as a fraction "
+            f"of its starting value (default {DEFAULT_THRESHOLD})"
+        ),
+    )
+    parser.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit 1 when drifts are flagged (default: always exit 0, non-gating)",
+    )
+    args = parser.parse_args(argv)
+    if args.window < 2:
+        parser.error("--window must be at least 2")
+
+    records = load_records(args.history)
+    if not records:
+        print("no history records found; nothing to analyze")
+        return 0
+    series = build_series(records)
+    flagged = analyze(records, args.window, args.threshold)
+
+    print(
+        f"analyzed {len(records)} runs, {len(series)} metric series "
+        f"(window {args.window}, threshold {args.threshold:.0%})"
+    )
+    for (kind, path), values in sorted(series.items()):
+        tail = ", ".join(f"{v:.3g}" for v in values[-args.window:])
+        print(f"  {kind[:-1]:>5} {path}: [{tail}]")
+    if not flagged:
+        print("no monotone drifts detected")
+        return 0
+    print(f"\nDRIFT: {len(flagged)} series moving monotonically the wrong way:")
+    for kind, path, drift in flagged:
+        print(
+            f"  {path} ({kind[:-1]}): {drift['start']:.3g} -> {drift['end']:.3g} "
+            f"({drift['direction']} {drift['movement_fraction']:.1%} over the "
+            f"last {drift['window']} runs, still inside the regression band)"
+        )
+    print(
+        "these are inside the 1.3x gate band; investigate before they "
+        "accumulate into a gate failure",
+        file=sys.stderr,
+    )
+    return 1 if args.gate else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

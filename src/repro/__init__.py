@@ -14,8 +14,12 @@ as a standalone Python library:
   generators and the two distance metrics (friendship hops, shared interests).
 * :mod:`repro.cascade` -- vote cascades, the stochastic cascade simulator,
   the synthetic Digg corpus and density-surface extraction.
+* :mod:`repro.models` -- the unified model API: the ``PredictionModel``
+  protocol, the model registry (``dl``, ``logistic``, ``sis``,
+  ``linear-influence``, plus runtime registrations) and head-to-head
+  comparison (``repro compare``).
 * :mod:`repro.service` -- the async multi-story prediction service: corpus
-  sharding by spatial signature plus a bounded worker pool with
+  sharding by spatial signature and model plus a bounded worker pool with
   submit/await/stream APIs (``repro serve-batch``).
 * :mod:`repro.baselines` -- temporal-only and graph-level diffusion baselines.
 * :mod:`repro.analysis` -- pattern characterisation, per-figure/table
@@ -46,16 +50,28 @@ from repro.core import (
     PAPER_S1_INTEREST_PARAMETERS,
     BatchPredictionResult,
     BatchPredictor,
+    CalibrationConfig,
     DiffusionPredictor,
     DiffusiveLogisticModel,
     DLParameters,
     ExponentialDecayGrowthRate,
     InitialDensity,
+    ModelSpec,
+    NotFittedError,
     PredictionResult,
+    SolverConfig,
+    UnknownModelError,
     build_accuracy_table,
     calibrate_dl_model,
     calibrate_dl_model_batched,
     solve_dl_batch,
+)
+from repro.models import (
+    PredictionModel,
+    available_models,
+    compare_models,
+    get_model,
+    register_model,
 )
 from repro.network import SocialGraph, generate_digg_like_graph
 from repro.service import CorpusSharder, PredictionService, score_corpus_sync
@@ -90,4 +106,14 @@ __all__ = [
     "PredictionService",
     "CorpusSharder",
     "score_corpus_sync",
+    "SolverConfig",
+    "CalibrationConfig",
+    "ModelSpec",
+    "NotFittedError",
+    "UnknownModelError",
+    "PredictionModel",
+    "register_model",
+    "get_model",
+    "available_models",
+    "compare_models",
 ]

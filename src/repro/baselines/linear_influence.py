@@ -26,6 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cascade.density import DensitySurface
+from repro.core.errors import NotFittedError
 
 
 class LinearInfluenceBaseline:
@@ -82,10 +83,15 @@ class LinearInfluenceBaseline:
         return self
 
     @property
+    def ridge(self) -> float:
+        """The Tikhonov regularisation strength of the influence estimate."""
+        return self._ridge
+
+    @property
     def influence_matrix(self) -> np.ndarray:
         """The estimated non-negative influence matrix (distances x distances)."""
         if self._influence is None:
-            raise RuntimeError("the baseline has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the baseline")
         return self._influence.copy()
 
     def predict(self, times: Sequence[float]) -> DensitySurface:
@@ -96,7 +102,7 @@ class LinearInfluenceBaseline:
             or self._last_increment is None
             or self._distances is None
         ):
-            raise RuntimeError("the baseline has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the baseline")
         times = sorted(float(t) for t in times)
         values = np.zeros((len(times), self._distances.size))
 

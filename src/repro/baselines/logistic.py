@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cascade.density import DensitySurface
+from repro.core.errors import NotFittedError
 from repro.numerics.ode import (
     LogisticCurve,
     fit_logistic_curve,
@@ -116,10 +117,31 @@ class PerDistanceLogisticBaseline:
         """Distances the baseline has been fitted for."""
         return [fit.distance for fit in self._fits]
 
+    def curve_parameters(self) -> "dict[float, dict]":
+        """Per-distance fitted curve parameters (after :meth:`fit`).
+
+        Distances that fell back to the constant extrapolation report
+        ``{"constant": value}`` instead of curve parameters.
+        """
+        if not self._fits:
+            raise NotFittedError.for_model("the baseline")
+        out: "dict[float, dict]" = {}
+        for fit in self._fits:
+            if fit.curve is None:
+                out[fit.distance] = {"constant": fit.constant_value}
+            else:
+                out[fit.distance] = {
+                    "growth_rate": float(fit.curve.growth_rate),
+                    "carrying_capacity": float(fit.curve.carrying_capacity),
+                    "initial_value": float(fit.curve.initial_value),
+                    "initial_time": float(fit.curve.initial_time),
+                }
+        return out
+
     def predict(self, times: Sequence[float]) -> DensitySurface:
         """Predict the density surface at the requested times."""
         if not self._fits:
-            raise RuntimeError("the baseline has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the baseline")
         times = sorted(float(t) for t in times)
         time_array = np.asarray(times, dtype=float)
         distances = np.asarray([fit.distance for fit in self._fits])

@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cascade.density import DensitySurface
+from repro.core.errors import NotFittedError
 from repro.numerics.optimization import least_squares_fit
 
 
@@ -137,10 +138,23 @@ class SISBaseline:
             self._fits.append((float(distance), params, initial))
         return self
 
+    def fitted_parameters(self) -> "dict[float, dict]":
+        """Per-distance fitted (beta, gamma, initial fraction), after :meth:`fit`."""
+        if not self._fits:
+            raise NotFittedError.for_model("the baseline")
+        return {
+            distance: {
+                "infection_rate": params.infection_rate,
+                "recovery_rate": params.recovery_rate,
+                "initial_fraction": initial,
+            }
+            for distance, params, initial in self._fits
+        }
+
     def predict(self, times: Sequence[float]) -> DensitySurface:
         """Predict the density surface at the requested times."""
         if not self._fits:
-            raise RuntimeError("the baseline has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the baseline")
         times = sorted(float(t) for t in times)
         all_times = sorted(set([self._initial_time] + times))
         scale = self._pool_percent if self._unit == "percent" else self._pool_percent / 100.0

@@ -33,7 +33,14 @@ Five subcommands cover the common workflows without writing any Python:
     the per-story result events to stdout as they complete.
 ``daemon-stats``
     Fetch a running daemon's stats snapshot (job counts, service counters,
-    telemetry registry) and print it as JSON.
+    telemetry registry) and print it as JSON; ``--prometheus`` prints the
+    telemetry in Prometheus text exposition format instead.
+``models``
+    List every registered prediction model with its one-line description.
+``compare``
+    Score one corpus under several registered models and print the
+    head-to-head accuracy table (the paper's Table-II-style comparison of
+    the DL model against its baselines).
 ``report``
     Run every registered experiment and print a compact paper-vs-measured
     summary (a quick, text-only version of the benchmark harness).
@@ -43,9 +50,12 @@ by registry name (``internal`` is the package's own Crank-Nicolson engine
 with banded operator caching; ``thomas`` pins the pure-numpy tridiagonal
 fallback; ``scipy`` delegates to ``solve_ivp`` for cross-validation) and
 ``--operator`` to pick the Crank-Nicolson operator factorization mode
-(``auto`` | ``banded`` | ``thomas`` | ``dense``).  Unknown names exit with
-the engine's error message listing every registered backend / mode --
-including backends registered at runtime.
+(``auto`` | ``banded`` | ``thomas`` | ``dense``).  They also accept
+``--model`` to pick the prediction model by :mod:`repro.models` registry
+name (``dl``, ``logistic``, ``sis``, ``linear-influence``, or anything
+registered at runtime).  Unknown names exit with the engine's / registry's
+error message listing everything registered -- including names registered
+at runtime.
 
 Run ``python -m repro --help`` for the full argument reference.
 """
@@ -67,7 +77,6 @@ from repro.analysis.experiments import (
 from repro.analysis.patterns import saturation_time
 from repro.analysis.reports import render_density_surface, render_figure_series
 from repro.cascade.digg import SyntheticDiggConfig, build_synthetic_digg_dataset
-from repro.core.prediction import BatchPredictor, DiffusionPredictor
 from repro.io.tables import format_table
 
 STORY_CHOICES = ("s1", "s2", "s3", "s4")
@@ -131,6 +140,41 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_model_argument(
+    parser: argparse.ArgumentParser, default: "str | None" = "dl"
+) -> None:
+    # Like --backend, NOT argparse choices: models can be registered at
+    # runtime, so names are validated against the live registry when the
+    # command runs (_resolve_model), producing the registry's own error
+    # message with the registered-model list.
+    parser.add_argument(
+        "--model",
+        default=default,
+        help=(
+            "prediction model by registry name: 'dl' (the paper's Diffusive "
+            "Logistic model, the default), 'logistic', 'sis', "
+            "'linear-influence', or anything registered at runtime "
+            "(see 'repro models')"
+        ),
+    )
+
+
+def _resolve_model(name: str) -> "str | None":
+    """Validate a model name against the live registry.
+
+    Returns an error message (for stderr) when the name is unknown, None
+    when it resolves -- mirroring :func:`_resolve_solver_config`.
+    """
+    from repro.core.errors import UnknownModelError
+    from repro.models import get_model
+
+    try:
+        get_model(name)
+    except UnknownModelError as error:
+        return f"error: {error}"
+    return None
+
+
 def _resolve_solver_config(backend: str, operator: str = "auto") -> "str | None":
     """Validate a (backend, operator) pair against the live engine.
 
@@ -190,6 +234,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="length of the training/evaluation window in hours (>= 2)",
     )
     _add_backend_argument(predict)
+    _add_model_argument(predict)
 
     predict_batch = subparsers.add_parser(
         "predict-batch",
@@ -228,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write machine-readable results to PATH ('-' for stdout)",
     )
     _add_backend_argument(predict_batch)
+    _add_model_argument(predict_batch)
 
     serve_batch = subparsers.add_parser(
         "serve-batch",
@@ -290,6 +336,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the streamed JSON lines to PATH",
     )
     _add_backend_argument(serve_batch)
+    # Default None = "not given": only an explicit --model overrides the
+    # manifest's manifest-level "model" (story-level entries always win).
+    _add_model_argument(serve_batch, default=None)
 
     daemon = subparsers.add_parser(
         "daemon",
@@ -347,6 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="calibrate with the sequential per-candidate protocol instead of the batched grid",
     )
     _add_backend_argument(daemon)
+    _add_model_argument(daemon)
 
     submit = subparsers.add_parser(
         "submit",
@@ -380,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the streamed JSON lines to PATH",
     )
+    # None = defer to the manifest; an explicit name overrides the
+    # manifest-level default (story-level "model" entries still win).
+    _add_model_argument(submit, default=None)
 
     daemon_stats = subparsers.add_parser(
         "daemon-stats",
@@ -393,6 +446,67 @@ def build_parser() -> argparse.ArgumentParser:
     daemon_stats.add_argument(
         "--socket", metavar="PATH", required=True, help="the daemon's Unix socket"
     )
+    daemon_stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help=(
+            "print the daemon's telemetry in Prometheus text exposition "
+            "format instead of the JSON stats snapshot"
+        ),
+    )
+
+    subparsers.add_parser(
+        "models",
+        help="list every registered prediction model",
+        description=(
+            "Print the registry name and one-line description of every "
+            "registered prediction model -- the names accepted by --model "
+            "and by manifest 'model' fields."
+        ),
+    )
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="score one corpus under several models (head-to-head accuracy table)",
+        description=(
+            "Fit and score the same stories under several registered models "
+            "and print the head-to-head accuracy comparison (one row per "
+            "model, best overall accuracy first) -- the paper's "
+            "Table-II-style DL-vs-baselines comparison for any corpus."
+        ),
+    )
+    _add_corpus_arguments(compare)
+    compare.add_argument(
+        "--stories",
+        nargs="+",
+        default=list(STORY_CHOICES),
+        choices=list(STORY_CHOICES),
+        help="stories to score (default: all four representative stories)",
+    )
+    compare.add_argument("--metric", default="hops", choices=["hops", "interests"])
+    compare.add_argument(
+        "--hours",
+        type=_hours_window,
+        default=6,
+        help="length of the training/evaluation window in hours (>= 2)",
+    )
+    compare.add_argument(
+        "--models",
+        nargs="+",
+        default=["dl", "logistic", "sis"],
+        metavar="MODEL",
+        help=(
+            "registry names of the models to compare "
+            "(default: dl logistic sis; see 'repro models')"
+        ),
+    )
+    compare.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write machine-readable results to PATH ('-' for stdout)",
+    )
+    _add_backend_argument(compare)
 
     report = subparsers.add_parser(
         "report", help="run the main experiments and print a compact summary"
@@ -442,10 +556,27 @@ def _command_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _model_spec(args: argparse.Namespace, model: str, batch_calibration: bool):
+    """Build the ModelSpec a prediction command resolved from its flags."""
+    from repro.core.config import CalibrationConfig, ModelSpec, SolverConfig
+
+    return ModelSpec(
+        name=model,
+        solver=SolverConfig(backend=args.backend, operator=args.operator),
+        calibration=CalibrationConfig(batch=batch_calibration),
+    )
+
+
 def _command_predict(args: argparse.Namespace) -> int:
+    from repro.models import get_model
+
     config_error = _resolve_solver_config(args.backend, args.operator)
     if config_error is not None:
         print(config_error, file=sys.stderr)
+        return 2
+    model_error = _resolve_model(args.model)
+    if model_error is not None:
+        print(model_error, file=sys.stderr)
         return 2
     corpus = build_synthetic_digg_dataset(_corpus_config(args))
     observed = _observed_surface(corpus, args.story, args.metric)
@@ -457,14 +588,16 @@ def _command_predict(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    predictor = DiffusionPredictor(backend=args.backend, operator=args.operator).fit(
-        observed, training_times=training_times
-    )
-    result = predictor.evaluate(observed, times=training_times[1:])
-    print(result.accuracy_table.render(
-        f"Prediction accuracy -- {args.story}, {args.metric}, hours 2-{args.hours}"
-    ))
-    print(f"calibrated parameters: {predictor.parameters}")
+    # batch_calibration=False preserves the command's historical sequential
+    # calibration protocol for the DL model.
+    spec = _model_spec(args, args.model, batch_calibration=False)
+    fitted = get_model(args.model).fit(observed, spec, training_times)
+    result = fitted.evaluate(observed, times=training_times[1:])
+    title = f"Prediction accuracy -- {args.story}, {args.metric}, hours 2-{args.hours}"
+    if args.model != "dl":
+        title += f" ({args.model} model)"
+    print(result.accuracy_table.render(title))
+    print(f"calibrated parameters: {fitted.parameters}")
     return 0
 
 
@@ -477,27 +610,30 @@ def _warn_skipped(story: str) -> None:
     )
 
 
-def _story_payload(result, parameters) -> dict:
+def _story_payload(result) -> dict:
     """Machine-readable per-story result shared by predict-batch and serve-batch.
 
-    ``parameters`` is emitted as the structured ``to_json_dict`` form --
-    numeric fields that survive ``json.loads`` -- never as a Python repr
-    (the repr stays in the human-readable summary only).
+    One format across every transport: this is exactly the payload the
+    daemon streams (:func:`repro.service.story_result_payload` -- model
+    name, overall accuracy, structured ``to_json_dict`` parameters,
+    per-distance accuracies), so batch pipelines parse one shape.
     """
-    return {
-        "overall_accuracy": result.overall_accuracy,
-        "parameters": parameters.to_json_dict(),
-        "accuracy_by_distance": {
-            str(distance): result.accuracy_at_distance(distance)
-            for distance in result.predicted.distances
-        },
-    }
+    from repro.service import story_result_payload
+
+    return story_result_payload(result)
 
 
 def _command_predict_batch(args: argparse.Namespace) -> int:
+    from repro.core.prediction import BatchPredictionResult
+    from repro.models import get_model
+
     config_error = _resolve_solver_config(args.backend, args.operator)
     if config_error is not None:
         print(config_error, file=sys.stderr)
+        return 2
+    model_error = _resolve_model(args.model)
+    if model_error is not None:
+        print(model_error, file=sys.stderr)
         return 2
     # args.stories is never empty here: --stories is nargs="+" with a
     # non-empty default.  The empty-story-list case only exists for
@@ -524,20 +660,25 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
         )
         return 1
 
-    predictor = BatchPredictor(
-        backend=args.backend,
-        operator=args.operator,
-        calibration_batch=not args.sequential_calibration,
-    ).fit(surfaces, training_times=training_times)
-    results = predictor.evaluate(surfaces, times=training_times[1:])
+    fitter = get_model(args.model).batch_fitter(
+        _model_spec(args, args.model, batch_calibration=not args.sequential_calibration)
+    )
+    for story, surface in surfaces.items():
+        fitter.fit_story(story, surface, training_times)
+    results = BatchPredictionResult(
+        results=fitter.evaluate(surfaces, times=training_times[1:])
+    )
 
     # With --json -, stdout must stay pure JSON (pipeable into jq etc.), so
     # the human-readable summary moves to stderr.
     report = sys.stderr if args.json == "-" else sys.stdout
     story_word = "story" if len(surfaces) == 1 else "stories"
+    setup = f"{args.backend} backend"
+    if args.model != "dl":
+        setup += f", {args.model} model"
     print(
         f"Prediction accuracy -- {len(surfaces)} {story_word}, {args.metric}, "
-        f"hours 2-{args.hours} ({args.backend} backend)",
+        f"hours 2-{args.hours} ({setup})",
         file=report,
     )
     print(format_table(results.summary_rows()), file=report)
@@ -546,7 +687,7 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
         file=report,
     )
     for story in surfaces:
-        print(f"{story}: parameters = {predictor.parameters_for(story)}", file=report)
+        print(f"{story}: parameters = {fitter.parameters_for(story)}", file=report)
 
     if args.json is not None:
         payload = {
@@ -554,13 +695,11 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
             "hours": args.hours,
             "backend": args.backend,
             "operator": args.operator,
+            "model": args.model,
             "calibration": "sequential" if args.sequential_calibration else "batched",
             "overall_accuracy": results.overall_accuracy,
             "skipped_stories": skipped,
-            "stories": {
-                story: _story_payload(results[story], predictor.parameters_for(story))
-                for story in surfaces
-            },
+            "stories": {story: _story_payload(results[story]) for story in surfaces},
         }
         text = json.dumps(payload, indent=2, sort_keys=True)
         if args.json == "-":
@@ -587,6 +726,11 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     if config_error is not None:
         print(config_error, file=sys.stderr)
         return 2
+    if args.model is not None:
+        model_error = _resolve_model(args.model)
+        if model_error is not None:
+            print(model_error, file=sys.stderr)
+            return 2
     for flag, value in (
         ("--workers", args.workers),
         ("--queue-depth", args.queue_depth),
@@ -644,15 +788,24 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             payload = {
                 "story": job.name,
                 "status": job.status.value,
-                **_story_payload(job.result, job.result.parameters),
+                **_story_payload(job.result),
             }
         else:
             payload = {
                 "story": job.name,
                 "status": job.status.value,
+                # The shard key knows the model even when the result never
+                # materialised, so failed lines stay attributable too.
+                "model": job.key.model,
                 "error": str(job.error),
             }
         emit_line(payload)
+
+    # The service's default model: explicit --model beats the manifest-level
+    # "model", which beats the classic DL default.  Story-level "model"
+    # entries override per submit below, so one manifest can mix models
+    # (the sharder keeps them in separate shards).
+    service_model = args.model or manifest.model or "dl"
 
     async def run():
         async with PredictionService(
@@ -662,6 +815,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             queue_depth=args.queue_depth,
             max_shard_size=args.shard_size,
+            model=service_model,
         ) as service:
             jobs = []
 
@@ -677,7 +831,11 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 asyncio.ensure_future(
                     watch(
                         await service.submit(
-                            name, surface, training_times, evaluation_times
+                            name,
+                            surface,
+                            training_times,
+                            evaluation_times,
+                            model=resolved.models.get(name),
                         )
                     )
                 )
@@ -696,6 +854,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                 {
                     "story": story,
                     "status": "skipped",
+                    "model": resolved.model_for(story, args.model) or "dl",
                     "reason": "no influenced users at any distance in the "
                     "first observed hour",
                 }
@@ -769,6 +928,10 @@ def _command_daemon(args: argparse.Namespace) -> int:
     if config_error is not None:
         print(config_error, file=sys.stderr)
         return 2
+    model_error = _resolve_model(args.model)
+    if model_error is not None:
+        print(model_error, file=sys.stderr)
+        return 2
     pool_error = _daemon_pool_errors(args)
     if pool_error is not None:
         print(pool_error, file=sys.stderr)
@@ -782,6 +945,7 @@ def _command_daemon(args: argparse.Namespace) -> int:
         queue_depth=args.queue_depth,
         max_shard_size=args.shard_size,
         autotune=args.autotune,
+        model=args.model,
     )
     try:
         if args.socket:
@@ -816,6 +980,11 @@ def _command_submit(args: argparse.Namespace) -> int:
     if args.timeout is not None and args.timeout <= 0:
         print(f"error: --timeout must be > 0, got {args.timeout:g}", file=sys.stderr)
         return 2
+    if args.model is not None:
+        model_error = _resolve_model(args.model)
+        if model_error is not None:
+            print(model_error, file=sys.stderr)
+            return 2
     try:
         with open(args.manifest, encoding="utf-8") as handle:
             manifest = json.load(handle)
@@ -839,7 +1008,7 @@ def _command_submit(args: argparse.Namespace) -> int:
         job_event = None
         async with await DaemonClient.connect_unix(args.socket) as client:
             async for event in client.submit(
-                manifest, job_id=args.id, timeout=args.timeout
+                manifest, job_id=args.id, timeout=args.timeout, model=args.model
             ):
                 kind = event.get("event")
                 if kind == "error":
@@ -901,6 +1070,21 @@ def _command_daemon_stats(args: argparse.Namespace) -> int:
 
     from repro.service import DaemonClient
 
+    if args.prometheus:
+        # Prometheus text exposition: one fetch, raw text to stdout so the
+        # output can be served or scraped verbatim.
+        async def run_metrics() -> str:
+            async with await DaemonClient.connect_unix(args.socket) as client:
+                return await client.metrics_text()
+
+        try:
+            text = asyncio.run(run_metrics())
+        except (ConnectionError, OSError) as error:
+            print(_connect_error(args.socket, error), file=sys.stderr)
+            return 2
+        sys.stdout.write(text)
+        return 0
+
     async def run() -> dict:
         async with await DaemonClient.connect_unix(args.socket) as client:
             return await client.stats()
@@ -919,6 +1103,90 @@ def _command_daemon_stats(args: argparse.Namespace) -> int:
         f"{service.get('shards_solved', 0)} shards",
         file=sys.stderr,
     )
+    return 0
+
+
+def _command_models(args: argparse.Namespace) -> int:
+    from repro.models import model_descriptions
+
+    rows = [
+        {"model": name, "description": description}
+        for name, description in model_descriptions().items()
+    ]
+    print(format_table(rows, title="Registered prediction models"))
+    print(
+        "\nSelect with --model on predict / predict-batch / serve-batch / "
+        "daemon / submit, or per story via a manifest's 'model' field."
+    )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from repro.core.config import SolverConfig
+    from repro.models import compare_models
+
+    config_error = _resolve_solver_config(args.backend, args.operator)
+    if config_error is not None:
+        print(config_error, file=sys.stderr)
+        return 2
+    for model in args.models:
+        model_error = _resolve_model(model)
+        if model_error is not None:
+            print(model_error, file=sys.stderr)
+            return 2
+    corpus = build_synthetic_digg_dataset(_corpus_config(args))
+    training_times = [float(t) for t in range(1, args.hours + 1)]
+
+    surfaces = {}
+    for story in args.stories:
+        surface = _observed_surface(corpus, story, args.metric)
+        if surface.profile(training_times[0]).sum() <= 0:
+            _warn_skipped(story)
+            continue
+        surfaces[story] = surface
+    if not surfaces:
+        print(
+            "error: every requested story is empty in the first observed hour; "
+            "try a different metric or seed",
+            file=sys.stderr,
+        )
+        return 1
+
+    comparison = compare_models(
+        surfaces,
+        models=args.models,
+        training_times=training_times,
+        evaluation_times=training_times[1:],
+        solver=SolverConfig(backend=args.backend, operator=args.operator),
+    )
+
+    report = sys.stderr if args.json == "-" else sys.stdout
+    rows = [
+        {key: ("-" if value is None else value) for key, value in row.items()}
+        for row in comparison.summary_rows()
+    ]
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Head-to-head accuracy -- {len(surfaces)} stories, "
+                f"{args.metric}, hours 2-{args.hours} ({args.backend} backend)"
+            ),
+        ),
+        file=report,
+    )
+    for model, failures in comparison.failures.items():
+        for story, message in failures.items():
+            print(f"warning: {model} failed on {story}: {message}", file=sys.stderr)
+
+    if args.json is not None:
+        text = json.dumps(comparison.to_json_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote JSON results to {args.json}", file=report)
     return 0
 
 
@@ -959,6 +1227,8 @@ _COMMANDS = {
     "daemon": _command_daemon,
     "submit": _command_submit,
     "daemon-stats": _command_daemon_stats,
+    "models": _command_models,
+    "compare": _command_compare,
     "report": _command_report,
 }
 

@@ -20,6 +20,12 @@ users ``I(x, t)`` at distance ``x`` from the information source at time ``t``::
   machinery regenerating Tables I and II.
 """
 
+from repro.core.config import (
+    CalibrationConfig,
+    ModelSpec,
+    SolverConfig,
+)
+from repro.core.errors import NotFittedError, UnknownModelError
 from repro.core.parameters import (
     PAPER_S1_HOP_PARAMETERS,
     PAPER_S1_INTEREST_PARAMETERS,
@@ -62,6 +68,11 @@ from repro.core.accuracy import (
 )
 
 __all__ = [
+    "SolverConfig",
+    "CalibrationConfig",
+    "ModelSpec",
+    "NotFittedError",
+    "UnknownModelError",
     "DLParameters",
     "GrowthRate",
     "ConstantGrowthRate",

@@ -1,0 +1,51 @@
+"""Shared typed errors for the prediction stack.
+
+Before the unified model API, each estimator invented its own
+predict-before-fit error (ad-hoc ``RuntimeError`` messages in
+:mod:`repro.baselines`, a different phrasing in
+:class:`~repro.core.prediction.DiffusionPredictor`), and unknown-name
+lookups raised whatever the registry happened to use.  This module is the
+single home for both failure modes so callers can catch one exception type
+no matter which model produced it:
+
+* :class:`NotFittedError` -- ``predict`` / ``evaluate`` was called before
+  ``fit``.  Subclasses :class:`RuntimeError`, so pre-existing callers that
+  caught ``RuntimeError`` keep working.
+* :class:`UnknownModelError` -- a model name is not in the
+  :mod:`repro.models` registry.  Subclasses :class:`KeyError` (it is a
+  failed lookup) and carries the registered names for error messages.
+"""
+
+from __future__ import annotations
+
+
+class NotFittedError(RuntimeError):
+    """An estimator was asked to predict or evaluate before being fitted."""
+
+    @classmethod
+    def for_model(cls, what: str = "the model") -> "NotFittedError":
+        """The standard message every model raises through the protocol."""
+        return cls(f"{what} has not been fitted yet; call fit() first")
+
+
+class UnknownModelError(KeyError):
+    """A model name is not registered in the :mod:`repro.models` registry.
+
+    Attributes
+    ----------
+    name:
+        The unknown name that was looked up.
+    available:
+        The names that *are* registered at lookup time.
+    """
+
+    def __init__(self, name: str, available: "tuple[str, ...]") -> None:
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return (
+            f"unknown model {self.name!r}; registered models: "
+            f"{sorted(self.available)}"
+        )

@@ -29,7 +29,14 @@ import numpy as np
 from repro.cascade.density import DensitySurface
 from repro.core.accuracy import AccuracyTable, build_accuracy_table
 from repro.core.calibration import calibrate_dl_model
+from repro.core.config import (
+    CalibrationConfig,
+    SolverConfig,
+    merge_calibration_config,
+    merge_solver_config,
+)
 from repro.core.dl_model import DiffusiveLogisticModel, DLSolution, solve_dl_batch
+from repro.core.errors import NotFittedError
 from repro.core.initial_density import InitialDensity
 from repro.core.parameters import DLParameters
 from repro.core.properties import check_solution_bounds, check_strictly_increasing
@@ -42,28 +49,36 @@ class PredictionResult:
     Attributes
     ----------
     predicted:
-        The DL model's predicted density surface at the evaluation times.
+        The model's predicted density surface at the evaluation times.
     actual:
         The observed surface restricted to the same times.
     accuracy_table:
         Per-distance, per-time accuracies (the paper's Tables I / II).
     parameters:
-        The DL parameters used.
+        The parameters used: :class:`DLParameters` for the DL model, any
+        object with ``to_json_dict()`` (e.g.
+        :class:`repro.models.ModelParameters`) for registry baselines.
     initial_density:
-        The phi the prediction started from.
+        The phi the prediction started from (DL model only; ``None`` for
+        models without an initial-density construction).
     solution:
-        The full DL solution (dense in space), for plotting Figure 7.
+        The full DL solution (dense in space), for plotting Figure 7;
+        ``None`` for non-PDE models.
     diagnostics:
         Self-checks: bounds / monotonicity of the computed solution.
+    model:
+        Registry name of the model that produced the result (``"dl"`` for
+        the classic predictor path).
     """
 
     predicted: DensitySurface
     actual: DensitySurface
     accuracy_table: AccuracyTable
-    parameters: DLParameters
-    initial_density: InitialDensity
-    solution: DLSolution
+    parameters: "DLParameters | object"
+    initial_density: "InitialDensity | None" = None
+    solution: "DLSolution | None" = None
     diagnostics: dict = field(default_factory=dict)
+    model: str = "dl"
 
     @property
     def overall_accuracy(self) -> float:
@@ -83,41 +98,55 @@ class DiffusionPredictor:
     parameters:
         DL parameters to use.  When omitted, :meth:`fit` calibrates them from
         the training window.
-    points_per_unit:
-        Spatial resolution of the final prediction solve.
-    max_step:
-        Maximum internal time step (hours) of the final solve.
-    backend:
-        Name of a registered PDE solver backend (``"internal"``, ``"scipy"``,
-        or anything added via :func:`repro.numerics.backends.register_backend`).
-    operator:
-        Crank-Nicolson operator factorization mode (``"auto"``, ``"banded"``,
-        ``"thomas"`` or ``"dense"``), forwarded to every solve and to the
-        calibration's residual solves.
+    solver:
+        A :class:`~repro.core.config.SolverConfig` describing the grid
+        resolution, time step, backend and operator mode of every solve.
+        The individual legacy knobs below remain accepted as a thin shim
+        (passing both forms raises).
+    calibration:
+        A :class:`~repro.core.config.CalibrationConfig`; the legacy
+        ``calibration_batch`` flag remains accepted as a shim.
+    points_per_unit, max_step, backend, operator:
+        Legacy solver knobs; prefer ``solver=SolverConfig(...)``.
     calibration_batch:
+        Legacy calibration flag; prefer ``calibration=CalibrationConfig(...)``.
         When True, :meth:`fit` calibrates through the batched grid-then-refine
         path (``calibrate_dl_model(batch=True)``) instead of the sequential
-        per-candidate protocol.
+        per-candidate protocol (the default here).
     """
 
     def __init__(
         self,
         parameters: "DLParameters | None" = None,
-        points_per_unit: int = 20,
-        max_step: float = 0.02,
-        backend: str = "internal",
-        operator: str = "auto",
-        calibration_batch: bool = False,
+        points_per_unit: "int | None" = None,
+        max_step: "float | None" = None,
+        backend: "str | None" = None,
+        operator: "str | None" = None,
+        calibration_batch: "bool | None" = None,
+        *,
+        solver: "SolverConfig | None" = None,
+        calibration: "CalibrationConfig | None" = None,
     ) -> None:
         self._configured_parameters = parameters
-        self._points_per_unit = points_per_unit
-        self._max_step = max_step
-        self._backend = backend
-        self._operator = operator
-        self._calibration_batch = calibration_batch
+        self._solver = merge_solver_config(
+            solver, points_per_unit, max_step, backend, operator
+        )
+        self._calibration = merge_calibration_config(
+            calibration, calibration_batch, default_batch=False
+        )
         self._fitted_parameters: "DLParameters | None" = None
         self._initial_density: "InitialDensity | None" = None
         self._calibration_details: dict = {}
+
+    @property
+    def solver_config(self) -> SolverConfig:
+        """The solver configuration every solve of this predictor uses."""
+        return self._solver
+
+    @property
+    def calibration_config(self) -> CalibrationConfig:
+        """The calibration configuration :meth:`fit` uses."""
+        return self._calibration
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -155,9 +184,9 @@ class DiffusionPredictor:
             calibration = calibrate_dl_model(
                 observed,
                 training_times=training_times,
-                batch=self._calibration_batch,
-                backend=self._backend,
-                operator=self._operator,
+                batch=self._calibration.batch,
+                backend=self._solver.backend,
+                operator=self._solver.operator,
             )
             self._fitted_parameters = calibration.parameters
             self._calibration_details = {
@@ -171,14 +200,14 @@ class DiffusionPredictor:
     def parameters(self) -> DLParameters:
         """The parameters that will be used for prediction (after :meth:`fit`)."""
         if self._fitted_parameters is None:
-            raise RuntimeError("the predictor has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the predictor")
         return self._fitted_parameters
 
     @property
     def initial_density(self) -> InitialDensity:
         """The phi built by :meth:`fit`."""
         if self._initial_density is None:
-            raise RuntimeError("the predictor has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the predictor")
         return self._initial_density
 
     @property
@@ -192,10 +221,10 @@ class DiffusionPredictor:
     def _build_model(self) -> DiffusiveLogisticModel:
         return DiffusiveLogisticModel(
             self.parameters,
-            points_per_unit=self._points_per_unit,
-            max_step=self._max_step,
-            backend=self._backend,
-            operator=self._operator,
+            points_per_unit=self._solver.points_per_unit,
+            max_step=self._solver.max_step,
+            backend=self._solver.backend,
+            operator=self._solver.operator,
         )
 
     def predict(
@@ -353,31 +382,48 @@ class BatchPredictor:
         ``None`` to calibrate each story from its own training window, one
         :class:`DLParameters` shared by every story, or a mapping from story
         name to its parameters.
+    solver, calibration:
+        Typed configs, as for :class:`DiffusionPredictor`; the legacy knobs
+        below remain accepted as a thin shim (passing both forms raises).
     points_per_unit, max_step, backend, operator:
-        Solver configuration, as for :class:`DiffusionPredictor`.
+        Legacy solver knobs; prefer ``solver=SolverConfig(...)``.
     calibration_batch:
-        Calibrate through the batched grid evaluation (default) or the
-        sequential per-candidate protocol.
+        Legacy flag: calibrate through the batched grid evaluation (the
+        default here) or the sequential per-candidate protocol.
     """
 
     def __init__(
         self,
         parameters: "DLParameters | Mapping[str, DLParameters] | None" = None,
-        points_per_unit: int = 20,
-        max_step: float = 0.02,
-        backend: str = "internal",
-        operator: str = "auto",
-        calibration_batch: bool = True,
+        points_per_unit: "int | None" = None,
+        max_step: "float | None" = None,
+        backend: "str | None" = None,
+        operator: "str | None" = None,
+        calibration_batch: "bool | None" = None,
+        *,
+        solver: "SolverConfig | None" = None,
+        calibration: "CalibrationConfig | None" = None,
     ) -> None:
         self._configured_parameters = parameters
-        self._points_per_unit = points_per_unit
-        self._max_step = max_step
-        self._backend = backend
-        self._operator = operator
-        self._calibration_batch = calibration_batch
+        self._solver = merge_solver_config(
+            solver, points_per_unit, max_step, backend, operator
+        )
+        self._calibration = merge_calibration_config(
+            calibration, calibration_batch, default_batch=True
+        )
         self._initial_densities: "dict[str, InitialDensity]" = {}
         self._parameters: "dict[str, DLParameters]" = {}
         self._calibration_details: "dict[str, dict]" = {}
+
+    @property
+    def solver_config(self) -> SolverConfig:
+        """The solver configuration every batched solve uses."""
+        return self._solver
+
+    @property
+    def calibration_config(self) -> CalibrationConfig:
+        """The calibration configuration :meth:`fit_story` uses."""
+        return self._calibration
 
     # ------------------------------------------------------------------ #
     # Fitting
@@ -398,9 +444,9 @@ class BatchPredictor:
         calibration = calibrate_dl_model(
             observed,
             training_times=training_times,
-            batch=self._calibration_batch,
-            backend=self._backend,
-            operator=self._operator,
+            batch=self._calibration.batch,
+            backend=self._solver.backend,
+            operator=self._solver.operator,
         )
         details = {
             "calibrated": True,
@@ -481,7 +527,7 @@ class BatchPredictor:
 
     def _require_fitted(self) -> None:
         if not self._initial_densities:
-            raise RuntimeError("the predictor has not been fitted yet; call fit() first")
+            raise NotFittedError.for_model("the predictor")
 
     # ------------------------------------------------------------------ #
     # Prediction & evaluation
@@ -513,10 +559,10 @@ class BatchPredictor:
                 [self._parameters[name] for name in names],
                 [self._initial_densities[name] for name in names],
                 list(times),
-                points_per_unit=self._points_per_unit,
-                max_step=self._max_step,
-                backend=self._backend,
-                operator=self._operator,
+                points_per_unit=self._solver.points_per_unit,
+                max_step=self._solver.max_step,
+                backend=self._solver.backend,
+                operator=self._solver.operator,
             )
             solutions.update(zip(names, solved))
         return {name: solutions[name] for name in self._initial_densities}

@@ -57,12 +57,14 @@ import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator
 
+from repro.core.errors import UnknownModelError
 from repro.core.prediction import PredictionResult
+from repro.models.registry import get_model
 from repro.service.manifest import ManifestError, parse_manifest, resolve_manifest
 from repro.service.service import JobStatus, PredictionJob, PredictionService
 
 DEFAULT_HOURS = 6
-_SUBMIT_FIELDS = {"op", "manifest", "id", "timeout"}
+_SUBMIT_FIELDS = {"op", "manifest", "id", "timeout", "model"}
 
 
 def story_result_payload(result: PredictionResult) -> dict:
@@ -70,9 +72,11 @@ def story_result_payload(result: PredictionResult) -> dict:
 
     The same structure ``repro predict-batch --json`` and ``repro
     serve-batch`` emit, so daemon clients and batch pipelines parse one
-    format.
+    format.  ``model`` names the registry model that produced the result,
+    so mixed-model streams stay attributable.
     """
     return {
+        "model": result.model,
         "overall_accuracy": result.overall_accuracy,
         "parameters": result.parameters.to_json_dict(),
         "accuracy_by_distance": {
@@ -335,6 +339,12 @@ class PredictionDaemon:
             await self._handle_status(connection, message)
         elif op == "stats":
             await connection.send(self._stats_payload())
+        elif op == "metrics":
+            # Prometheus text exposition of the shared telemetry registry;
+            # `repro daemon-stats --prometheus` prints it verbatim.
+            await connection.send(
+                {"event": "metrics", "text": self._service.metrics.to_prometheus()}
+            )
         elif op == "ping":
             await connection.send({"event": "pong"})
         elif op == "shutdown":
@@ -348,7 +358,7 @@ class PredictionDaemon:
             await self._error(
                 connection,
                 f"unknown op {op!r}; expected one of "
-                f"'submit', 'status', 'stats', 'ping', 'shutdown'",
+                f"'submit', 'status', 'stats', 'metrics', 'ping', 'shutdown'",
             )
 
     async def _error(
@@ -429,6 +439,14 @@ class PredictionDaemon:
                 connection, f"'timeout' must be a positive number, got {timeout!r}"
             )
             return
+        model_override = message.get("model")
+        if model_override is not None:
+            model_override = str(model_override)
+            try:
+                get_model(model_override)
+            except UnknownModelError as error:
+                await self._error(connection, str(error), job_id=job_id)
+                return
         try:
             manifest = parse_manifest(message["manifest"], source="<protocol>")
         except ManifestError as error:
@@ -477,6 +495,16 @@ class PredictionDaemon:
                 "timeout": timeout,
             }
         )
+        # Fully resolved per-story model names (story-level override, then
+        # the request's "model", then the manifest default, then the
+        # service's default model), so every event -- skipped included --
+        # attributes its story to a concrete model.
+        default_model = str(self._service_kwargs.get("model", "dl"))
+        story_models = {
+            story.name: resolved.model_for(story.name, model_override)
+            or default_model
+            for story in manifest.stories
+        }
         for story in job.skipped:
             await connection.send(
                 {
@@ -484,12 +512,15 @@ class PredictionDaemon:
                     "id": job_id,
                     "story": story,
                     "status": "skipped",
+                    "model": story_models.get(story, default_model),
                     "reason": "no influenced users at any distance in the "
                     "first observed hour",
                 }
             )
         task = asyncio.get_running_loop().create_task(
-            self._run_job(connection, job, resolved.surfaces, training_times)
+            self._run_job(
+                connection, job, resolved.surfaces, training_times, story_models
+            )
         )
         self._job_tasks.add(task)
         task.add_done_callback(self._job_tasks.discard)
@@ -500,9 +531,11 @@ class PredictionDaemon:
         job: DaemonJob,
         surfaces: dict,
         training_times: "list[float]",
+        story_models: "dict[str, str | None] | None" = None,
     ) -> None:
         assert self._service is not None
         evaluation_times = training_times[1:]
+        story_models = story_models or {}
         try:
             watchers = []
             for name, surface in surfaces.items():
@@ -516,6 +549,7 @@ class PredictionDaemon:
                         training_times,
                         evaluation_times,
                         timeout=job.timeout,
+                        model=story_models.get(name),
                     )
                 except (RuntimeError, ValueError) as error:
                     # RuntimeError: the service stopped accepting (abort
@@ -529,6 +563,7 @@ class PredictionDaemon:
                             "id": job.id,
                             "story": name,
                             "status": "cancelled",
+                            "model": story_models.get(name, "dl"),
                             "error": str(error),
                         }
                     )
@@ -584,8 +619,12 @@ class PredictionDaemon:
         if story_job.status is JobStatus.SUCCEEDED:
             assert story_job.result is not None
             payload.update(story_result_payload(story_job.result))
-        elif story_job.error is not None:
-            payload["error"] = str(story_job.error)
+        else:
+            # Failed / timed-out / cancelled stories never produced a
+            # result, but the shard key still attributes them to a model.
+            payload["model"] = story_job.key.model
+            if story_job.error is not None:
+                payload["error"] = str(story_job.error)
         await connection.send(payload)
 
 
@@ -647,19 +686,23 @@ class DaemonClient:
         manifest: dict,
         job_id: "str | None" = None,
         timeout: "float | None" = None,
+        model: "str | None" = None,
     ) -> "AsyncIterator[dict]":
         """Submit a manifest; yield events through the final ``job`` event.
 
         Yields the ``accepted`` event, every per-story ``result`` event and
         the closing ``job`` event.  An ``error`` event ends the stream
         immediately (after being yielded) -- callers decide whether to
-        raise.
+        raise.  ``model`` overrides the manifest-level default model
+        (story-level ``"model"`` entries still win).
         """
         request: dict = {"op": "submit", "manifest": manifest}
         if job_id is not None:
             request["id"] = job_id
         if timeout is not None:
             request["timeout"] = timeout
+        if model is not None:
+            request["model"] = model
         await self._send(request)
         while True:
             event = await self._receive()
@@ -677,6 +720,11 @@ class DaemonClient:
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def metrics_text(self) -> str:
+        """The daemon's telemetry in Prometheus text exposition format."""
+        event = await self.request({"op": "metrics"})
+        return event.get("text", "")
 
     async def ping(self) -> dict:
         return await self.request({"op": "ping"})

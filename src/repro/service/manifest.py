@@ -13,10 +13,11 @@ Example::
     {
       "metric": "hops",
       "hours": 6,
+      "model": "dl",
       "corpus": {"users": 2000, "background_stories": 40, "seed": 2009},
       "stories": [
         "s1",
-        {"story": "s2"},
+        {"story": "s2", "model": "logistic"},
         {"name": "cascade-17",
          "distances": [1, 2, 3, 4, 5],
          "times": [1, 2, 3, 4, 5, 6],
@@ -26,9 +27,12 @@ Example::
 
 ``metric`` (``hops`` | ``interests``) and ``hours`` (training window length,
 >= 2) apply to the whole manifest; both are optional with the CLI defaults.
-The ``corpus`` block mirrors the corpus flags of the other subcommands
-(``users``, ``background_stories``, ``seed``, ``horizon``) and is only
-required when at least one corpus story is listed.
+``model`` selects the prediction model by :mod:`repro.models` registry name
+-- manifest-level as the default for every story, per story as an override
+-- so one manifest can mix models (the sharder keeps them in separate
+shards).  The ``corpus`` block mirrors the corpus flags of the other
+subcommands (``users``, ``background_stories``, ``seed``, ``horizon``) and
+is only required when at least one corpus story is listed.
 """
 
 from __future__ import annotations
@@ -40,6 +44,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.cascade.density import DensitySurface
+from repro.core.errors import UnknownModelError
+from repro.models.registry import get_model
 
 VALID_METRICS = ("hops", "interests")
 
@@ -57,11 +63,16 @@ CORPUS_FIELD_DEFAULTS = {
 
 @dataclass(frozen=True)
 class ManifestStory:
-    """One story entry: either a corpus reference or an inline surface."""
+    """One story entry: either a corpus reference or an inline surface.
+
+    ``model`` is the story's explicit model override (``None`` falls back
+    to the manifest-level default, then to the consumer's default).
+    """
 
     name: str
     corpus_story: "str | None" = None
     surface: "DensitySurface | None" = None
+    model: "str | None" = None
 
     @property
     def is_inline(self) -> bool:
@@ -77,6 +88,7 @@ class StoryManifest:
     hours: "int | None" = None
     corpus_config: "dict | None" = None
     source: str = "<memory>"
+    model: "str | None" = None
 
     @property
     def needs_corpus(self) -> bool:
@@ -131,6 +143,16 @@ def _inline_surface(entry: dict, name: str) -> DensitySurface:
     )
 
 
+def _validate_model(name, description: str) -> str:
+    """Check a manifest model name against the live registry."""
+    model = str(name)
+    try:
+        get_model(model)
+    except UnknownModelError as error:
+        raise ManifestError(f"{description}: {error}") from error
+    return model
+
+
 def _parse_story(entry, index: int, seen: "set[str]") -> ManifestStory:
     if isinstance(entry, str):
         entry = {"story": entry}
@@ -138,6 +160,9 @@ def _parse_story(entry, index: int, seen: "set[str]") -> ManifestStory:
         raise ManifestError(
             f"story #{index} must be a name or an object, got {type(entry).__name__}"
         )
+    model = None
+    if entry.get("model") is not None:
+        model = _validate_model(entry["model"], f"story #{index} has an invalid 'model'")
     if "story" in entry:
         inline_fields = [f for f in ("distances", "times", "values") if f in entry]
         if inline_fields:
@@ -147,12 +172,14 @@ def _parse_story(entry, index: int, seen: "set[str]") -> ManifestStory:
                 f"{inline_fields}; use one or the other"
             )
         name = str(entry.get("name", entry["story"]))
-        story = ManifestStory(name=name, corpus_story=str(entry["story"]))
+        story = ManifestStory(name=name, corpus_story=str(entry["story"]), model=model)
     else:
         if "name" not in entry:
             raise ManifestError(f"inline story #{index} needs a 'name' field")
         name = str(entry["name"])
-        story = ManifestStory(name=name, surface=_inline_surface(entry, name))
+        story = ManifestStory(
+            name=name, surface=_inline_surface(entry, name), model=model
+        )
     if name in seen:
         raise ManifestError(f"duplicate story name {name!r} in the manifest")
     seen.add(name)
@@ -176,6 +203,9 @@ def parse_manifest(payload: dict, source: str = "<memory>") -> StoryManifest:
                 f"'hours' must be at least 2 (hour 1 builds phi, later hours are "
                 f"the calibration targets), got {hours}"
             )
+    model = payload.get("model")
+    if model is not None:
+        model = _validate_model(model, "the manifest's 'model' is invalid")
     entries = payload.get("stories", [])
     if not isinstance(entries, list):
         raise ManifestError("'stories' must be a list")
@@ -197,6 +227,7 @@ def parse_manifest(payload: dict, source: str = "<memory>") -> StoryManifest:
         hours=hours,
         corpus_config=corpus,
         source=source,
+        model=model,
     )
     if manifest.needs_corpus and corpus is None:
         referenced = [s.name for s in stories if not s.is_inline]
@@ -224,10 +255,26 @@ class ResolvedManifest:
     ``skipped`` names stories whose first observed hour is empty (no
     influenced users at any distance), which cannot anchor phi and are
     excluded up front -- mirroring ``repro predict-batch``.
+
+    ``models`` records each story's *explicit* model override (story-level
+    ``"model"``, skipped stories included); stories without one are absent.
+    Use :meth:`model_for` for the effective name including the
+    manifest-level default and a caller-side override.
     """
 
     surfaces: "dict[str, DensitySurface]" = field(default_factory=dict)
     skipped: "list[str]" = field(default_factory=list)
+    models: "dict[str, str]" = field(default_factory=dict)
+    default_model: "str | None" = None
+
+    def model_for(self, name: str, override: "str | None" = None) -> "str | None":
+        """Effective model of one story: story-level, then override, then manifest."""
+        explicit = self.models.get(name)
+        if explicit is not None:
+            return explicit
+        if override is not None:
+            return override
+        return self.default_model
 
 
 def resolve_manifest(
@@ -275,7 +322,7 @@ def resolve_manifest(
             raise ManifestError(f"invalid corpus block: {error}") from error
         corpus = build_synthetic_digg_dataset(config)
 
-    resolved = ResolvedManifest()
+    resolved = ResolvedManifest(default_model=manifest.model)
     window = sorted(float(t) for t in training_times) if training_times else None
     anchor = window[0] if window else None
     for story in manifest.stories:
@@ -307,6 +354,10 @@ def resolve_manifest(
                     f"hour(s) {missing}; its times span "
                     f"[{float(surface.times[0]):g}, {float(surface.times[-1]):g}]"
                 )
+        if story.model is not None:
+            # Recorded for skipped stories too, so consumers can attribute
+            # every output line (including "skipped") to its model.
+            resolved.models[story.name] = story.model
         if surface.profile(first_hour).sum() <= 0:
             resolved.skipped.append(story.name)
             continue

@@ -1,14 +1,16 @@
-"""Async multi-story prediction service over the batched solver engine.
+"""Async multi-story prediction service over the unified model registry.
 
-:class:`PredictionService` turns the synchronous
-:class:`~repro.core.prediction.BatchPredictor` into a concurrent scoring
-service for whole corpora of cascades:
+:class:`PredictionService` turns any registered prediction model
+(:mod:`repro.models` -- the DL model by default, any baseline or
+runtime-registered model by name) into a concurrent scoring service for
+whole corpora of cascades:
 
 * **submit** -- ``await service.submit(name, surface)`` enqueues one story
   and returns a :class:`PredictionJob` with per-job status, result and
   cancellation.
 * **shard** -- queued jobs are grouped by
-  :class:`~repro.service.sharding.CorpusSharder` signature, so every
+  :class:`~repro.service.sharding.CorpusSharder` signature (which includes
+  the model name, so shards never mix models); for the DL model every
   dispatched batch shares its cached operator factorizations and advances as
   the columns of one vectorised PDE solve.
 * **drain** -- a bounded worker pool offloads the numpy-heavy shard solves
@@ -33,10 +35,11 @@ service for whole corpora of cascades:
   per-story solve times sizes each batch to a target latency instead of the
   fixed ``max_shard_size`` grouping.
 
-Results are numerically identical to running :class:`BatchPredictor` on the
-same corpus synchronously -- the service only reorganises *when* each shard
-is solved, never *how* (the equivalence tests and the ``service`` section of
-the substrate benchmark assert this).
+Results are numerically identical to running the model's direct synchronous
+path on the same corpus (``BatchPredictor`` for ``dl``, ``fit`` +
+``evaluate`` for every other registered model) -- the service only
+reorganises *when* each shard is solved, never *how* (the equivalence tests
+and the ``service`` section of the substrate benchmark assert this).
 
 For synchronous callers (CLI, benchmarks, examples) the module-level
 :func:`score_corpus_sync` wraps the whole submit/await cycle in one
@@ -54,8 +57,16 @@ from enum import Enum
 from typing import AsyncIterator, Iterable, Mapping, Sequence
 
 from repro.cascade.density import DensitySurface
+from repro.core.config import (
+    CalibrationConfig,
+    ModelSpec,
+    SolverConfig,
+    merge_calibration_config,
+    merge_solver_config,
+)
 from repro.core.parameters import DLParameters
-from repro.core.prediction import BatchPredictor, PredictionResult
+from repro.core.prediction import PredictionResult
+from repro.models.registry import get_model
 from repro.service.sharding import CorpusSharder, ShardAutotuner, ShardKey
 from repro.service.telemetry import MetricsRegistry
 
@@ -167,12 +178,25 @@ class PredictionService:
 
     Parameters
     ----------
+    model:
+        Registry name of the default prediction model
+        (:mod:`repro.models`); jobs may override it per story via
+        :meth:`submit`.  Stories under different models are never sharded
+        together.
     parameters:
-        Forwarded to :class:`~repro.core.prediction.BatchPredictor`: ``None``
-        calibrates each story from its training window, a single
-        :class:`DLParameters` is shared, a mapping assigns per story name.
-    points_per_unit, max_step, backend, operator, calibration_batch:
-        Solver configuration, exactly as for ``BatchPredictor``.
+        DL-model parameters (only meaningful when the default model is
+        ``"dl"``): ``None`` calibrates each story from its training window,
+        a single :class:`DLParameters` is shared, a mapping assigns per
+        story name.
+    model_params:
+        Model-specific options for the default model
+        (:attr:`~repro.core.config.ModelSpec.params`), e.g.
+        ``{"ridge": 1e-3}`` for ``linear-influence``.
+    solver, calibration:
+        Typed configs (:class:`~repro.core.config.SolverConfig` /
+        :class:`~repro.core.config.CalibrationConfig`); the legacy knobs
+        ``points_per_unit`` / ``max_step`` / ``backend`` / ``operator`` /
+        ``calibration_batch`` remain accepted as a thin shim.
     max_workers:
         Number of shard solves in flight at once (thread-pool size).
     queue_depth:
@@ -193,9 +217,14 @@ class PredictionService:
         When True (or when ``autotuner`` is given), shard sizes follow a
         :class:`~repro.service.sharding.ShardAutotuner` fed with observed
         solve times instead of the fixed ``max_shard_size``;
-        ``max_shard_size`` then only caps the autotuner's range.
+        ``max_shard_size`` then only caps the autotuner's range.  Each
+        model gets its own autotuner (per-story costs differ by orders of
+        magnitude between models, so one shared EWMA would miscalibrate
+        mixed traffic).
     autotuner:
-        An explicitly configured autotuner instance (implies ``autotune``).
+        An explicitly configured autotuner instance for the *default*
+        model (implies ``autotune``); other models autotune with
+        default-configured instances.
     metrics:
         A :class:`~repro.service.telemetry.MetricsRegistry` to update; one
         is created when omitted (see :attr:`metrics`).
@@ -207,11 +236,11 @@ class PredictionService:
     def __init__(
         self,
         parameters: "DLParameters | Mapping[str, DLParameters] | None" = None,
-        points_per_unit: int = 20,
-        max_step: float = 0.02,
-        backend: str = "internal",
-        operator: str = "auto",
-        calibration_batch: bool = True,
+        points_per_unit: "int | None" = None,
+        max_step: "float | None" = None,
+        backend: "str | None" = None,
+        operator: "str | None" = None,
+        calibration_batch: "bool | None" = None,
         max_workers: int = DEFAULT_MAX_WORKERS,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         max_shard_size: "int | None" = DEFAULT_MAX_SHARD_SIZE,
@@ -220,6 +249,11 @@ class PredictionService:
         autotune: bool = False,
         autotuner: "ShardAutotuner | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        *,
+        model: str = "dl",
+        model_params: "Mapping[str, object] | None" = None,
+        solver: "SolverConfig | None" = None,
+        calibration: "CalibrationConfig | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -231,19 +265,30 @@ class PredictionService:
             raise ValueError(
                 f"max_shard_retries must be >= 0, got {max_shard_retries}"
             )
-        self._parameters = parameters
-        self._predictor_config = dict(
-            points_per_unit=points_per_unit,
-            max_step=max_step,
-            backend=backend,
-            operator=operator,
-            calibration_batch=calibration_batch,
+        get_model(model)  # fail fast on unknown default models
+        if parameters is not None and model != "dl":
+            raise ValueError(
+                f"parameters= carries DL parameters but the default model is "
+                f"{model!r}; pass model-specific options via model_params="
+            )
+        solver_config = merge_solver_config(
+            solver, points_per_unit, max_step, backend, operator
+        )
+        calibration_config = merge_calibration_config(
+            calibration, calibration_batch, default_batch=True
+        )
+        params = dict(model_params or {})
+        if parameters is not None:
+            params["parameters"] = parameters
+        self._spec = ModelSpec(
+            name=model,
+            params=params,
+            solver=solver_config,
+            calibration=calibration_config,
         )
         self._sharder = CorpusSharder(
-            points_per_unit=points_per_unit,
-            max_step=max_step,
-            backend=backend,
-            operator=operator,
+            solver=solver_config,
+            model=model,
             max_shard_size=max_shard_size,
         )
         self._max_workers = max_workers
@@ -251,14 +296,18 @@ class PredictionService:
         self._max_shard_size = max_shard_size
         self._job_timeout = job_timeout
         self._max_shard_retries = max_shard_retries
-        if autotuner is not None:
-            self._autotuner: "ShardAutotuner | None" = autotuner
-        elif autotune:
-            self._autotuner = ShardAutotuner(
-                max_size=max_shard_size if max_shard_size is not None else 64
+        # One autotuner per model: shards are per-model, and per-story solve
+        # costs differ by orders of magnitude between models (a logistic fit
+        # vs a DL calibration), so a shared EWMA would miscalibrate every
+        # model's shard size in mixed traffic.  An explicitly supplied
+        # autotuner serves the default model; other models lazily get their
+        # own default-configured instance (_autotuner_for).
+        self._autotune = autotune or autotuner is not None
+        self._autotuners: "dict[str, ShardAutotuner]" = {}
+        if self._autotune:
+            self._autotuners[model] = (
+                autotuner if autotuner is not None else self._new_autotuner()
             )
-        else:
-            self._autotuner = None
         self._metrics = metrics if metrics is not None else MetricsRegistry()
         self._shard_seconds = self._metrics.histogram("service.shard_solve_seconds")
         self._story_seconds = self._metrics.histogram("service.story_solve_seconds")
@@ -286,9 +335,28 @@ class PredictionService:
         return self._metrics
 
     @property
+    def model_spec(self) -> ModelSpec:
+        """The default model workload (name, params, solver, calibration)."""
+        return self._spec
+
+    def _new_autotuner(self) -> ShardAutotuner:
+        return ShardAutotuner(
+            max_size=self._max_shard_size if self._max_shard_size is not None else 64
+        )
+
+    def _autotuner_for(self, model: str) -> "ShardAutotuner | None":
+        """The model's autotuner (lazily created), or None when disabled."""
+        if not self._autotune:
+            return None
+        tuner = self._autotuners.get(model)
+        if tuner is None:
+            tuner = self._autotuners[model] = self._new_autotuner()
+        return tuner
+
+    @property
     def autotuner(self) -> "ShardAutotuner | None":
-        """The shard autotuner, when autotuning is enabled."""
-        return self._autotuner
+        """The default model's shard autotuner, when autotuning is enabled."""
+        return self._autotuners.get(self._spec.name) if self._autotune else None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -385,12 +453,18 @@ class PredictionService:
         training_times: "Sequence[float] | None" = None,
         evaluation_times: "Sequence[float] | None" = None,
         timeout: "float | None" = None,
+        model: "str | None" = None,
     ) -> PredictionJob:
         """Queue one story; suspends while the service is at ``queue_depth``.
 
         The returned job completes once its shard has been solved; await
         :meth:`PredictionJob.wait` (or :meth:`stream` several jobs) for the
         :class:`~repro.core.prediction.PredictionResult`.
+
+        ``model`` overrides the service's default model for this story
+        (validated against the registry immediately); the model name is part
+        of the shard signature, so stories under different models are never
+        batched together.
 
         ``name`` must be unique among the jobs currently queued or running:
         shard solves are keyed by story name, so a duplicate would silently
@@ -406,6 +480,8 @@ class PredictionService:
         self._require_open()
         if timeout is not None and timeout <= 0:
             raise ValueError(f"timeout must be > 0, got {timeout}")
+        if model is not None:
+            get_model(model)  # unknown names fail the submit, not the shard
         if name in self._active_names:
             raise ValueError(
                 f"a job named {name!r} is already queued or running; story "
@@ -416,7 +492,9 @@ class PredictionService:
         # passing the check while parked on a full queue.
         self._active_names.add(name)
         try:
-            key = self._sharder.key_for(surface, training_times, evaluation_times)
+            key = self._sharder.key_for(
+                surface, training_times, evaluation_times, model=model
+            )
             assert self._slots is not None and self._kick is not None
             await self._slots.acquire()  # backpressure
             if self._closed:
@@ -438,6 +516,11 @@ class PredictionService:
         self._pending.setdefault(key, []).append(job)
         self._counts[JobStatus.PENDING] += 1
         self._metrics.counter("service.jobs_submitted").inc()
+        # The model label makes multi-model traffic attributable in the
+        # Prometheus export without perturbing the unlabelled totals.
+        self._metrics.counter(
+            "service.jobs_submitted", labels={"model": key.model}
+        ).inc()
         self._queue_gauge.set(
             self._counts[JobStatus.PENDING] + self._counts[JobStatus.RUNNING]
         )
@@ -486,6 +569,7 @@ class PredictionService:
     def stats(self) -> dict:
         """Counters for monitoring and smoke tests."""
         stats = {
+            "model": self._spec.name,
             "queued": self._counts[JobStatus.PENDING],
             "running": self._counts[JobStatus.RUNNING],
             "succeeded": self._counts[JobStatus.SUCCEEDED],
@@ -499,8 +583,15 @@ class PredictionService:
             "max_workers": self._max_workers,
             "max_shard_size": self._max_shard_size,
         }
-        if self._autotuner is not None:
-            stats["autotuner"] = self._autotuner.snapshot()
+        if self._autotune:
+            default = self._autotuners.get(self._spec.name)
+            if default is not None:
+                stats["autotuner"] = default.snapshot()
+            if len(self._autotuners) > 1 or default is None:
+                stats["autotuner_by_model"] = {
+                    name: tuner.snapshot()
+                    for name, tuner in sorted(self._autotuners.items())
+                }
         return stats
 
     # ------------------------------------------------------------------ #
@@ -509,10 +600,11 @@ class PredictionService:
     def _has_pending(self) -> bool:
         return bool(self._requeued) or any(self._pending.values())
 
-    def _shard_size_limit(self) -> "int | None":
-        """The batch bound in force: autotuned when enabled, else fixed."""
-        if self._autotuner is not None:
-            return self._autotuner.recommended_size()
+    def _shard_size_limit(self, model: str) -> "int | None":
+        """The batch bound in force: autotuned (per model) when enabled, else fixed."""
+        tuner = self._autotuner_for(model)
+        if tuner is not None:
+            return tuner.recommended_size()
         return self._max_shard_size
 
     def _next_batch(self) -> "list[PredictionJob]":
@@ -532,7 +624,7 @@ class PredictionService:
             if not queued:
                 del self._pending[key]
                 continue
-            size = self._shard_size_limit() or len(queued)
+            size = self._shard_size_limit(key.model) or len(queued)
             batch = queued[:size]
             remainder = queued[size:]
             if remainder:
@@ -599,6 +691,9 @@ class PredictionService:
         assert self._slots is not None
         self._slots.release()
         self._metrics.counter(f"service.jobs_{status.value}").inc()
+        self._metrics.counter(
+            f"service.jobs_{status.value}", labels={"model": job.key.model}
+        ).inc()
         self._queue_gauge.set(
             self._counts[JobStatus.PENDING] + self._counts[JobStatus.RUNNING]
         )
@@ -688,8 +783,9 @@ class PredictionService:
             elapsed = time.perf_counter() - start
             self._shard_seconds.observe(elapsed)
             self._story_seconds.observe(elapsed / len(jobs))
-            if self._autotuner is not None:
-                self._autotuner.observe(len(jobs), elapsed)
+            tuner = self._autotuner_for(jobs[0].key.model)
+            if tuner is not None:
+                tuner.observe(len(jobs), elapsed)
             solved = 0
             for job in jobs:
                 if job.done:
@@ -708,36 +804,55 @@ class PredictionService:
                 self._stories_solved += solved
                 self._metrics.counter("service.shards_solved").inc()
                 self._metrics.counter("service.stories_solved").inc(solved)
+                self._metrics.counter(
+                    "service.stories_solved", labels={"model": jobs[0].key.model}
+                ).inc(solved)
         except Exception as error:  # noqa: BLE001 - failures surface via job.wait()
             self._fail_or_requeue([job for job in jobs if not job.done], error)
         finally:
             self._workers.release()
+
+    def _spec_for(self, model_name: str) -> ModelSpec:
+        """The workload spec of one shard's model.
+
+        The default model keeps the service's full spec (including any
+        explicit DL parameters); per-story overrides run with the shared
+        solver/calibration configs and no model-specific params.
+        """
+        if model_name == self._spec.name:
+            return self._spec
+        return ModelSpec(
+            name=model_name,
+            solver=self._spec.solver,
+            calibration=self._spec.calibration,
+        )
 
     def _solve_shard(
         self, jobs: "list[PredictionJob]"
     ) -> "dict[str, PredictionResult | BaseException]":
         """Synchronous shard solve, run on a worker thread.
 
-        The per-story workflow is exactly the synchronous
-        :class:`BatchPredictor` path: fit each story, then evaluate the whole
-        shard in batched solves sharing the cached operators.  A story whose
-        *fit* fails (bad surface, calibration error) is mapped to its own
-        exception without poisoning its shard-mates; only a failure of the
-        joint evaluate solve is shard-wide (and surfaces through the caller's
-        except path).
+        The shard's model is resolved from the registry by the shard key's
+        model name; for ``dl`` the fitter wraps the synchronous
+        :class:`~repro.core.prediction.BatchPredictor` verbatim, so results
+        stay bit-identical to the classic path and keep its batched
+        spatial-group solves.  A story whose *fit* fails (bad surface,
+        calibration error) is mapped to its own exception without poisoning
+        its shard-mates; only a failure of the joint evaluate solve is
+        shard-wide (and surfaces through the caller's except path).
         """
         key = jobs[0].key
-        predictor = BatchPredictor(parameters=self._parameters, **self._predictor_config)
+        fitter = get_model(key.model).batch_fitter(self._spec_for(key.model))
         outcomes: "dict[str, PredictionResult | BaseException]" = {}
         fitted = []
         for job in jobs:
             try:
-                predictor.fit_story(job.name, job.surface, key.training_times)
+                fitter.fit_story(job.name, job.surface, key.training_times)
                 fitted.append(job)
             except Exception as error:  # noqa: BLE001 - per-story failure
                 outcomes[job.name] = error
         if fitted:
-            results = predictor.evaluate(
+            results = fitter.evaluate(
                 {job.name: job.surface for job in fitted},
                 times=key.evaluation_times,
             )

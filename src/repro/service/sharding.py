@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cascade.density import DensitySurface
+from repro.core.config import SolverConfig, merge_solver_config
 
 
 @dataclass(frozen=True)
@@ -47,6 +48,11 @@ class ShardKey:
     evaluation_times:
         The shared evaluation window, or ``None`` for the per-story default
         (hours 2..6 relative to the first observed hour).
+    model:
+        Registry name of the prediction model scoring the shard.  Part of
+        the signature so shards never mix models: stories scored by
+        different models cannot share a batched solve (or even a meaningful
+        joint fit), no matter how alike their spatial setups are.
     """
 
     lower: float
@@ -58,6 +64,7 @@ class ShardKey:
     operator: str
     training_times: "tuple[float, ...] | None" = None
     evaluation_times: "tuple[float, ...] | None" = None
+    model: str = "dl"
 
 
 @dataclass
@@ -194,10 +201,17 @@ class CorpusSharder:
 
     Parameters
     ----------
+    solver:
+        The :class:`~repro.core.config.SolverConfig` the shards will be
+        scored with; baked into every :class:`ShardKey` so shards from
+        differently configured sharders never mix.  The individual legacy
+        knobs below remain accepted as a thin shim.
     points_per_unit, max_step, backend, operator:
-        The solver configuration the shards will be scored with; these are
-        baked into every :class:`ShardKey` so shards from differently
-        configured sharders never mix.
+        Legacy solver knobs; prefer ``solver=SolverConfig(...)``.
+    model:
+        Default registry name of the prediction model; joins every
+        :class:`ShardKey` so shards never mix models.  Overridable per
+        story via :meth:`key_for` / :meth:`shard`.
     max_shard_size:
         Upper bound on stories per shard.  Groups larger than this are split
         into consecutive chunks (each chunk still shares its factorizations);
@@ -206,18 +220,23 @@ class CorpusSharder:
 
     def __init__(
         self,
-        points_per_unit: int = 20,
-        max_step: float = 0.02,
-        backend: str = "internal",
-        operator: str = "auto",
+        points_per_unit: "int | None" = None,
+        max_step: "float | None" = None,
+        backend: "str | None" = None,
+        operator: "str | None" = None,
         max_shard_size: "int | None" = None,
+        *,
+        model: str = "dl",
+        solver: "SolverConfig | None" = None,
     ) -> None:
         if max_shard_size is not None and max_shard_size < 1:
             raise ValueError(f"max_shard_size must be >= 1, got {max_shard_size}")
-        self._points_per_unit = points_per_unit
-        self._max_step = max_step
-        self._backend = backend
-        self._operator = operator
+        if not model:
+            raise ValueError("the sharder needs a non-empty default model name")
+        self._solver = merge_solver_config(
+            solver, points_per_unit, max_step, backend, operator
+        )
+        self._model = model
         self._max_shard_size = max_shard_size
 
     @property
@@ -225,17 +244,29 @@ class CorpusSharder:
         """Largest number of stories one shard may hold (None = unbounded)."""
         return self._max_shard_size
 
+    @property
+    def solver_config(self) -> SolverConfig:
+        """The solver configuration baked into every shard key."""
+        return self._solver
+
+    @property
+    def model(self) -> str:
+        """The default model name baked into shard keys."""
+        return self._model
+
     def key_for(
         self,
         surface: DensitySurface,
         training_times: "Sequence[float] | None" = None,
         evaluation_times: "Sequence[float] | None" = None,
+        model: "str | None" = None,
     ) -> ShardKey:
         """The shard signature of one story surface.
 
         The initial time mirrors :meth:`repro.core.prediction.BatchPredictor.fit_story`:
         the first training hour when a window is given, else the surface's
-        first observed hour.
+        first observed hour.  ``model`` overrides the sharder's default
+        model name for this story.
         """
         if training_times is not None:
             window = tuple(sorted(float(t) for t in training_times))
@@ -256,12 +287,13 @@ class CorpusSharder:
             lower=float(surface.distances[0]),
             upper=float(surface.distances[-1]),
             initial_time=initial_time,
-            points_per_unit=self._points_per_unit,
-            max_step=self._max_step,
-            backend=self._backend,
-            operator=self._operator,
+            points_per_unit=self._solver.points_per_unit,
+            max_step=self._solver.max_step,
+            backend=self._solver.backend,
+            operator=self._solver.operator,
             training_times=window,
             evaluation_times=evaluation,
+            model=model if model is not None else self._model,
         )
 
     def shard(
@@ -269,17 +301,25 @@ class CorpusSharder:
         surfaces: "Mapping[str, DensitySurface]",
         training_times: "Sequence[float] | None" = None,
         evaluation_times: "Sequence[float] | None" = None,
+        models: "Mapping[str, str] | None" = None,
     ) -> "list[Shard]":
         """Split a corpus into shards, preserving story insertion order.
 
         Stories with the same signature land in the same shard (until
         ``max_shard_size`` forces a new chunk); the concatenation of all
-        shards contains every story exactly once.
+        shards contains every story exactly once.  ``models`` optionally
+        assigns per-story model names (missing stories use the sharder's
+        default); stories under different models never share a shard.
         """
         shards: "list[Shard]" = []
         open_shard_by_key: "dict[ShardKey, Shard]" = {}
         for name, surface in surfaces.items():
-            key = self.key_for(surface, training_times, evaluation_times)
+            key = self.key_for(
+                surface,
+                training_times,
+                evaluation_times,
+                model=models.get(name) if models is not None else None,
+            )
             shard = open_shard_by_key.get(key)
             if shard is None:
                 shard = Shard(key=key)

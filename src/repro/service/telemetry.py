@@ -15,13 +15,22 @@ same lock) and return copies -- mutating a snapshot never corrupts the
 registry.
 
 The daemon exposes snapshots through its ``stats`` protocol command and the
-``repro daemon-stats`` CLI.
+``repro daemon-stats`` CLI; :meth:`MetricsRegistry.to_prometheus` renders
+the same state in the Prometheus text exposition format (the daemon's
+``metrics`` command, ``repro daemon-stats --prometheus``).
+
+Instruments may carry **labels** (``registry.counter("service.jobs_succeeded",
+labels={"model": "dl"})``): each label combination is its own instrument,
+keyed ``name{key="value",...}`` in the snapshot, and the exposition
+renderer emits them as proper Prometheus labels -- this is how per-model
+traffic through the multi-model service stays attributable.
 """
 
 from __future__ import annotations
 
+import re
 import threading
-from typing import Sequence
+from typing import Mapping, Sequence
 
 #: Default histogram bucket upper bounds (seconds), chosen around the
 #: observed per-shard / per-story solve times of the batched engine
@@ -156,6 +165,49 @@ class Histogram:
         }
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(labels: "Mapping[str, str] | None") -> str:
+    """Canonical ``{key="value",...}`` suffix for a label set (sorted keys)."""
+    if not labels:
+        return ""
+    parts = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + parts + "}"
+
+
+def _format_value(value: float) -> str:
+    """Exact text form of a sample value.
+
+    Counters are integral in practice and must round-trip exactly --
+    ``%g`` would collapse 12345678 to 1.23457e+07 after only 8 digits --
+    so integral floats render as integers and the rest via ``repr``
+    (shortest exact representation).
+    """
+    if value == int(value) and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _split_labels(full_name: str) -> "tuple[str, str]":
+    """Split a registry key into (base name, label suffix or '')."""
+    brace = full_name.find("{")
+    if brace < 0:
+        return full_name, ""
+    return full_name[:brace], full_name[brace:]
+
+
+def _prometheus_name(base: str, namespace: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus identifier."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", base)
+    return f"{namespace}_{name}" if namespace else name
+
+
 class MetricsRegistry:
     """Owns a named set of instruments; the service and daemon share one.
 
@@ -163,7 +215,8 @@ class MetricsRegistry:
     for the same name returns the same instrument, so independent components
     (service, daemon, tests) can reference metrics without coordinating
     creation order.  Asking for an existing name with a different instrument
-    kind raises.
+    kind raises.  The optional ``labels`` mapping gives each label
+    combination its own instrument (keyed ``name{key="value"}``).
     """
 
     def __init__(self) -> None:
@@ -184,17 +237,25 @@ class MetricsRegistry:
             self._metrics[name] = metric
             return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter, lambda: Counter(name, self._lock))
+    def counter(
+        self, name: str, labels: "Mapping[str, str] | None" = None
+    ) -> Counter:
+        full = name + _label_suffix(labels)
+        return self._get_or_create(full, Counter, lambda: Counter(full, self._lock))
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge, lambda: Gauge(name, self._lock))
+    def gauge(self, name: str, labels: "Mapping[str, str] | None" = None) -> Gauge:
+        full = name + _label_suffix(labels)
+        return self._get_or_create(full, Gauge, lambda: Gauge(full, self._lock))
 
     def histogram(
-        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+        labels: "Mapping[str, str] | None" = None,
     ) -> Histogram:
+        full = name + _label_suffix(labels)
         return self._get_or_create(
-            name, Histogram, lambda: Histogram(name, self._lock, buckets)
+            full, Histogram, lambda: Histogram(full, self._lock, buckets)
         )
 
     def snapshot(self) -> dict:
@@ -207,3 +268,48 @@ class MetricsRegistry:
                 else:
                     out[name] = metric._value
             return out
+
+    def to_prometheus(self, namespace: str = "repro") -> str:
+        """Render every instrument in the Prometheus text exposition format.
+
+        Counters become ``<ns>_<name>_total``, gauges keep their name,
+        histograms emit the standard cumulative ``_bucket{le=...}`` series
+        plus ``_sum`` / ``_count``.  Dots and dashes in registry names map
+        to underscores; instrument labels (e.g. ``model="dl"``) are
+        preserved as Prometheus labels.  The rendering is taken under the
+        registry lock, so it is a consistent point-in-time view -- the same
+        guarantee ``snapshot()`` gives.
+        """
+        with self._lock:
+            items = sorted(self._metrics.items())
+            lines: "list[str]" = []
+            typed: "set[str]" = set()
+
+            def emit_type(metric_name: str, kind: str) -> None:
+                if metric_name not in typed:
+                    typed.add(metric_name)
+                    lines.append(f"# TYPE {metric_name} {kind}")
+
+            for full_name, metric in items:
+                base, labels = _split_labels(full_name)
+                name = _prometheus_name(base, namespace)
+                if isinstance(metric, Counter):
+                    emit_type(f"{name}_total", "counter")
+                    lines.append(
+                        f"{name}_total{labels} {_format_value(metric._value)}"
+                    )
+                elif isinstance(metric, Gauge):
+                    emit_type(name, "gauge")
+                    lines.append(f"{name}{labels} {_format_value(metric._value)}")
+                else:
+                    emit_type(name, "histogram")
+                    snap = metric._snapshot_locked()
+                    inner = labels[1:-1] if labels else ""
+                    for bound, count in snap["buckets"].items():
+                        label_set = ",".join(
+                            part for part in (inner, f'le="{bound}"') if part
+                        )
+                        lines.append(f"{name}_bucket{{{label_set}}} {count}")
+                    lines.append(f"{name}_sum{labels} {_format_value(snap['sum'])}")
+                    lines.append(f"{name}_count{labels} {snap['count']}")
+            return "\n".join(lines) + "\n" if lines else ""

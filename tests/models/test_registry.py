@@ -1,0 +1,153 @@
+"""Tests for the model registry and the typed config objects."""
+
+import pytest
+
+from repro.core.config import CalibrationConfig, ModelSpec, SolverConfig
+from repro.core.errors import NotFittedError, UnknownModelError
+from repro.core.prediction import BatchPredictor, DiffusionPredictor
+from repro.models import (
+    PredictionModel,
+    available_models,
+    get_model,
+    model_descriptions,
+    register_model,
+    unregister_model,
+)
+from repro.models.base import coerce_spec
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_models()
+        for name in ("dl", "logistic", "sis", "linear-influence"):
+            assert name in names
+
+    def test_get_model_returns_fresh_instances(self):
+        assert get_model("dl") is not get_model("dl")
+
+    def test_unknown_model_raises_with_registered_list(self):
+        with pytest.raises(UnknownModelError) as excinfo:
+            get_model("frobnicate")
+        message = str(excinfo.value)
+        assert "frobnicate" in message
+        assert "dl" in message and "logistic" in message
+        # A failed lookup is a KeyError, so dict-style handling works too.
+        assert isinstance(excinfo.value, KeyError)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_model("dl", get_model("dl").__class__)
+
+    def test_overwrite_and_unregister(self):
+        class Custom(PredictionModel):
+            name = "custom-test-model"
+            description = "a test model"
+
+            def fit(self, observed, spec=None, training_times=None):
+                raise NotImplementedError
+
+        register_model("custom-test-model", Custom)
+        try:
+            assert "custom-test-model" in available_models()
+            assert isinstance(get_model("custom-test-model"), Custom)
+            # Re-registering without overwrite fails, with overwrite works.
+            with pytest.raises(ValueError):
+                register_model("custom-test-model", Custom)
+            register_model("custom-test-model", Custom, overwrite=True)
+        finally:
+            unregister_model("custom-test-model")
+        assert "custom-test-model" not in available_models()
+        with pytest.raises(UnknownModelError):
+            unregister_model("custom-test-model")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("", lambda: None)
+
+    def test_descriptions_cover_every_model(self):
+        descriptions = model_descriptions()
+        assert set(descriptions) == set(available_models())
+        assert all(isinstance(text, str) for text in descriptions.values())
+
+
+class TestSolverConfig:
+    def test_defaults_match_the_legacy_knobs(self):
+        config = SolverConfig()
+        assert config.points_per_unit == 20
+        assert config.max_step == 0.02
+        assert config.backend == "internal"
+        assert config.operator == "auto"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SolverConfig(points_per_unit=0)
+        with pytest.raises(ValueError):
+            SolverConfig(max_step=0.0)
+
+    def test_replace_and_hashable(self):
+        config = SolverConfig().replace(points_per_unit=12)
+        assert config.points_per_unit == 12
+        assert hash(config) == hash(SolverConfig(points_per_unit=12))
+
+    def test_mixing_config_and_legacy_knobs_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            DiffusionPredictor(points_per_unit=12, solver=SolverConfig())
+        with pytest.raises(ValueError, match="not both"):
+            BatchPredictor(backend="scipy", solver=SolverConfig())
+        with pytest.raises(ValueError, match="not both"):
+            DiffusionPredictor(
+                calibration_batch=True, calibration=CalibrationConfig()
+            )
+
+    def test_legacy_knobs_build_the_config(self):
+        predictor = DiffusionPredictor(points_per_unit=12, backend="scipy")
+        assert predictor.solver_config == SolverConfig(
+            points_per_unit=12, backend="scipy"
+        )
+        assert predictor.calibration_config == CalibrationConfig(batch=False)
+        assert BatchPredictor().calibration_config == CalibrationConfig(batch=True)
+
+
+class TestModelSpec:
+    def test_params_are_copied(self):
+        params = {"ridge": 1.0}
+        spec = ModelSpec(name="linear-influence", params=params)
+        params["ridge"] = 2.0
+        assert spec.params["ridge"] == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ModelSpec(name="")
+
+    def test_coerce_spec_defaults(self):
+        spec = coerce_spec(None, "logistic")
+        assert spec.name == "logistic"
+        assert spec.solver == SolverConfig()
+
+    def test_coerce_spec_rejects_wrong_model(self):
+        with pytest.raises(ValueError, match="passed to the 'sis' model"):
+            coerce_spec(ModelSpec(name="logistic"), "sis")
+
+    def test_coerce_spec_rejects_unknown_params(self):
+        spec = ModelSpec(name="logistic", params={"frobnicate": 1})
+        with pytest.raises(ValueError, match="does not understand params"):
+            coerce_spec(spec, "logistic", ("carrying_capacity_cap",))
+
+    def test_to_json_dict_is_plain(self):
+        import json
+
+        spec = ModelSpec(name="sis", params={"pool_percent": 40.0})
+        assert json.loads(json.dumps(spec.to_json_dict()))["name"] == "sis"
+
+
+class TestNotFittedError:
+    def test_predictor_raises_typed_error(self):
+        with pytest.raises(NotFittedError):
+            DiffusionPredictor().parameters
+        with pytest.raises(NotFittedError):
+            BatchPredictor().evaluate({})
+
+    def test_not_fitted_is_a_runtime_error(self):
+        # Pre-registry callers caught RuntimeError; the typed error subclasses
+        # it so they keep working.
+        assert issubclass(NotFittedError, RuntimeError)

@@ -1,0 +1,103 @@
+"""Tests for metric labels and the Prometheus text exposition renderer."""
+
+import pytest
+
+from repro.service.telemetry import MetricsRegistry
+
+
+class TestLabels:
+    def test_labeled_instruments_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", labels={"model": "dl"}).inc(2)
+        registry.counter("jobs", labels={"model": "logistic"}).inc()
+        registry.counter("jobs").inc(3)
+        snapshot = registry.snapshot()
+        assert snapshot["jobs"] == 3.0
+        assert snapshot['jobs{model="dl"}'] == 2.0
+        assert snapshot['jobs{model="logistic"}'] == 1.0
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels={"b": "2", "a": "1"}).inc()
+        registry.counter("x", labels={"a": "1", "b": "2"}).inc()
+        assert registry.snapshot()['x{a="1",b="2"}'] == 2.0
+
+    def test_kind_mismatch_still_raises_for_labeled_names(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labels={"a": "1"})
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x", labels={"a": "1"})
+
+
+class TestPrometheusExposition:
+    def test_counters_gauges_histograms_render(self):
+        registry = MetricsRegistry()
+        registry.counter("service.jobs_succeeded").inc(4)
+        registry.counter("service.jobs_succeeded", labels={"model": "dl"}).inc(3)
+        registry.counter(
+            "service.jobs_succeeded", labels={"model": "logistic"}
+        ).inc(1)
+        registry.gauge("service.queue_depth").set(7)
+        histogram = registry.histogram("service.shard_solve_seconds", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+
+        text = registry.to_prometheus()
+        lines = text.splitlines()
+
+        assert "# TYPE repro_service_jobs_succeeded_total counter" in lines
+        assert "repro_service_jobs_succeeded_total 4" in lines
+        assert 'repro_service_jobs_succeeded_total{model="dl"} 3' in lines
+        assert 'repro_service_jobs_succeeded_total{model="logistic"} 1' in lines
+
+        assert "# TYPE repro_service_queue_depth gauge" in lines
+        assert "repro_service_queue_depth 7" in lines
+
+        assert "# TYPE repro_service_shard_solve_seconds histogram" in lines
+        assert 'repro_service_shard_solve_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_service_shard_solve_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_service_shard_solve_seconds_bucket{le="+Inf"} 3' in lines
+        assert "repro_service_shard_solve_seconds_count 3" in lines
+        assert any(
+            line.startswith("repro_service_shard_solve_seconds_sum") for line in lines
+        )
+        assert text.endswith("\n")
+
+    def test_type_line_emitted_once_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", labels={"model": "dl"}).inc()
+        registry.counter("jobs", labels={"model": "sis"}).inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE repro_jobs_total counter") == 1
+
+    def test_labeled_histogram_merges_le_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("t", buckets=(1.0,), labels={"model": "dl"}).observe(0.5)
+        text = registry.to_prometheus()
+        assert 'repro_t_bucket{model="dl",le="1"} 1' in text
+        assert 'repro_t_sum{model="dl"} 0.5' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_custom_namespace(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(1)
+        assert "acme_depth 1" in registry.to_prometheus(namespace="acme")
+
+    def test_large_counters_render_exactly(self):
+        # %g-style formatting would collapse 12345678 to 1.23457e+07; a
+        # scraped counter must round-trip exactly or rate() misreports.
+        registry = MetricsRegistry()
+        registry.counter("stories").inc(12_345_678)
+        registry.gauge("depth").set(0.1)
+        text = registry.to_prometheus()
+        assert "repro_stories_total 12345678" in text
+        assert "repro_depth 0.1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs", labels={"model": 'my"mo\\del'}).inc()
+        text = registry.to_prometheus()
+        assert 'repro_jobs_total{model="my\\"mo\\\\del"} 1' in text

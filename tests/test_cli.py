@@ -369,6 +369,7 @@ class TestServeBatch:
         assert record == {
             "story": "s4",
             "status": "skipped",
+            "model": "dl",
             "reason": "no influenced users at any distance in the first observed hour",
         }
 
