@@ -28,7 +28,11 @@ dimensions cover the PR-2/PR-3 machinery:
   with the maximum per-story result delta against the synchronous batch
   reference.  The ``service.logistic`` subsection runs the same corpus
   through the model registry's ``logistic`` baseline, asserting the
-  model-agnostic serving path matches its direct fit/evaluate loop.
+  model-agnostic serving path matches its direct fit/evaluate loop.  The
+  ``service.scaling`` subsection compares the thread and process execution
+  backends at 1/2/4/ncpu workers on a calibration-heavy corpus: the process
+  backend must stay bit-identical to the thread reference and its 4-vs-1
+  worker speedup is gated as a core-count-normalized scaling efficiency.
 * ``daemon`` -- submission round-trip of the JSON-lines daemon (submit over
   a Unix socket, stream every per-story result back) vs the same corpus
   scored through the in-process service, with the result delta against the
@@ -481,6 +485,91 @@ def run_service_model_benchmark(model: str = "logistic", quick: bool = False) ->
     }
 
 
+def run_service_scaling_benchmark(quick: bool = False) -> dict:
+    """Worker scaling of the thread vs process execution backends.
+
+    Scores one calibration-heavy corpus (no explicit parameters, so every
+    story runs the full grid-then-refine DL calibration -- pure Python +
+    small-matrix NumPy, the workload the GIL serializes) through the
+    service once per (backend, workers) configuration.  ``max_shard_size=1``
+    pins shard composition, so every configuration solves the *same* shards
+    and the process backend's results can be checked bit-for-bit against
+    the thread reference (``max_result_delta_process_vs_thread``, gated at
+    1e-12).
+
+    The headline is ``process.speedup_4v1`` -- process-backend throughput
+    at 4 workers over 1 worker.  Because CI runners differ in core count,
+    the gated number is ``process.scaling_efficiency`` =
+    ``speedup_4v1 / min(4, cpus)``: on a >=4-core machine the 0.625 floor
+    in ``check_regression.py`` demands a >=2.5x speedup; on smaller boxes
+    it degrades to "adding workers must not make things slower than the
+    core count allows".
+    """
+    size = 4 if quick else 8
+    training = list(SERVICE_TRAINING_TIMES)
+    evaluation = list(SERVICE_EVALUATION_TIMES)
+    corpus = _service_corpus(size)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cpus = os.cpu_count() or 1
+    worker_counts = sorted({1, 2, 4, min(cpus, 16)})
+
+    def run_config(executor: str, workers: int) -> "tuple[float, dict]":
+        clear_operator_caches()
+        start = time.perf_counter()
+        results = score_corpus_sync(
+            corpus,
+            training_times=training,
+            evaluation_times=evaluation,
+            max_workers=workers,
+            max_shard_size=1,
+            executor=executor,
+            **SERVICE_SOLVER,
+        )
+        return time.perf_counter() - start, results
+
+    report = {
+        "stories": size,
+        "cpus": cpus,
+        "max_shard_size": 1,
+        "worker_counts": list(worker_counts),
+        "thread": {"workers": {}},
+        "process": {"workers": {}},
+    }
+    reference = None
+    max_delta = 0.0
+    for executor in ("thread", "process"):
+        for workers in worker_counts:
+            seconds, results = run_config(executor, workers)
+            report[executor]["workers"][str(workers)] = {
+                "seconds": seconds,
+                "stories_per_second": size / seconds,
+            }
+            if executor == "thread" and workers == 1:
+                reference = results
+            elif executor == "process":
+                delta = max(
+                    float(
+                        np.max(
+                            np.abs(
+                                results[name].predicted.values
+                                - reference[name].predicted.values
+                            )
+                        )
+                    )
+                    for name in corpus
+                )
+                max_delta = max(max_delta, delta)
+    for executor in ("thread", "process"):
+        timings = report[executor]["workers"]
+        speedup = timings["1"]["seconds"] / timings["4"]["seconds"]
+        report[executor]["speedup_4v1"] = speedup
+        report[executor]["scaling_efficiency"] = speedup / min(4, cpus)
+    report["max_result_delta_process_vs_thread"] = max_delta
+    return report
+
+
 def _daemon_manifest(corpus: dict) -> dict:
     """Serialize a corpus of surfaces as an inline-story manifest document."""
     return {
@@ -760,6 +849,9 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             # The model-registry path: the logistic baseline served through
             # the same queue (loosely floor-gated, delta-gated at 0).
             "logistic": run_service_model_benchmark("logistic", quick=quick),
+            # Thread vs process execution backends at 1/2/4/ncpu workers on
+            # a calibration-heavy corpus (delta- and efficiency-gated).
+            "scaling": run_service_scaling_benchmark(quick=quick),
         },
         "daemon": run_daemon_benchmark(quick=quick),
     }
@@ -816,7 +908,11 @@ def main(argv=None) -> int:
             f"{service['max_result_delta_vs_batch']:.2e}); "
             f"daemon round-trip {report['daemon']['efficiency_vs_inprocess']:.2f}x "
             f"in-process at {report['daemon']['stories']} stories "
-            f"(max result delta {report['daemon']['max_result_delta_vs_batch']:.2e})",
+            f"(max result delta {report['daemon']['max_result_delta_vs_batch']:.2e}); "
+            f"process backend {service['scaling']['process']['speedup_4v1']:.2f}x "
+            f"at 4 workers on {service['scaling']['cpus']} cpus "
+            f"(max delta vs thread "
+            f"{service['scaling']['max_result_delta_process_vs_thread']:.2e})",
             file=sys.stderr,
         )
     return 0

@@ -23,9 +23,11 @@ Three families of checks run:
 * **Hard floors** from the acceptance criteria: the banded operator must
   stay at least 2x faster than dense LU per step at n = 4000, the async
   prediction service at least 2x faster than the sequential per-story loop
-  at corpus size 100, and the daemon's submission round-trip must stay
+  at corpus size 100, the daemon's submission round-trip must stay
   within 2.5x of the in-process service on the same corpus (efficiency
-  floor 0.4).
+  floor 0.4), and the process execution backend must reach a
+  core-count-normalized scaling efficiency of 0.625 at 4 workers vs 1
+  (>= 2.5x speedup on any >=4-core runner).
 
 Each run also appends its dimensionless ratios to
 ``benchmarks/history/ratios.jsonl`` (disable with ``--no-history``), so CI
@@ -66,6 +68,10 @@ CORRECTNESS_CHECKS = (
     # The daemon only adds transport (JSON events round-trip floats
     # exactly), so its streamed results must match the batch path exactly.
     ("daemon.max_result_delta_vs_batch", 1e-12),
+    # The process execution backend moves shard solves to worker processes
+    # but ships the same payloads through the same solver: every process
+    # run must match the single-threaded reference bit for bit.
+    ("service.scaling.max_result_delta_process_vs_thread", 1e-12),
 )
 
 #: Dotted metric paths of within-run speedup ratios gated against the baseline.
@@ -98,6 +104,14 @@ FLOOR_CHECKS = (
     # noise caveat as service.speedup) and exists to catch the dispatch
     # path becoming pathologically slow, not to demand a speedup.
     ("service.logistic.speedup_vs_direct", 0.2),
+    # Acceptance criterion of the process execution backend: >= 2.5x
+    # throughput at 4 workers vs 1 on a calibration-heavy corpus.  The
+    # benchmark normalizes the 4-vs-1 speedup by min(4, cpus) so the gate
+    # demands exactly 2.5/4 on any >=4-core runner while degrading
+    # gracefully on smaller CI boxes (a 1-core machine cannot exhibit
+    # process-level parallelism, only its absence of pathological
+    # overhead is checked).
+    ("service.scaling.process.scaling_efficiency", 0.625),
 )
 
 

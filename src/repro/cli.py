@@ -26,8 +26,11 @@ Five subcommands cover the common workflows without writing any Python:
     Run the long-lived prediction daemon: a JSON-lines protocol over
     stdin/stdout (default) or a Unix-domain socket (``--socket``), serving
     submit/status/stats/shutdown requests against one shared worker pool;
-    ``--autotune`` sizes shards from observed solve times and ``--timeout``
-    sets a default per-story wall-clock deadline.
+    ``--autotune`` sizes shards from observed solve times, ``--timeout``
+    sets a default per-story wall-clock deadline, and ``--executor
+    process --workers N`` runs shard solves on a crash-respawning process
+    pool instead of in-process threads (``serve-batch`` takes the same
+    flags).
 ``submit``
     Submit a story manifest to a running daemon over its socket and stream
     the per-story result events to stdout as they complete.
@@ -175,6 +178,41 @@ def _resolve_model(name: str) -> "str | None":
     return None
 
 
+def _resolve_executor(name: str) -> "str | None":
+    """Validate an executor name against the execution-backend registry.
+
+    Returns an error message (for stderr) when the name is unknown, None
+    when it resolves -- mirroring :func:`_resolve_model`.
+    """
+    from repro.core.errors import UnknownExecutorError
+    from repro.service import get_executor_factory
+
+    try:
+        get_executor_factory(name)
+    except UnknownExecutorError as error:
+        return f"error: {error}"
+    return None
+
+
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    """The shared --executor flag of serve-batch and daemon.
+
+    Runtime-validated (like --model) instead of argparse choices, so
+    backends registered at runtime via register_executor are selectable.
+    """
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        metavar="NAME",
+        help=(
+            "execution backend shard solves run on: 'thread' (in-process "
+            "pool, default) or 'process' (process pool: per-process "
+            "operator caches, crash respawn, scales calibration-heavy "
+            "corpora past the GIL)"
+        ),
+    )
+
+
 def _resolve_solver_config(backend: str, operator: str = "auto") -> "str | None":
     """Validate a (backend, operator) pair against the live engine.
 
@@ -310,8 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=4,
-        help="number of shard solves in flight at once (thread pool size)",
+        help="number of shard solves in flight at once (worker pool size)",
     )
+    _add_executor_argument(serve_batch)
     serve_batch.add_argument(
         "--queue-depth",
         type=int,
@@ -361,8 +400,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=4,
-        help="number of shard solves in flight at once (thread pool size)",
+        help="number of shard solves in flight at once (worker pool size)",
     )
+    _add_executor_argument(daemon)
     daemon.add_argument(
         "--queue-depth",
         type=int,
@@ -731,6 +771,10 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         if model_error is not None:
             print(model_error, file=sys.stderr)
             return 2
+    executor_error = _resolve_executor(args.executor)
+    if executor_error is not None:
+        print(executor_error, file=sys.stderr)
+        return 2
     for flag, value in (
         ("--workers", args.workers),
         ("--queue-depth", args.queue_depth),
@@ -813,6 +857,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             operator=args.operator,
             calibration_batch=not args.sequential_calibration,
             max_workers=args.workers,
+            executor=args.executor,
             queue_depth=args.queue_depth,
             max_shard_size=args.shard_size,
             model=service_model,
@@ -877,7 +922,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     print(
         f"scored {len(succeeded)}/{len(jobs)} {story_word} "
         f"({manifest.metric}, hours 2-{hours}, {args.backend} backend, "
-        f"{stats['shards_solved']} shards, {args.workers} workers)",
+        f"{stats['shards_solved']} shards, {args.workers} {args.executor} workers)",
         file=sys.stderr,
     )
     if succeeded:
@@ -932,6 +977,10 @@ def _command_daemon(args: argparse.Namespace) -> int:
     if model_error is not None:
         print(model_error, file=sys.stderr)
         return 2
+    executor_error = _resolve_executor(args.executor)
+    if executor_error is not None:
+        print(executor_error, file=sys.stderr)
+        return 2
     pool_error = _daemon_pool_errors(args)
     if pool_error is not None:
         print(pool_error, file=sys.stderr)
@@ -942,6 +991,7 @@ def _command_daemon(args: argparse.Namespace) -> int:
         operator=args.operator,
         calibration_batch=not args.sequential_calibration,
         max_workers=args.workers,
+        executor=args.executor,
         queue_depth=args.queue_depth,
         max_shard_size=args.shard_size,
         autotune=args.autotune,
@@ -951,7 +1001,8 @@ def _command_daemon(args: argparse.Namespace) -> int:
         if args.socket:
             print(
                 f"daemon listening on {args.socket} "
-                f"({args.workers} workers, queue depth {args.queue_depth}, "
+                f"({args.workers} {args.executor} workers, "
+                f"queue depth {args.queue_depth}, "
                 f"{'autotuned' if args.autotune else 'fixed'} shards)",
                 file=sys.stderr,
             )

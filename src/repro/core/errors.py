@@ -14,6 +14,9 @@ no matter which model produced it:
 * :class:`UnknownModelError` -- a model name is not in the
   :mod:`repro.models` registry.  Subclasses :class:`KeyError` (it is a
   failed lookup) and carries the registered names for error messages.
+* :class:`UnknownExecutorError` -- an execution-backend name is not in the
+  :mod:`repro.service.execution` registry; same shape as the model error
+  so CLI/service code handles both lookups identically.
 """
 
 from __future__ import annotations
@@ -47,5 +50,28 @@ class UnknownModelError(KeyError):
     def __str__(self) -> str:
         return (
             f"unknown model {self.name!r}; registered models: "
+            f"{sorted(self.available)}"
+        )
+
+
+class UnknownExecutorError(KeyError):
+    """An executor name is not in the execution-backend registry.
+
+    Attributes
+    ----------
+    name:
+        The unknown name that was looked up.
+    available:
+        The names that *are* registered at lookup time.
+    """
+
+    def __init__(self, name: str, available: "tuple[str, ...]") -> None:
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return (
+            f"unknown executor {self.name!r}; registered executors: "
             f"{sorted(self.available)}"
         )

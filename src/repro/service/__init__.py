@@ -12,6 +12,10 @@ job queue so whole corpora of cascades are scored concurrently:
   async worker pool with submit/await/stream APIs, per-job status and
   wall-clock timeouts, cancellation, bounded shard retry with bisection,
   queue-depth backpressure and graceful drain.
+* :mod:`repro.service.execution` -- pluggable :class:`ExecutionBackend`
+  registry deciding *where* shard solves run: the in-process ``thread``
+  pool or the ``process`` pool (picklable :class:`ShardPayload` per shard,
+  per-process operator caches, crashed-worker respawn).
 * :mod:`repro.service.telemetry` -- the in-process
   :class:`MetricsRegistry` (counters, gauges, solve-time histograms) the
   service and daemon report into.
@@ -28,6 +32,20 @@ from repro.service.daemon import (
     DaemonJob,
     PredictionDaemon,
     story_result_payload,
+)
+from repro.service.execution import (
+    ExecutionBackend,
+    ProcessExecutionBackend,
+    ShardPayload,
+    ShardRequest,
+    ThreadExecutionBackend,
+    WorkerCrashError,
+    available_executors,
+    create_executor,
+    get_executor_factory,
+    register_executor,
+    solve_shard_payload,
+    unregister_executor,
 )
 from repro.service.manifest import (
     ManifestError,
@@ -54,6 +72,18 @@ __all__ = [
     "Shard",
     "ShardAutotuner",
     "ShardKey",
+    "ExecutionBackend",
+    "ProcessExecutionBackend",
+    "ShardPayload",
+    "ShardRequest",
+    "ThreadExecutionBackend",
+    "WorkerCrashError",
+    "available_executors",
+    "create_executor",
+    "get_executor_factory",
+    "register_executor",
+    "solve_shard_payload",
+    "unregister_executor",
     "JobCancelledError",
     "JobStatus",
     "JobTimeoutError",

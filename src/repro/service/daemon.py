@@ -157,8 +157,12 @@ class PredictionDaemon:
     **service_kwargs:
         Forwarded to :class:`~repro.service.service.PredictionService`
         (workers, queue depth, shard size, autotune, backend, operator,
-        ...).  All jobs share this one service, so every manifest benefits
-        from the same warmed operator caches and autotuner state.
+        executor -- ``executor="process"`` runs shard solves on a
+        crash-respawning process pool -- ...).  All jobs share this one
+        service, so every manifest benefits from the same warmed operator
+        caches and autotuner state; the ``stats`` event reports the
+        executor kind and worker-pool size the daemon is actually running
+        with.
 
     Call :meth:`serve_unix` (socket) or :meth:`serve_stdio` (pipe) -- both
     run until a ``shutdown`` request (or EOF on stdio) and drain gracefully.

@@ -1,0 +1,427 @@
+"""Pluggable execution backends: where shard solves actually run.
+
+The :class:`~repro.service.service.PredictionService` drains its queue by
+handing each shard to an :class:`ExecutionBackend`.  Two backends are
+registered out of the box (the registry mirrors the solver-backend and
+model registries -- :func:`register_executor` / :func:`create_executor` /
+:func:`available_executors`):
+
+* ``thread`` -- the classic in-process ``ThreadPoolExecutor``.  The numpy
+  solver spends its time in LAPACK/BLAS, which release the GIL, so threads
+  already overlap the linear algebra -- but every shard still shares one
+  Python interpreter, and the pure-Python parts of calibration (grid
+  bookkeeping, multi-start refinement control flow, per-story fitting of
+  the temporal baselines) serialize on the GIL.
+* ``process`` -- a ``concurrent.futures.ProcessPoolExecutor``.  Shards
+  cross the process boundary as picklable :class:`ShardPayload` values
+  (story surfaces plus the :class:`~repro.core.config.ModelSpec`, never
+  live fitter/service objects); each worker process lazily builds and
+  reuses its *own* operator cache (the cache module is process-global, so
+  a worker's second shard with the same spatial signature hits warm
+  factorizations), and a warm-up hook on worker init imports the numerics
+  stack -- optionally pre-solving a representative payload -- so the first
+  real shard does not pay cold-start twice.
+
+Both backends resolve the shard through the same module-level
+:func:`solve_shard_payload`, so the numerics are shared code and the
+process path is bit-identical to the thread path by construction (the
+equivalence tests and the benchmark's ``service.scaling`` section assert
+the delta is exactly zero).
+
+Crash hardening: when a process worker dies mid-shard (OOM kill, segfault,
+``kill -9``), ``ProcessPoolExecutor`` marks the whole pool broken and
+fails *every* in-flight future with ``BrokenProcessPool``.  The process
+backend translates that into a :class:`WorkerCrashError` per affected
+shard and respawns the pool exactly once (idempotent under a lock, however
+many shards observed the same breakage), so the service's poisoned-shard
+bisection machinery retries the affected jobs on fresh workers and a
+deterministically crashing story eventually fails alone -- the daemon
+survives worker death the same way it survives a poisoned surface.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.cascade.density import DensitySurface
+from repro.core.config import ModelSpec
+from repro.core.errors import UnknownExecutorError
+from repro.service.sharding import ShardKey
+
+
+class WorkerCrashError(RuntimeError):
+    """A process worker died while (or before) solving this shard.
+
+    Raised by :meth:`ProcessExecutionBackend.solve` in place of the
+    pool-global ``BrokenProcessPool``, after the pool has been respawned.
+    An ordinary ``Exception`` subclass on purpose: the service routes it
+    through the same bisect-and-requeue path as any other shard-wide solve
+    failure, so the crashed shard is retried (split in half) on the fresh
+    pool instead of sinking the service.
+    """
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """One shard as plain picklable data: everything a worker needs.
+
+    The pickling boundary of the process backend: the shard's signature
+    (:class:`~repro.service.sharding.ShardKey` -- frozen floats/strings/
+    tuples), the resolved model workload
+    (:class:`~repro.core.config.ModelSpec` -- frozen dataclasses) and the
+    observed surfaces (numpy arrays plus plain metadata).  No live fitter,
+    service or event-loop objects ever cross the boundary.
+    """
+
+    key: ShardKey
+    spec: ModelSpec
+    surfaces: "dict[str, DensitySurface]"
+
+
+def solve_shard_payload(
+    payload: ShardPayload,
+) -> "dict[str, object]":
+    """Solve one shard payload: the single shard-numerics path of the service.
+
+    Resolves the shard's model from the registry, fits each story in
+    isolation (a story whose *fit* fails maps to its own exception without
+    poisoning shard-mates) and evaluates every fitted story in one joint
+    call -- for ``dl`` that is the batched spatial-group solve.  Both the
+    thread and the process backend land here, which is what makes their
+    results bit-identical: the backends only choose *where* this function
+    runs, never *how* it computes.
+    """
+    from repro.models.registry import get_model
+
+    key = payload.key
+    fitter = get_model(key.model).batch_fitter(payload.spec)
+    outcomes: "dict[str, object]" = {}
+    fitted: "list[str]" = []
+    for name, surface in payload.surfaces.items():
+        try:
+            fitter.fit_story(name, surface, key.training_times)
+            fitted.append(name)
+        except Exception as error:  # noqa: BLE001 - per-story failure
+            outcomes[name] = error
+    if fitted:
+        results = fitter.evaluate(
+            {name: payload.surfaces[name] for name in fitted},
+            times=key.evaluation_times,
+        )
+        for name in fitted:
+            outcomes[name] = results[name]
+    return outcomes
+
+
+@dataclass
+class ShardRequest:
+    """One shard solve handed to a backend, in both shapes backends need.
+
+    ``run_local`` executes the service's in-process solve path (closing
+    over the live job objects); the thread backend runs it verbatim, so
+    tests that monkeypatch ``PredictionService._solve_shard`` keep
+    intercepting every thread-backend solve.  ``make_payload`` builds the
+    picklable :class:`ShardPayload` for backends that ship the shard out
+    of process; it is a factory so the thread path never pays for it.
+    """
+
+    run_local: "Callable[[], dict[str, object]]"
+    make_payload: "Callable[[], ShardPayload]"
+
+
+class ExecutionBackend(ABC):
+    """Where shard solves run: a started/stopped pool with an async ``solve``.
+
+    The contract with the service: :meth:`solve` returns
+    ``(worker_label, outcomes)`` where ``outcomes`` maps story name to a
+    :class:`~repro.core.prediction.PredictionResult` or the story's own
+    exception; a raise out of :meth:`solve` is a *shard-wide* failure that
+    the service answers with bisect-and-requeue.  ``worker_label`` names
+    the pool member that solved the shard (thread name / process name) and
+    feeds the per-worker metric labels.
+    """
+
+    #: Registry name of the backend kind (``thread`` / ``process``).
+    kind: str = "abstract"
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.workers = int(max_workers)
+
+    @abstractmethod
+    def start(self) -> None:
+        """Create the pool; idempotent."""
+
+    @abstractmethod
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear the pool down; the backend cannot be restarted."""
+
+    @abstractmethod
+    async def solve(
+        self, request: ShardRequest
+    ) -> "tuple[str, dict[str, object]]":
+        """Run one shard; returns ``(worker_label, outcomes)``."""
+
+    def describe(self) -> dict:
+        """Plain-dict state for ``stats`` payloads."""
+        return {"executor": self.kind, "workers": self.workers}
+
+
+class ThreadExecutionBackend(ExecutionBackend):
+    """The classic in-process thread pool (the pre-backend behaviour)."""
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int) -> None:
+        super().__init__(max_workers)
+        self._pool: "ThreadPoolExecutor | None" = None
+
+    def start(self) -> None:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-service"
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    async def solve(
+        self, request: ShardRequest
+    ) -> "tuple[str, dict[str, object]]":
+        import asyncio
+
+        assert self._pool is not None, "backend not started"
+
+        def entry() -> "tuple[str, dict[str, object]]":
+            return threading.current_thread().name, request.run_local()
+
+        return await asyncio.get_running_loop().run_in_executor(self._pool, entry)
+
+
+def _process_worker_init(warmup: "bytes | None") -> None:
+    """Per-worker warm-up, run once when a pool process starts.
+
+    Importing :mod:`repro.models` pulls the whole numerics stack (numpy,
+    scipy, the solver and operator-cache modules) *and* registers the
+    built-in models -- required under the ``spawn`` start method, where
+    children do not inherit the parent's registry state.  An optional
+    pickled :class:`ShardPayload` is then solved and discarded, populating
+    this process's operator cache with the corpus's factorizations so the
+    worker's first real shard starts warm.  Warm-up failures are swallowed:
+    a broken warm-up payload must degrade to a cold first shard, never kill
+    the worker (which would mark the whole pool broken).
+    """
+    import repro.models  # noqa: F401 - imported for its registration side effect
+
+    if warmup:
+        try:
+            solve_shard_payload(pickle.loads(warmup))
+        except Exception:  # noqa: BLE001 - warm-up is best-effort by design
+            pass
+
+
+def _solve_pickled_payload(data: bytes) -> "tuple[str, dict[str, object]]":
+    """Process-pool entry point: unpickle, solve, label with the worker name."""
+    payload = pickle.loads(data)
+    outcomes = solve_shard_payload(payload)
+    return multiprocessing.current_process().name, outcomes
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (Linux), else the platform default.
+
+    Forked workers start in milliseconds and inherit runtime-registered
+    models and module state; ``spawn`` (the macOS/Windows default) pays a
+    full interpreter start per worker but works everywhere --
+    ``_process_worker_init`` re-imports the registry so built-in models
+    resolve under either method.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+class ProcessExecutionBackend(ExecutionBackend):
+    """Shard solving on a ``ProcessPoolExecutor``: past the GIL entirely.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; size it to physical cores for calibration-heavy
+        corpora (each worker duplicates the operator cache, so memory
+        grows linearly with workers).
+    start_method:
+        Multiprocessing start method (``fork`` / ``spawn`` /
+        ``forkserver``); ``None`` picks ``fork`` where available.
+    warmup:
+        Optional :class:`ShardPayload` each new worker solves (and
+        discards) on init, pre-populating its operator cache.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        max_workers: int,
+        start_method: "str | None" = None,
+        warmup: "ShardPayload | None" = None,
+    ) -> None:
+        super().__init__(max_workers)
+        self._start_method = start_method or _default_start_method()
+        self._context = multiprocessing.get_context(self._start_method)
+        self._warmup_bytes = (
+            pickle.dumps(warmup, protocol=pickle.HIGHEST_PROTOCOL)
+            if warmup is not None
+            else None
+        )
+        self._pool: "ProcessPoolExecutor | None" = None
+        self._lock = threading.Lock()
+        self._closed = False
+        self._respawns = 0
+
+    @property
+    def start_method(self) -> str:
+        """The multiprocessing start method in force."""
+        return self._start_method
+
+    @property
+    def respawns(self) -> int:
+        """How many times the pool was replaced after a worker crash."""
+        with self._lock:
+            return self._respawns
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._context,
+            initializer=_process_worker_init,
+            initargs=(self._warmup_bytes,),
+        )
+
+    def start(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("the executor has been shut down")
+            if self._pool is None:
+                self._pool = self._new_pool()
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._closed = True
+            pool = self._pool
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    def _respawn_after(self, broken: ProcessPoolExecutor) -> None:
+        """Replace the broken pool, exactly once per breakage.
+
+        A single worker death breaks the pool for *every* in-flight shard,
+        so several concurrent ``solve`` calls race here with the same pool
+        object; only the first swaps in a fresh pool, the rest see the
+        swap already happened (``self._pool is not broken``) and return.
+        """
+        with self._lock:
+            if self._closed or self._pool is not broken:
+                return
+            self._pool = self._new_pool()
+            self._respawns += 1
+        broken.shutdown(wait=False)
+
+    async def solve(
+        self, request: ShardRequest
+    ) -> "tuple[str, dict[str, object]]":
+        import asyncio
+
+        with self._lock:
+            pool = self._pool
+        assert pool is not None, "backend not started"
+        # Pickle eagerly: an unpicklable payload must fail *this* shard with
+        # a clear error instead of surfacing from the pool's feeder thread.
+        data = pickle.dumps(request.make_payload(), protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                pool, _solve_pickled_payload, data
+            )
+        except BrokenProcessPool as error:
+            self._respawn_after(pool)
+            raise WorkerCrashError(
+                "a process worker died while this shard was in flight; the "
+                "pool has been respawned and the shard will be retried"
+            ) from error
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["start_method"] = self._start_method
+        info["respawns"] = self.respawns
+        return info
+
+
+# ---------------------------------------------------------------------- #
+# Registry (mirrors repro.models.registry)
+# ---------------------------------------------------------------------- #
+#: name -> factory called as ``factory(max_workers=..., **options)``.
+_REGISTRY: "dict[str, Callable[..., ExecutionBackend]]" = {}
+
+
+def register_executor(
+    name: str,
+    factory: "Callable[..., ExecutionBackend]",
+    overwrite: bool = False,
+) -> None:
+    """Register an execution backend under ``name``.
+
+    ``factory`` is called as ``factory(max_workers=..., **options)`` and
+    must return an (unstarted) :class:`ExecutionBackend`.  Re-registering
+    an existing name raises unless ``overwrite=True``, mirroring
+    :func:`repro.models.registry.register_model`.
+    """
+    if not name:
+        raise ValueError("an executor needs a non-empty name")
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(
+            f"executor {name!r} is already registered; pass overwrite=True "
+            f"to replace it"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_executor(name: str) -> None:
+    """Remove a registered backend (unknown names raise)."""
+    if name not in _REGISTRY:
+        raise UnknownExecutorError(name, available_executors())
+    del _REGISTRY[name]
+
+
+def available_executors() -> "tuple[str, ...]":
+    """Registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_executor_factory(name: str) -> "Callable[..., ExecutionBackend]":
+    """The factory registered under ``name`` (unknown names raise)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownExecutorError(name, available_executors()) from None
+
+
+def create_executor(
+    name: str,
+    max_workers: int,
+    options: "Mapping[str, object] | None" = None,
+) -> ExecutionBackend:
+    """Instantiate (without starting) the backend registered under ``name``."""
+    factory = get_executor_factory(name)
+    return factory(max_workers=max_workers, **dict(options or {}))
+
+
+register_executor("thread", ThreadExecutionBackend, overwrite=True)
+register_executor("process", ProcessExecutionBackend, overwrite=True)

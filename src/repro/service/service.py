@@ -14,9 +14,13 @@ whole corpora of cascades:
   dispatched batch shares its cached operator factorizations and advances as
   the columns of one vectorised PDE solve.
 * **drain** -- a bounded worker pool offloads the numpy-heavy shard solves
-  to threads (the solver spends its time in LAPACK/BLAS, which release the
-  GIL), while the asyncio side stays responsive for submissions, streaming
-  and cancellation.
+  through a pluggable :class:`~repro.service.execution.ExecutionBackend`:
+  ``executor="thread"`` (the default) keeps the classic in-process thread
+  pool (the solver spends its time in LAPACK/BLAS, which release the GIL),
+  ``executor="process"`` ships picklable shard payloads to a
+  ``ProcessPoolExecutor`` and scales calibration-heavy corpora past the
+  GIL entirely; either way the asyncio side stays responsive for
+  submissions, streaming and cancellation.
 * **backpressure** -- at most ``queue_depth`` jobs may be queued or running;
   further ``submit`` calls suspend until capacity frees up, so an unbounded
   producer cannot exhaust memory.
@@ -51,7 +55,6 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import AsyncIterator, Iterable, Mapping, Sequence
@@ -67,6 +70,15 @@ from repro.core.config import (
 from repro.core.parameters import DLParameters
 from repro.core.prediction import PredictionResult
 from repro.models.registry import get_model
+from repro.service.execution import (
+    ExecutionBackend,
+    ShardPayload,
+    ShardRequest,
+    WorkerCrashError,
+    create_executor,
+    get_executor_factory,
+    solve_shard_payload,
+)
 from repro.service.sharding import CorpusSharder, ShardAutotuner, ShardKey
 from repro.service.telemetry import MetricsRegistry
 
@@ -192,6 +204,23 @@ class PredictionService:
         Model-specific options for the default model
         (:attr:`~repro.core.config.ModelSpec.params`), e.g.
         ``{"ridge": 1e-3}`` for ``linear-influence``.
+    model_overrides:
+        Per-model params for *non-default* models submitted via
+        ``submit(..., model=...)``, keyed by registry name, e.g.
+        ``{"linear-influence": {"ridge": 10.0}}``.  Before this knob
+        existed, override models silently ran with registry defaults no
+        matter what the caller configured; every model name is validated
+        against the registry at construction.
+    executor:
+        Name of the :mod:`~repro.service.execution` backend shard solves
+        run on: ``"thread"`` (default, the in-process pool) or
+        ``"process"`` (a ``ProcessPoolExecutor``: picklable shard payloads,
+        per-process operator caches, crash respawn -- scales
+        calibration-heavy corpora past the GIL).
+    executor_options:
+        Extra keyword arguments for the backend factory, e.g.
+        ``{"start_method": "spawn"}`` or a ``warmup`` payload for the
+        process backend.
     solver, calibration:
         Typed configs (:class:`~repro.core.config.SolverConfig` /
         :class:`~repro.core.config.CalibrationConfig`); the legacy knobs
@@ -252,6 +281,9 @@ class PredictionService:
         *,
         model: str = "dl",
         model_params: "Mapping[str, object] | None" = None,
+        model_overrides: "Mapping[str, Mapping[str, object]] | None" = None,
+        executor: str = "thread",
+        executor_options: "Mapping[str, object] | None" = None,
         solver: "SolverConfig | None" = None,
         calibration: "CalibrationConfig | None" = None,
     ) -> None:
@@ -266,6 +298,14 @@ class PredictionService:
                 f"max_shard_retries must be >= 0, got {max_shard_retries}"
             )
         get_model(model)  # fail fast on unknown default models
+        get_executor_factory(executor)  # ... and on unknown executors
+        for override_model in model_overrides or {}:
+            if override_model == model:
+                raise ValueError(
+                    f"model_overrides names the default model {model!r}; "
+                    f"pass its params via model_params= instead"
+                )
+            get_model(override_model)
         if parameters is not None and model != "dl":
             raise ValueError(
                 f"parameters= carries DL parameters but the default model is "
@@ -291,6 +331,12 @@ class PredictionService:
             model=model,
             max_shard_size=max_shard_size,
         )
+        self._model_overrides = {
+            name: dict(params) for name, params in (model_overrides or {}).items()
+        }
+        self._override_specs: "dict[str, ModelSpec]" = {}
+        self._executor_name = executor
+        self._executor_options = dict(executor_options or {})
         self._max_workers = max_workers
         self._queue_depth = queue_depth
         self._max_shard_size = max_shard_size
@@ -323,7 +369,7 @@ class PredictionService:
         self._kick: "asyncio.Event | None" = None
         self._dispatcher: "asyncio.Task | None" = None
         self._inflight: "set[asyncio.Task]" = set()
-        self._executor: "ThreadPoolExecutor | None" = None
+        self._backend: "ExecutionBackend | None" = None
         self._counts = {status: 0 for status in JobStatus}
         self._shards_solved = 0
         self._shards_retried = 0
@@ -370,9 +416,13 @@ class PredictionService:
         self._slots = asyncio.Semaphore(self._queue_depth)
         self._workers = asyncio.Semaphore(self._max_workers)
         self._kick = asyncio.Event()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self._max_workers, thread_name_prefix="repro-service"
+        self._backend = create_executor(
+            self._executor_name, self._max_workers, self._executor_options
         )
+        self._backend.start()
+        self._metrics.gauge(
+            "service.worker_pool_size", labels={"executor": self._backend.kind}
+        ).set(self._max_workers)
         self._dispatcher = asyncio.get_running_loop().create_task(self._dispatch_loop())
         self._started = True
         return self
@@ -419,13 +469,13 @@ class PredictionService:
             self._pending.clear()
             self._requeued.clear()
         await self.drain()
-        assert self._dispatcher is not None and self._executor is not None
+        assert self._dispatcher is not None and self._backend is not None
         self._dispatcher.cancel()
         try:
             await self._dispatcher
         except asyncio.CancelledError:
             pass
-        self._executor.shutdown(wait=True)
+        self._backend.shutdown(wait=True)
         self._closed = True
 
     async def __aenter__(self) -> "PredictionService":
@@ -582,7 +632,18 @@ class PredictionService:
             "queue_depth": self._queue_depth,
             "max_workers": self._max_workers,
             "max_shard_size": self._max_shard_size,
+            # Worker-pool identity: what this service is actually running
+            # on, for operators reading `stats` / `daemon-stats`.  The
+            # backend's describe() adds kind-specific detail (the process
+            # backend reports its start method and crash-respawn count).
+            "executor": self._executor_name,
+            "workers": self._max_workers,
         }
+        stats["executor_info"] = (
+            self._backend.describe()
+            if self._backend is not None
+            else {"executor": self._executor_name, "workers": self._max_workers}
+        )
         if self._autotune:
             default = self._autotuners.get(self._spec.name)
             if default is not None:
@@ -764,7 +825,7 @@ class PredictionService:
 
     async def _run_shard(self, jobs: "list[PredictionJob]") -> None:
         assert self._workers is not None and self._slots is not None
-        assert self._executor is not None
+        assert self._backend is not None
         # A job can be cancelled or expire between dispatch and this task
         # running; those completion paths already ran, so only still-pending
         # jobs belong to this shard.  No await separates the filter from the
@@ -777,12 +838,24 @@ class PredictionService:
             self._transition(job, JobStatus.RUNNING)
         try:
             start = time.perf_counter()
-            outcomes = await asyncio.get_running_loop().run_in_executor(
-                self._executor, self._solve_shard, jobs
+            request = ShardRequest(
+                # The thread backend runs the service method (so tests that
+                # monkeypatch _solve_shard intercept every solve); the
+                # process backend ships the picklable payload instead.
+                run_local=lambda: self._solve_shard(jobs),
+                make_payload=lambda: self._payload_for(jobs),
             )
+            worker, outcomes = await self._backend.solve(request)
             elapsed = time.perf_counter() - start
+            worker_label = {"worker": worker}
             self._shard_seconds.observe(elapsed)
             self._story_seconds.observe(elapsed / len(jobs))
+            # Per-worker duplicates of the solve histogram and counters
+            # below make pool utilization visible in the Prometheus export
+            # without perturbing the unlabelled totals.
+            self._metrics.histogram(
+                "service.shard_solve_seconds", labels=worker_label
+            ).observe(elapsed)
             tuner = self._autotuner_for(jobs[0].key.model)
             if tuner is not None:
                 tuner.observe(len(jobs), elapsed)
@@ -803,11 +876,21 @@ class PredictionService:
                 self._shards_solved += 1
                 self._stories_solved += solved
                 self._metrics.counter("service.shards_solved").inc()
+                self._metrics.counter(
+                    "service.shards_solved", labels=worker_label
+                ).inc()
                 self._metrics.counter("service.stories_solved").inc(solved)
                 self._metrics.counter(
                     "service.stories_solved", labels={"model": jobs[0].key.model}
                 ).inc(solved)
+                self._metrics.counter(
+                    "service.stories_solved", labels=worker_label
+                ).inc(solved)
         except Exception as error:  # noqa: BLE001 - failures surface via job.wait()
+            if isinstance(error, WorkerCrashError):
+                # The backend already respawned its pool; count the crash so
+                # operators can tell worker death from poisoned shards.
+                self._metrics.counter("service.worker_crashes").inc()
             self._fail_or_requeue([job for job in jobs if not job.done], error)
         finally:
             self._workers.release()
@@ -816,15 +899,32 @@ class PredictionService:
         """The workload spec of one shard's model.
 
         The default model keeps the service's full spec (including any
-        explicit DL parameters); per-story overrides run with the shared
-        solver/calibration configs and no model-specific params.
+        explicit DL parameters); per-story override models run with the
+        shared solver/calibration configs plus their ``model_overrides``
+        params -- before that mapping existed, overridden params were
+        silently dropped here and override models always ran with registry
+        defaults.  Specs are cached per model (they are frozen).
         """
         if model_name == self._spec.name:
             return self._spec
-        return ModelSpec(
-            name=model_name,
-            solver=self._spec.solver,
-            calibration=self._spec.calibration,
+        spec = self._override_specs.get(model_name)
+        if spec is None:
+            spec = ModelSpec(
+                name=model_name,
+                params=self._model_overrides.get(model_name, {}),
+                solver=self._spec.solver,
+                calibration=self._spec.calibration,
+            )
+            self._override_specs[model_name] = spec
+        return spec
+
+    def _payload_for(self, jobs: "list[PredictionJob]") -> ShardPayload:
+        """The shard as plain picklable data (the process backend's input)."""
+        key = jobs[0].key
+        return ShardPayload(
+            key=key,
+            spec=self._spec_for(key.model),
+            surfaces={job.name: job.surface for job in jobs},
         )
 
     def _solve_shard(
@@ -832,33 +932,19 @@ class PredictionService:
     ) -> "dict[str, PredictionResult | BaseException]":
         """Synchronous shard solve, run on a worker thread.
 
-        The shard's model is resolved from the registry by the shard key's
-        model name; for ``dl`` the fitter wraps the synchronous
-        :class:`~repro.core.prediction.BatchPredictor` verbatim, so results
-        stay bit-identical to the classic path and keep its batched
-        spatial-group solves.  A story whose *fit* fails (bad surface,
-        calibration error) is mapped to its own exception without poisoning
-        its shard-mates; only a failure of the joint evaluate solve is
-        shard-wide (and surfaces through the caller's except path).
+        A thin wrapper over the backend-shared
+        :func:`~repro.service.execution.solve_shard_payload` (the single
+        shard-numerics path): the shard's model is resolved from the
+        registry by the shard key's model name; for ``dl`` the fitter wraps
+        the synchronous :class:`~repro.core.prediction.BatchPredictor`
+        verbatim, so results stay bit-identical to the classic path and
+        keep its batched spatial-group solves.  A story whose *fit* fails
+        (bad surface, calibration error) is mapped to its own exception
+        without poisoning its shard-mates; only a failure of the joint
+        evaluate solve is shard-wide (and surfaces through the caller's
+        except path).
         """
-        key = jobs[0].key
-        fitter = get_model(key.model).batch_fitter(self._spec_for(key.model))
-        outcomes: "dict[str, PredictionResult | BaseException]" = {}
-        fitted = []
-        for job in jobs:
-            try:
-                fitter.fit_story(job.name, job.surface, key.training_times)
-                fitted.append(job)
-            except Exception as error:  # noqa: BLE001 - per-story failure
-                outcomes[job.name] = error
-        if fitted:
-            results = fitter.evaluate(
-                {job.name: job.surface for job in fitted},
-                times=key.evaluation_times,
-            )
-            for job in fitted:
-                outcomes[job.name] = results[job.name]
-        return outcomes
+        return solve_shard_payload(self._payload_for(jobs))
 
 
 def score_corpus_sync(

@@ -209,6 +209,79 @@ class TestMixedModelCorpus:
             )
 
 
+class TestModelOverrideParams:
+    def test_override_params_reach_the_override_model(self, corpus):
+        # Regression: per-model params for *non-default* models used to be
+        # dropped on the shard-solving path, so an override model always ran
+        # with registry defaults no matter what the caller configured.
+        pool_percent = 80.0
+        story = {"story0": corpus["story0"]}
+
+        async def run():
+            async with PredictionService(
+                parameters=PAPER_S1_HOP_PARAMETERS,
+                solver=SOLVER,
+                model_overrides={"sis": {"pool_percent": pool_percent}},
+            ) as service:
+                job = await service.submit(
+                    "story0",
+                    corpus["story0"],
+                    TRAINING_TIMES,
+                    EVALUATION_TIMES,
+                    model="sis",
+                )
+                return await job.wait()
+
+        served = asyncio.run(run())
+        tuned = direct_results(
+            "sis",
+            story,
+            ModelSpec(
+                name="sis", params={"pool_percent": pool_percent}, solver=SOLVER
+            ),
+        )["story0"]
+        default = direct_results(
+            "sis", story, ModelSpec(name="sis", solver=SOLVER)
+        )["story0"]
+
+        assert served.diagnostics["calibration"]["pool_percent"] == pool_percent
+        assert np.array_equal(served.predicted.values, tuned.predicted.values)
+        # The override must actually change the fit, or this test proves
+        # nothing: the configured pool shifts the SIS saturation level.
+        assert not np.array_equal(tuned.predicted.values, default.predicted.values)
+
+    def test_override_params_are_validated_like_direct_params(self, corpus):
+        async def run():
+            async with PredictionService(
+                parameters=PAPER_S1_HOP_PARAMETERS,
+                solver=SOLVER,
+                model_overrides={"linear-influence": {"frobnicate": 1}},
+            ) as service:
+                job = await service.submit(
+                    "story0",
+                    corpus["story0"],
+                    TRAINING_TIMES,
+                    EVALUATION_TIMES,
+                    model="linear-influence",
+                )
+                with pytest.raises(ValueError, match="does not understand params"):
+                    await job.wait()
+
+        asyncio.run(run())
+
+    def test_default_model_key_rejected(self):
+        with pytest.raises(ValueError, match="model_params"):
+            PredictionService(
+                solver=SOLVER, model_overrides={"dl": {"parameters": None}}
+            )
+
+    def test_unknown_override_model_rejected(self):
+        with pytest.raises(UnknownModelError):
+            PredictionService(
+                solver=SOLVER, model_overrides={"frobnicate": {"x": 1}}
+            )
+
+
 class TestCompareModels:
     def test_head_to_head_covers_requested_models(self, corpus):
         small = {name: corpus[name] for name in list(corpus)[:2]}

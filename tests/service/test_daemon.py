@@ -340,10 +340,37 @@ class TestStatusAndStats:
         assert stats["uptime_seconds"] > 0.0
         assert stats["service"]["succeeded"] == 1
         assert stats["service"]["autotuner"]["observations"] == 1
+        # The worker-pool identity travels through daemon-stats, so
+        # operators can tell a process-backed daemon from a thread-backed
+        # one without reading its launch flags.
+        assert stats["service"]["executor"] == "thread"
+        assert stats["service"]["workers"] == stats["service"]["max_workers"]
+        assert stats["service"]["executor_info"]["executor"] == "thread"
         metrics = stats["metrics"]
         assert metrics["daemon.jobs_submitted"] == 1
         assert metrics["service.jobs_succeeded"] == 1
         assert metrics["service.shard_solve_seconds"]["count"] == 1
+        assert metrics['service.worker_pool_size{executor="thread"}'] >= 1
+
+    def test_daemon_runs_on_the_process_executor(self, tmp_path):
+        # The daemon forwards executor selection to its service; results
+        # must stream back from process workers exactly like thread ones.
+        async def run():
+            async with running_daemon(
+                tmp_path, executor="process", max_workers=2
+            ) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    outcome = await collect_submission(
+                        client, manifest_payload(inline_story("a"))
+                    )
+                    return outcome, await client.stats()
+
+        (accepted, results, job_event, errors), stats = asyncio.run(run())
+        assert not errors
+        assert results["a"]["status"] == "succeeded"
+        assert stats["service"]["executor"] == "process"
+        assert stats["service"]["executor_info"]["respawns"] == 0
+        assert stats["service"]["executor_info"]["start_method"]
 
 
 class TestShutdown:

@@ -344,6 +344,43 @@ class TestServeBatch:
         # --output mirrors the streamed lines.
         assert json.loads(output.read_text().strip()) == record
 
+    def test_process_executor_matches_thread_run(self, tmp_path, capsys):
+        inline = {
+            "name": "cascade-1",
+            "distances": [1, 2, 3, 4, 5],
+            "times": [1, 2, 3, 4],
+            "values": [
+                [5.0, 2.0, 2.5, 1.5, 1.0],
+                [7.0, 3.0, 3.5, 2.0, 1.4],
+                [9.0, 4.2, 4.6, 2.6, 1.9],
+                [11.0, 5.5, 5.8, 3.3, 2.5],
+            ],
+        }
+        manifest = write_manifest(tmp_path, {"hours": 4, "stories": [inline]})
+        assert main(["serve-batch", "--manifest", manifest]) == 0
+        reference = json.loads(capsys.readouterr().out.strip())
+        exit_code = main(
+            ["serve-batch", "--manifest", manifest, "--executor", "process",
+             "--workers", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "2 process workers" in captured.err
+        # JSON floats round-trip exactly: the whole record must compare equal.
+        assert json.loads(captured.out.strip()) == reference
+
+    def test_unknown_executor_exits_with_registered_list(self, tmp_path, capsys):
+        manifest = write_manifest(tmp_path, {"hours": 4, "stories": []})
+        exit_code = main(
+            ["serve-batch", "--manifest", manifest, "--executor", "frobnicate"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert captured.err.startswith("error:")
+        assert "frobnicate" in captured.err
+        for registered in ("'thread'", "'process'"):
+            assert registered in captured.err
+
     def test_empty_manifest_exits_with_distinct_message(self, tmp_path, capsys):
         manifest = write_manifest(tmp_path, {"stories": []})
         exit_code = main(["serve-batch", "--manifest", manifest])
