@@ -38,6 +38,13 @@ dimensions cover the PR-2/PR-3 machinery:
   scored through the in-process service, with the result delta against the
   synchronous batch reference (the protocol must add transport, never
   numerics).
+* ``corpus.io`` -- the columnar corpus store vs the inline manifest path at
+  1k (and, without ``--quick``, 10k) generated stories: open+resolve wall
+  time (the store's lazy handles vs parsing every surface out of JSON),
+  exact per-story result parity of the two paths, and a bounded-RSS check
+  in fresh subprocesses (scoring from the store must fit in a baseline +
+  64 MB + corpus-bytes/4 budget -- the "never holds all surfaces in
+  memory" criterion).
 * ``convergence`` (opt-in via ``--convergence``) -- the spatial-resolution
   study: predicted accuracy and solve time vs ``points_per_unit`` on the
   banded operator stack, against the finest grid as reference.
@@ -296,6 +303,7 @@ def best_of(run, repeats: int = 2) -> "tuple[float, object]":
 SERVICE_TRAINING_TIMES = tuple(float(t) for t in range(1, 7))
 SERVICE_EVALUATION_TIMES = SERVICE_TRAINING_TIMES[1:]
 SERVICE_SOLVER = dict(points_per_unit=12, max_step=0.02)
+SERVICE_SOLVER_CONFIG = SolverConfig(**SERVICE_SOLVER)
 
 
 def _service_corpus(size: int) -> dict:
@@ -363,14 +371,14 @@ def run_service_benchmark(quick: bool = False) -> dict:
             results = {}
             for name, surface in corpus.items():
                 predictor = DiffusionPredictor(
-                    parameters=parameters, **SERVICE_SOLVER
+                    parameters=parameters, solver=SERVICE_SOLVER_CONFIG
                 ).fit(surface, training_times=training)
                 results[name] = predictor.evaluate(surface, times=evaluation)
             return results
 
         def run_batch():
             return (
-                BatchPredictor(parameters=parameters, **SERVICE_SOLVER)
+                BatchPredictor(parameters=parameters, solver=SERVICE_SOLVER_CONFIG)
                 .fit(corpus, training_times=training)
                 .evaluate(corpus, times=evaluation)
             )
@@ -381,7 +389,7 @@ def run_service_benchmark(quick: bool = False) -> dict:
                 training_times=training,
                 evaluation_times=evaluation,
                 parameters=parameters,
-                **SERVICE_SOLVER,
+                solver=SERVICE_SOLVER_CONFIG,
             )
 
         sequential_seconds, sequential = best_of(run_sequential, repeats)
@@ -459,7 +467,7 @@ def run_service_model_benchmark(model: str = "logistic", quick: bool = False) ->
             training_times=training,
             evaluation_times=evaluation,
             model=model,
-            **SERVICE_SOLVER,
+            solver=SERVICE_SOLVER_CONFIG,
         )
 
     direct_seconds, direct_results = best_of(run_direct)
@@ -525,7 +533,7 @@ def run_service_scaling_benchmark(quick: bool = False) -> dict:
             max_workers=workers,
             max_shard_size=1,
             executor=executor,
-            **SERVICE_SOLVER,
+            solver=SERVICE_SOLVER_CONFIG,
         )
         return time.perf_counter() - start, results
 
@@ -620,7 +628,7 @@ def run_daemon_benchmark(quick: bool = False) -> dict:
             training_times=training,
             evaluation_times=evaluation,
             parameters=parameters,
-            **SERVICE_SOLVER,
+            solver=SERVICE_SOLVER_CONFIG,
         ),
         repeats,
     )
@@ -628,7 +636,9 @@ def run_daemon_benchmark(quick: bool = False) -> dict:
     async def daemon_roundtrip() -> "tuple[float, dict]":
         with tempfile.TemporaryDirectory() as tmpdir:
             socket_path = os.path.join(tmpdir, "bench.sock")
-            daemon = PredictionDaemon(parameters=parameters, **SERVICE_SOLVER)
+            daemon = PredictionDaemon(
+                parameters=parameters, solver=SERVICE_SOLVER_CONFIG
+            )
             server = asyncio.ensure_future(daemon.serve_unix(socket_path))
             while not os.path.exists(socket_path):
                 await asyncio.sleep(0.005)
@@ -653,7 +663,7 @@ def run_daemon_benchmark(quick: bool = False) -> dict:
             roundtrip_seconds, daemon_results = elapsed, results
 
     batch_results = (
-        BatchPredictor(parameters=parameters, **SERVICE_SOLVER)
+        BatchPredictor(parameters=parameters, solver=SERVICE_SOLVER_CONFIG)
         .fit(corpus, training_times=training)
         .evaluate(corpus, times=evaluation)
     )
@@ -687,6 +697,177 @@ def run_daemon_benchmark(quick: bool = False) -> dict:
         "efficiency_vs_inprocess": inprocess_seconds / roundtrip_seconds,
         "max_result_delta_vs_batch": max_delta,
     }
+
+
+CORPUS_IO_SOLVER = SolverConfig(points_per_unit=4, max_step=0.25)
+
+#: The RSS-measurement child: open a corpus (store directory or inline
+#: manifest), resolve it, optionally score it in 512-story chunks keeping
+#: only accuracy floats (the streaming-consumer pattern the store exists
+#: for), and report the process's peak RSS.  Run as a fresh subprocess so
+#: ``ru_maxrss`` -- which is monotone over a process's lifetime -- is not
+#: inflated by the parent's earlier benchmark sections.
+_CORPUS_RSS_CHILD = """
+import json, resource, sys
+
+from repro.core.config import SolverConfig
+from repro.core.parameters import PAPER_S1_HOP_PARAMETERS
+from repro.service import open_corpus, score_corpus_sync
+
+path, mode = sys.argv[1], sys.argv[2]
+training = [float(t) for t in range(1, 7)]
+resolved = open_corpus(path).resolve(training_times=training)
+names = list(resolved.surfaces)
+scored = 0
+if mode == "score":
+    for start in range(0, len(names), 512):
+        chunk = {name: resolved.surfaces[name] for name in names[start : start + 512]}
+        results = score_corpus_sync(
+            chunk,
+            training_times=training,
+            evaluation_times=training[1:],
+            parameters=PAPER_S1_HOP_PARAMETERS,
+            solver=SolverConfig(points_per_unit=4, max_step=0.25),
+        )
+        scored += sum(1 for r in results.values() if r.overall_accuracy is not None)
+print(json.dumps({
+    "stories": len(names),
+    "scored": scored,
+    "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+}))
+"""
+
+
+def _corpus_rss_child(path: str, mode: str) -> dict:
+    """Run the RSS child against ``path`` and return its JSON report."""
+    import subprocess
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _CORPUS_RSS_CHILD, path, mode],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(completed.stdout)
+
+
+def run_corpus_io_benchmark(quick: bool = False) -> dict:
+    """Corpus store vs inline manifest: load time, result parity, bounded RSS.
+
+    For each corpus size, a seeded synthetic workload is generated straight
+    into a corpus store (:func:`repro.corpus.generate_store`), exported to
+    the equivalent inline manifest (JSON floats round-trip exactly), and
+    both are opened through :func:`repro.service.open_corpus`:
+
+    * ``load`` -- wall time of open+resolve for each path.  The store hands
+      back lazy handles (axes from the index, one memory-mapped row for the
+      empty-anchor check), the inline path parses every surface out of
+      JSON; ``load_speedup_vs_inline`` is floor-gated at the largest size.
+    * ``score`` -- both resolved corpora scored through
+      :func:`score_corpus_sync` with the paper's explicit S1 parameters;
+      ``max_result_delta_vs_inline`` is the largest per-story difference in
+      predicted densities and must be exactly 0 (the store is float64
+      lossless, so lazy-loading must not change a single bit).
+    * ``rss`` -- at the largest size, two fresh subprocesses measure peak
+      RSS: a baseline child that only opens and resolves the store, and a
+      scoring child that streams the whole corpus through the service in
+      512-story chunks.  ``rss_budget_excess_bytes`` is the scoring child's
+      RSS over baseline minus a budget of 64 MB + a quarter of the corpus's
+      surface bytes -- gated at <= 0, the "never holds all surfaces in
+      memory" acceptance criterion.
+    """
+    from repro.corpus import WorkloadConfig, export_inline_manifest, generate_store
+    from repro.service import open_corpus
+
+    sizes = (1000,) if quick else (1000, 10000)
+    training = list(SERVICE_TRAINING_TIMES)
+    evaluation = list(SERVICE_EVALUATION_TIMES)
+    report = {"sizes": {}, "solver": CORPUS_IO_SOLVER.to_json_dict()}
+    max_delta = 0.0
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        for size in sizes:
+            store_dir = os.path.join(tmpdir, f"store-{size}")
+            inline_path = os.path.join(tmpdir, f"inline-{size}.json")
+            config = WorkloadConfig(stories=size)
+            build_start = time.perf_counter()
+            store = generate_store(config, store_dir)
+            build_seconds = time.perf_counter() - build_start
+            with open(inline_path, "w", encoding="utf-8") as handle:
+                json.dump(export_inline_manifest(store), handle)
+
+            def load(path):
+                return open_corpus(path).resolve(training_times=training)
+
+            inline_load_seconds, inline_resolved = best_of(
+                lambda: load(inline_path), repeats=2
+            )
+            store_load_seconds, store_resolved = best_of(
+                lambda: load(store_dir), repeats=2
+            )
+
+            def score(resolved):
+                return score_corpus_sync(
+                    resolved.surfaces,
+                    training_times=training,
+                    evaluation_times=evaluation,
+                    parameters=PAPER_S1_HOP_PARAMETERS,
+                    solver=CORPUS_IO_SOLVER,
+                )
+
+            inline_score_seconds, inline_results = best_of(
+                lambda: score(inline_resolved), repeats=1
+            )
+            store_score_seconds, store_results = best_of(
+                lambda: score(store_resolved), repeats=1
+            )
+            delta = max(
+                float(
+                    np.max(
+                        np.abs(
+                            store_results[name].predicted.values
+                            - inline_results[name].predicted.values
+                        )
+                    )
+                )
+                for name in store_results
+            )
+            max_delta = max(max_delta, delta)
+            entry = {
+                "stories": size,
+                "build_seconds": build_seconds,
+                "surface_mbytes": store.total_surface_nbytes / 1e6,
+                "inline_load_seconds": inline_load_seconds,
+                "store_load_seconds": store_load_seconds,
+                "load_speedup_vs_inline": inline_load_seconds / store_load_seconds,
+                "inline_score_seconds": inline_score_seconds,
+                "store_score_seconds": store_score_seconds,
+                "max_result_delta_vs_inline": delta,
+            }
+            report["sizes"][str(size)] = entry
+            if size == max(sizes):
+                report["load_speedup_vs_inline"] = entry["load_speedup_vs_inline"]
+                baseline = _corpus_rss_child(store_dir, "resolve")
+                scoring = _corpus_rss_child(store_dir, "score")
+                assert scoring["scored"] == size, scoring
+                budget_bytes = 64 * 1024 * 1024 + store.total_surface_nbytes // 4
+                excess = (
+                    (scoring["ru_maxrss_kb"] - baseline["ru_maxrss_kb"]) * 1024
+                    - budget_bytes
+                )
+                report["rss"] = {
+                    "stories": size,
+                    "baseline_rss_kb": baseline["ru_maxrss_kb"],
+                    "scoring_rss_kb": scoring["ru_maxrss_kb"],
+                    "budget_bytes": budget_bytes,
+                }
+                report["rss_budget_excess_bytes"] = float(excess)
+    report["max_result_delta_vs_inline"] = max_delta
+    return report
 
 
 def run_convergence_benchmark(quick: bool = False) -> dict:
@@ -854,6 +1035,11 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             "scaling": run_service_scaling_benchmark(quick=quick),
         },
         "daemon": run_daemon_benchmark(quick=quick),
+        "corpus": {
+            # Store vs inline manifest: load speedup (floor-gated), exact
+            # result parity and the bounded-RSS budget (both delta-gated).
+            "io": run_corpus_io_benchmark(quick=quick),
+        },
     }
 
 
@@ -912,7 +1098,12 @@ def main(argv=None) -> int:
             f"process backend {service['scaling']['process']['speedup_4v1']:.2f}x "
             f"at 4 workers on {service['scaling']['cpus']} cpus "
             f"(max delta vs thread "
-            f"{service['scaling']['max_result_delta_process_vs_thread']:.2e})",
+            f"{service['scaling']['max_result_delta_process_vs_thread']:.2e}); "
+            f"corpus store load {report['corpus']['io']['load_speedup_vs_inline']:.1f}x "
+            f"inline (max result delta "
+            f"{report['corpus']['io']['max_result_delta_vs_inline']:.2e}, "
+            f"RSS budget excess "
+            f"{report['corpus']['io']['rss_budget_excess_bytes'] / 1e6:.1f} MB)",
             file=sys.stderr,
         )
     return 0

@@ -25,9 +25,11 @@ Three families of checks run:
   prediction service at least 2x faster than the sequential per-story loop
   at corpus size 100, the daemon's submission round-trip must stay
   within 2.5x of the in-process service on the same corpus (efficiency
-  floor 0.4), and the process execution backend must reach a
+  floor 0.4), the process execution backend must reach a
   core-count-normalized scaling efficiency of 0.625 at 4 workers vs 1
-  (>= 2.5x speedup on any >=4-core runner).
+  (>= 2.5x speedup on any >=4-core runner), and the corpus store must
+  open+resolve at least 2x faster than the inline-manifest path while
+  scoring bit-identically inside its bounded-RSS budget.
 
 Each run also appends its dimensionless ratios to
 ``benchmarks/history/ratios.jsonl`` (disable with ``--no-history``), so CI
@@ -72,6 +74,14 @@ CORRECTNESS_CHECKS = (
     # but ships the same payloads through the same solver: every process
     # run must match the single-threaded reference bit for bit.
     ("service.scaling.max_result_delta_process_vs_thread", 1e-12),
+    # The corpus store is a lossless float64 container: scoring lazily from
+    # the store must match the inline-manifest path bit for bit.
+    ("corpus.io.max_result_delta_vs_inline", 1e-12),
+    # The bounded-RSS acceptance criterion: scoring a whole generated
+    # corpus from the store (streamed in chunks, fresh subprocess) must fit
+    # in baseline + 64 MB + corpus-bytes/4 -- a positive excess means the
+    # lazy path started materializing the corpus.
+    ("corpus.io.rss_budget_excess_bytes", 0.0),
 )
 
 #: Dotted metric paths of within-run speedup ratios gated against the baseline.
@@ -112,6 +122,12 @@ FLOOR_CHECKS = (
     # process-level parallelism, only its absence of pathological
     # overhead is checked).
     ("service.scaling.process.scaling_efficiency", 0.625),
+    # Acceptance criterion of the corpus store: opening + resolving a
+    # generated corpus from the store (lazy handles off the index) must be
+    # at least 2x faster than parsing the equivalent inline manifest.
+    # A corpus-level wall-clock ratio (same noise caveat as
+    # service.speedup), so it is floor-gated rather than baseline-banded.
+    ("corpus.io.load_speedup_vs_inline", 2.0),
 )
 
 

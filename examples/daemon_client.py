@@ -29,6 +29,7 @@ from repro import (
     DiffusiveLogisticModel,
     InitialDensity,
 )
+from repro.core.config import SolverConfig
 from repro.service import DaemonClient, PredictionDaemon
 
 HOURS = 6
@@ -79,8 +80,7 @@ async def main() -> None:
         # own process and skip straight to DaemonClient.connect_unix.
         daemon = PredictionDaemon(
             parameters=PAPER_S1_HOP_PARAMETERS,
-            points_per_unit=12,
-            max_step=0.02,
+            solver=SolverConfig(points_per_unit=12, max_step=0.02),
             max_workers=4,
             autotune=True,
         )

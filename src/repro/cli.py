@@ -47,6 +47,14 @@ Five subcommands cover the common workflows without writing any Python:
 ``report``
     Run every registered experiment and print a compact paper-vs-measured
     summary (a quick, text-only version of the benchmark harness).
+``corpus``
+    Manage columnar corpus stores (:mod:`repro.corpus`): ``generate`` a
+    seeded synthetic workload straight into a store, ``build`` a store
+    from an inline manifest, ``verify`` a store's two content-hash layers,
+    and ``export`` a store back to an inline manifest.  ``serve-batch
+    --manifest`` accepts a store directory directly, and manifests may
+    reference a store via a ``"store"`` block; surfaces are memory-mapped
+    and materialised lazily per shard at solve time.
 
 The prediction commands accept ``--backend`` to pick the PDE solver backend
 by registry name (``internal`` is the package's own Crank-Nicolson engine
@@ -553,6 +561,127 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_corpus_arguments(report)
 
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="manage columnar corpus stores (generate / build / verify / export)",
+        description=(
+            "The corpus-store toolbox: generate a seeded synthetic workload "
+            "straight into a store, convert an inline manifest to a store, "
+            "verify a store's content hashes, or export a store back to an "
+            "inline manifest.  Stores are consumed by 'serve-batch "
+            "--manifest <store>' and by manifest 'store' blocks; surfaces "
+            "are memory-mapped and loaded lazily per shard at solve time."
+        ),
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    generate = corpus_sub.add_parser(
+        "generate",
+        help="generate a seeded synthetic workload into a corpus store",
+        description=(
+            "Write a parameterized synthetic workload (logistic-in-time, "
+            "decaying-in-distance surfaces with grid-size, horizon and "
+            "burst-arrival variety) directly into a corpus store.  The "
+            "store is a pure function of the parameters: the same flags "
+            "always produce a byte-identical store."
+        ),
+    )
+    generate.add_argument("--output", required=True, help="store directory to write")
+    generate.add_argument(
+        "--stories", type=int, default=1000, help="number of stories to generate"
+    )
+    generate.add_argument(
+        "--seed", type=int, default=20120612, help="workload RNG seed"
+    )
+    generate.add_argument(
+        "--metric", default="hops", choices=["hops", "interests"],
+        help="distance metric recorded in the store",
+    )
+    generate.add_argument(
+        "--min-distances", type=int, default=5,
+        help="smallest distance-group count per story",
+    )
+    generate.add_argument(
+        "--max-distances", type=int, default=12,
+        help="largest distance-group count per story",
+    )
+    generate.add_argument(
+        "--min-hours", type=int, default=8,
+        help="shortest observed horizon per story (hourly snapshots)",
+    )
+    generate.add_argument(
+        "--max-hours", type=int, default=24,
+        help="longest observed horizon per story (hourly snapshots)",
+    )
+    generate.add_argument(
+        "--peak-density", type=float, default=30.0,
+        help="upper bound of the nearest group's carrying capacity",
+    )
+    generate.add_argument(
+        "--growth-rate", type=float, default=1.0,
+        help="scales every story's logistic growth rate",
+    )
+    generate.add_argument(
+        "--bursts", type=int, default=4,
+        help="number of arrival-burst centres stories cluster around",
+    )
+    generate.add_argument(
+        "--burst-spread", type=float, default=1.5, metavar="HOURS",
+        help="std-dev of arrival times around their burst centre",
+    )
+    generate.add_argument(
+        "--shard-stories", type=int, default=512,
+        help="stories per shard file before the writer cuts a new one",
+    )
+
+    build = corpus_sub.add_parser(
+        "build",
+        help="convert an inline/corpus-ref manifest into a corpus store",
+        description=(
+            "Resolve a story manifest (inline surfaces and/or synthetic-"
+            "corpus references) and write every story into a corpus store, "
+            "preserving per-story model overrides and the manifest's "
+            "metric/hours/model defaults.  Empty-first-hour stories are "
+            "stored too -- skip semantics stay with whoever scores the "
+            "store later."
+        ),
+    )
+    build.add_argument(
+        "--manifest", required=True, help="path of the story-manifest JSON file"
+    )
+    build.add_argument("--output", required=True, help="store directory to write")
+    build.add_argument(
+        "--shard-stories", type=int, default=512,
+        help="stories per shard file before the writer cuts a new one",
+    )
+
+    verify = corpus_sub.add_parser(
+        "verify",
+        help="re-hash a corpus store's shards and stories against its index",
+        description=(
+            "Check both content-addressing layers of a store: every shard "
+            "file's SHA-256 against the index, and every story's surface "
+            "content hash against its index entry.  Exit 0 when intact, 1 "
+            "with one problem line per finding otherwise."
+        ),
+    )
+    verify.add_argument("store", help="store directory (or its index.json)")
+
+    export = corpus_sub.add_parser(
+        "export",
+        help="export a corpus store back to an inline manifest",
+        description=(
+            "Write the store's corpus as a classic inline manifest whose "
+            "JSON floats round-trip exactly, so scoring the export is "
+            "bit-identical to scoring from the store."
+        ),
+    )
+    export.add_argument("store", help="store directory (or its index.json)")
+    export.add_argument(
+        "--output", default="-", metavar="PATH",
+        help="manifest JSON path ('-' for stdout)",
+    )
+
     return parser
 
 
@@ -754,12 +883,12 @@ def _command_predict_batch(args: argparse.Namespace) -> int:
 def _command_serve_batch(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.core.config import CalibrationConfig, SolverConfig
     from repro.service import (
         JobStatus,
         ManifestError,
         PredictionService,
-        load_manifest,
-        resolve_manifest,
+        open_corpus,
     )
 
     config_error = _resolve_solver_config(args.backend, args.operator)
@@ -784,7 +913,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             print(f"error: {flag} must be >= 1, got {value}", file=sys.stderr)
             return 2
     try:
-        manifest = load_manifest(args.manifest)
+        manifest = open_corpus(args.manifest)
     except FileNotFoundError:
         print(f"error: manifest {args.manifest} does not exist", file=sys.stderr)
         return 2
@@ -815,7 +944,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         if value is not None  # only explicitly given flags override the manifest
     }
     try:
-        resolved = resolve_manifest(manifest, corpus_overrides, training_times)
+        resolved = manifest.resolve(corpus_overrides, training_times)
     except ManifestError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -853,9 +982,8 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
     async def run():
         async with PredictionService(
-            backend=args.backend,
-            operator=args.operator,
-            calibration_batch=not args.sequential_calibration,
+            solver=SolverConfig(backend=args.backend, operator=args.operator),
+            calibration=CalibrationConfig(batch=not args.sequential_calibration),
             max_workers=args.workers,
             executor=args.executor,
             queue_depth=args.queue_depth,
@@ -985,11 +1113,12 @@ def _command_daemon(args: argparse.Namespace) -> int:
     if pool_error is not None:
         print(pool_error, file=sys.stderr)
         return 2
+    from repro.core.config import CalibrationConfig, SolverConfig
+
     daemon = PredictionDaemon(
         default_timeout=args.timeout,
-        backend=args.backend,
-        operator=args.operator,
-        calibration_batch=not args.sequential_calibration,
+        solver=SolverConfig(backend=args.backend, operator=args.operator),
+        calibration=CalibrationConfig(batch=not args.sequential_calibration),
         max_workers=args.workers,
         executor=args.executor,
         queue_depth=args.queue_depth,
@@ -1269,6 +1398,139 @@ def _command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_corpus_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import WorkloadConfig, generate_store
+
+    try:
+        config = WorkloadConfig(
+            stories=args.stories,
+            seed=args.seed,
+            metric=args.metric,
+            min_distances=args.min_distances,
+            max_distances=args.max_distances,
+            min_hours=args.min_hours,
+            max_hours=args.max_hours,
+            peak_density=args.peak_density,
+            growth_rate=args.growth_rate,
+            bursts=args.bursts,
+            burst_spread_hours=args.burst_spread,
+        )
+        store = generate_store(
+            config, args.output, max_shard_stories=args.shard_stories
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"generated {len(store)} stories (seed {args.seed}) into "
+        f"{len(store.index['shards'])} shards at {args.output} "
+        f"({store.total_surface_nbytes / 1e6:.1f} MB of surfaces)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_corpus_build(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusStoreError, CorpusStoreWriter
+    from repro.service import ManifestError, open_corpus
+
+    try:
+        manifest = open_corpus(args.manifest)
+    except FileNotFoundError:
+        print(f"error: manifest {args.manifest} does not exist", file=sys.stderr)
+        return 2
+    except ManifestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not manifest.stories:
+        print(
+            f"error: the manifest {args.manifest} contains no stories",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        # include_empty: a store preserves the corpus verbatim; the
+        # empty-first-hour skip stays where it belongs, at scoring time.
+        resolved = manifest.resolve(include_empty=True)
+        writer = CorpusStoreWriter(
+            args.output,
+            metric=manifest.metric,
+            hours=manifest.hours,
+            model=manifest.model,
+            max_shard_stories=args.shard_stories,
+        )
+        for name, surface in resolved.surfaces.items():
+            writer.add(name, surface, model=resolved.models.get(name))
+        store = writer.finalize()
+    except (ManifestError, CorpusStoreError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"built {len(store)} stories into {len(store.index['shards'])} "
+        f"shards at {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_corpus_verify(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusStore, CorpusStoreError
+
+    try:
+        store = CorpusStore.open(args.store)
+    except (CorpusStoreError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    problems = store.verify()
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        print(
+            f"{args.store}: {len(problems)} problem(s) found",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{args.store}: OK ({len(store)} stories, "
+        f"{len(store.index['shards'])} shards verified)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_corpus_export(args: argparse.Namespace) -> int:
+    from repro.corpus import CorpusStore, CorpusStoreError, export_inline_manifest
+
+    try:
+        store = CorpusStore.open(args.store)
+    except (CorpusStoreError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    text = json.dumps(export_inline_manifest(store), sort_keys=True)
+    if args.output == "-":
+        print(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(
+            f"exported {len(store)} stories to {args.output}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+_CORPUS_COMMANDS = {
+    "generate": _command_corpus_generate,
+    "build": _command_corpus_build,
+    "verify": _command_corpus_verify,
+    "export": _command_corpus_export,
+}
+
+
+def _command_corpus(args: argparse.Namespace) -> int:
+    return _CORPUS_COMMANDS[args.corpus_command](args)
+
+
 _COMMANDS = {
     "build-corpus": _command_build_corpus,
     "characterize": _command_characterize,
@@ -1281,6 +1543,7 @@ _COMMANDS = {
     "models": _command_models,
     "compare": _command_compare,
     "report": _command_report,
+    "corpus": _command_corpus,
 }
 
 

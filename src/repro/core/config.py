@@ -17,11 +17,14 @@ dataclasses that are threaded through the whole stack:
 Every constructor that grew a config object keeps accepting the legacy
 keyword knobs (``points_per_unit=...`` etc.) as thin shims --
 :func:`merge_solver_config` folds them into a :class:`SolverConfig` and
-rejects ambiguous calls that pass both forms.
+rejects ambiguous calls that pass both forms.  The shims are deprecated:
+passing any legacy knob emits a :class:`DeprecationWarning` naming the
+typed-config replacement.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -128,6 +131,13 @@ def merge_solver_config(
                 f"knobs {sorted(given)}, not both"
             )
         return solver
+    if given:
+        warnings.warn(
+            f"the scattered solver knobs {sorted(given)} are deprecated; "
+            f"pass solver=SolverConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
     return SolverConfig(**given)
 
 
@@ -146,6 +156,12 @@ def merge_calibration_config(
         return calibration
     if calibration_batch is None:
         return CalibrationConfig(batch=default_batch)
+    warnings.warn(
+        "the calibration_batch flag is deprecated; pass "
+        "calibration=CalibrationConfig(batch=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
     return CalibrationConfig(batch=bool(calibration_batch))
 
 

@@ -1,0 +1,59 @@
+"""The columnar corpus substrate: content-addressed stores + workload generator.
+
+* :mod:`repro.corpus.store` -- per-shard ``.npz`` files of stacked density
+  surfaces (memory-mapped on read, deterministic bytes on write), the
+  ``index.json`` content-hash index, the :class:`CorpusStore` read API and
+  the picklable :class:`LazySurface` handles the service layer solves from.
+* :mod:`repro.corpus.generate` -- the seeded synthetic workload generator
+  (:class:`WorkloadConfig`) behind ``repro corpus generate``.
+
+The CLI surface is ``repro corpus generate | build | verify | export``;
+``repro serve-batch --manifest <store>`` and manifest ``"store"`` blocks
+consume stores through :func:`repro.service.open_corpus`.
+"""
+
+from repro.corpus.generate import (
+    WorkloadConfig,
+    generate_store,
+    generate_workload,
+    iter_workload,
+)
+from repro.corpus.store import (
+    DEFAULT_SHARD_STORIES,
+    INDEX_FILENAME,
+    STORE_FORMAT,
+    STORE_VERSION,
+    CorpusStore,
+    CorpusStoreError,
+    CorpusStoreWriter,
+    LazySurface,
+    build_store,
+    clear_shard_cache,
+    export_inline_manifest,
+    materialize_surface,
+    mmap_npz,
+    surface_content_hash,
+    write_deterministic_npz,
+)
+
+__all__ = [
+    "CorpusStore",
+    "CorpusStoreError",
+    "CorpusStoreWriter",
+    "DEFAULT_SHARD_STORIES",
+    "INDEX_FILENAME",
+    "LazySurface",
+    "STORE_FORMAT",
+    "STORE_VERSION",
+    "WorkloadConfig",
+    "build_store",
+    "clear_shard_cache",
+    "export_inline_manifest",
+    "generate_store",
+    "generate_workload",
+    "iter_workload",
+    "materialize_surface",
+    "mmap_npz",
+    "surface_content_hash",
+    "write_deterministic_npz",
+]

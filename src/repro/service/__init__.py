@@ -24,7 +24,9 @@ job queue so whole corpora of cascades are scored concurrently:
   daemon`` / ``repro submit`` / ``repro daemon-stats``), plus the matching
   :class:`DaemonClient`.
 * :mod:`repro.service.manifest` -- the story-manifest format consumed by the
-  ``repro serve-batch`` CLI and the daemon's ``submit`` requests.
+  ``repro serve-batch`` CLI and the daemon's ``submit`` requests, opened
+  through the single :func:`open_corpus` facade (inline surfaces, corpus
+  refs, or a :mod:`repro.corpus` store).
 """
 
 from repro.service.daemon import (
@@ -53,6 +55,7 @@ from repro.service.manifest import (
     ResolvedManifest,
     StoryManifest,
     load_manifest,
+    open_corpus,
     parse_manifest,
     resolve_manifest,
 )
@@ -103,6 +106,7 @@ __all__ = [
     "ResolvedManifest",
     "StoryManifest",
     "load_manifest",
+    "open_corpus",
     "parse_manifest",
     "resolve_manifest",
 ]

@@ -50,6 +50,7 @@ submit`` / ``repro daemon-stats``, the benchmark harness and
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import os
 import sys
@@ -60,7 +61,7 @@ from typing import AsyncIterator
 from repro.core.errors import UnknownModelError
 from repro.core.prediction import PredictionResult
 from repro.models.registry import get_model
-from repro.service.manifest import ManifestError, parse_manifest, resolve_manifest
+from repro.service.manifest import ManifestError, open_corpus
 from repro.service.service import JobStatus, PredictionJob, PredictionService
 
 DEFAULT_HOURS = 6
@@ -451,8 +452,19 @@ class PredictionDaemon:
             except UnknownModelError as error:
                 await self._error(connection, str(error), job_id=job_id)
                 return
+        payload = message["manifest"]
+        if not isinstance(payload, dict):
+            # A protocol manifest is always an inline JSON object; a string
+            # must never be interpreted as a server-side file path.
+            await self._error(
+                connection,
+                f"invalid manifest: the manifest must be an object, got "
+                f"{type(payload).__name__}",
+                job_id=job_id,
+            )
+            return
         try:
-            manifest = parse_manifest(message["manifest"], source="<protocol>")
+            manifest = open_corpus(payload, source="<protocol>")
         except ManifestError as error:
             await self._error(connection, f"invalid manifest: {error}", job_id=job_id)
             return
@@ -467,7 +479,10 @@ class PredictionDaemon:
             # Resolution may build a synthetic corpus (seconds of CPU); keep
             # the event loop -- and every other client -- responsive.
             resolved = await asyncio.get_running_loop().run_in_executor(
-                None, resolve_manifest, manifest, None, training_times
+                None,
+                functools.partial(
+                    manifest.resolve, training_times=training_times
+                ),
             )
         except ManifestError as error:
             await self._error(connection, f"invalid manifest: {error}", job_id=job_id)

@@ -76,13 +76,16 @@ class ShardPayload:
     (:class:`~repro.service.sharding.ShardKey` -- frozen floats/strings/
     tuples), the resolved model workload
     (:class:`~repro.core.config.ModelSpec` -- frozen dataclasses) and the
-    observed surfaces (numpy arrays plus plain metadata).  No live fitter,
-    service or event-loop objects ever cross the boundary.
+    observed surfaces (numpy arrays plus plain metadata).  Surfaces may be
+    lazy :class:`~repro.corpus.store.LazySurface` handles -- also plain
+    picklable data (store path + row, no open mmaps) -- which
+    :func:`solve_shard_payload` materialises in the worker.  No live
+    fitter, service or event-loop objects ever cross the boundary.
     """
 
     key: ShardKey
     spec: ModelSpec
-    surfaces: "dict[str, DensitySurface]"
+    surfaces: "dict[str, DensitySurface | object]"
 
 
 def solve_shard_payload(
@@ -98,13 +101,21 @@ def solve_shard_payload(
     results bit-identical: the backends only choose *where* this function
     runs, never *how* it computes.
     """
+    from repro.corpus.store import materialize_surface
     from repro.models.registry import get_model
 
     key = payload.key
     fitter = get_model(key.model).batch_fitter(payload.spec)
+    # Lazy corpus-store handles materialise here -- at shard-solve time, in
+    # whichever worker (thread or process) runs the shard -- so a
+    # store-backed corpus never has all its surfaces in memory at once.
+    surfaces = {
+        name: materialize_surface(surface)
+        for name, surface in payload.surfaces.items()
+    }
     outcomes: "dict[str, object]" = {}
     fitted: "list[str]" = []
-    for name, surface in payload.surfaces.items():
+    for name, surface in surfaces.items():
         try:
             fitter.fit_story(name, surface, key.training_times)
             fitted.append(name)
@@ -112,7 +123,7 @@ def solve_shard_payload(
             outcomes[name] = error
     if fitted:
         results = fitter.evaluate(
-            {name: payload.surfaces[name] for name in fitted},
+            {name: surfaces[name] for name in fitted},
             times=key.evaluation_times,
         )
         for name in fitted:

@@ -1,0 +1,73 @@
+"""Legacy scattered-kwarg shims must warn and name the typed replacement."""
+
+import warnings
+
+import pytest
+
+from repro.core.config import (
+    CalibrationConfig,
+    SolverConfig,
+    merge_calibration_config,
+    merge_solver_config,
+)
+from repro.core.prediction import DiffusionPredictor
+from repro.service import CorpusSharder, PredictionService
+
+
+class TestMergeShims:
+    def test_legacy_solver_knobs_warn(self):
+        with pytest.warns(DeprecationWarning, match="solver=SolverConfig"):
+            config = merge_solver_config(None, points_per_unit=10, max_step=0.1)
+        assert config.points_per_unit == 10
+        assert config.max_step == 0.1
+
+    def test_warning_names_the_given_knobs(self):
+        with pytest.warns(DeprecationWarning, match="backend"):
+            merge_solver_config(None, backend="internal")
+
+    def test_typed_solver_config_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = merge_solver_config(SolverConfig(points_per_unit=10))
+        assert config.points_per_unit == 10
+
+    def test_defaults_are_silent(self):
+        # No legacy knob given: nothing to migrate, nothing to warn about.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            merge_solver_config(None)
+
+    def test_legacy_calibration_flag_warns(self):
+        with pytest.warns(DeprecationWarning, match="CalibrationConfig"):
+            config = merge_calibration_config(None, False, default_batch=True)
+        assert config.batch is False
+
+    def test_typed_calibration_config_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = merge_calibration_config(
+                CalibrationConfig(batch=False), None, default_batch=True
+            )
+        assert config.batch is False
+
+
+class TestConsumersRouteThroughShims:
+    def test_diffusion_predictor_legacy_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="solver=SolverConfig"):
+            DiffusionPredictor(points_per_unit=4, max_step=0.25)
+
+    def test_prediction_service_legacy_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="solver=SolverConfig"):
+            service = PredictionService(points_per_unit=4)
+        assert service is not None
+
+    def test_corpus_sharder_legacy_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="solver=SolverConfig"):
+            CorpusSharder(points_per_unit=4)
+
+    def test_typed_configs_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            DiffusionPredictor(solver=SolverConfig(points_per_unit=4, max_step=0.25))
+            PredictionService(solver=SolverConfig(points_per_unit=4))
+            CorpusSharder(solver=SolverConfig(points_per_unit=4))

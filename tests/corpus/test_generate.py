@@ -1,0 +1,113 @@
+"""Synthetic workload generator: validation, distributions, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import (
+    WorkloadConfig,
+    generate_store,
+    generate_workload,
+    iter_workload,
+)
+
+SMALL = WorkloadConfig(stories=40, seed=11, min_distances=3, max_distances=8, min_hours=4, max_hours=10)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs, message",
+        [
+            ({"stories": -1}, "stories must be >= 0"),
+            ({"min_distances": 0}, "min_distances"),
+            ({"min_distances": 9, "max_distances": 4}, "min_distances"),
+            ({"min_hours": 1}, "min_hours"),
+            ({"min_hours": 20, "max_hours": 10}, "min_hours"),
+            ({"peak_density": 0.0}, "peak_density"),
+            ({"growth_rate": -1.0}, "growth_rate"),
+            ({"bursts": 0}, "bursts"),
+            ({"burst_spread_hours": -0.1}, "burst_spread_hours"),
+            ({"metric": "miles"}, "metric"),
+            ({"unit": "furlongs"}, "unit"),
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            WorkloadConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        assert WorkloadConfig().stories == 1000
+
+
+class TestWorkloadShape:
+    def test_distributions_stay_within_bounds(self):
+        for name, surface in iter_workload(SMALL):
+            assert name.startswith("story-")
+            assert SMALL.min_distances <= surface.distances.size <= SMALL.max_distances
+            assert SMALL.min_hours <= surface.times.size <= SMALL.max_hours
+            assert surface.values.shape == (surface.times.size, surface.distances.size)
+            assert surface.unit == SMALL.unit
+            # Strictly positive first hour: nothing gets skipped by the
+            # resolver's empty-anchor check.
+            assert np.all(surface.profile(surface.times[0]) > 0)
+            # Logistic growth is monotone in time.
+            assert np.all(np.diff(surface.values, axis=0) >= 0)
+
+    def test_metadata_records_burst_arrivals(self):
+        bursts = set()
+        for _, surface in iter_workload(SMALL):
+            meta = surface.metadata
+            assert meta["source"] == "synthetic_workload"
+            assert meta["seed"] == SMALL.seed
+            bursts.add(meta["burst"])
+            assert isinstance(meta["arrival_hour"], float)
+        assert bursts <= set(range(SMALL.bursts))
+        assert len(bursts) > 1  # 40 stories over 4 bursts hit more than one
+
+    def test_story_count_and_names(self):
+        corpus = generate_workload(SMALL)
+        assert len(corpus) == SMALL.stories
+        assert sorted(corpus) == [f"story-{i:06d}" for i in range(SMALL.stories)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_surfaces(self):
+        one = generate_workload(SMALL)
+        two = generate_workload(SMALL)
+        for name in one:
+            np.testing.assert_array_equal(one[name].values, two[name].values)
+
+    def test_different_seed_different_surfaces(self):
+        one = generate_workload(SMALL)
+        other = generate_workload(
+            WorkloadConfig(**{**SMALL.__dict__, "seed": SMALL.seed + 1})
+        )
+        assert any(
+            one[name].values.shape != other[name].values.shape
+            or not np.array_equal(one[name].values, other[name].values)
+            for name in one
+        )
+
+    def test_same_config_byte_identical_store(self, tmp_path):
+        generate_store(SMALL, tmp_path / "one")
+        generate_store(SMALL, tmp_path / "two")
+        files = sorted(
+            p.relative_to(tmp_path / "one")
+            for p in (tmp_path / "one").rglob("*")
+            if p.is_file()
+        )
+        assert files
+        for relative in files:
+            assert (tmp_path / "one" / relative).read_bytes() == (
+                tmp_path / "two" / relative
+            ).read_bytes(), f"{relative} differs between identically configured runs"
+
+    def test_store_matches_in_memory_workload(self, tmp_path):
+        store = generate_store(SMALL, tmp_path / "store")
+        corpus = generate_workload(SMALL)
+        assert set(store.story_names) == set(corpus)
+        assert store.metric == SMALL.metric
+        for name in list(corpus)[:5]:
+            np.testing.assert_array_equal(
+                store.load(name).values, corpus[name].values
+            )
+        assert store.verify() == []

@@ -1,0 +1,225 @@
+"""Corpus store: round-trips, determinism, lazy reads, integrity checks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cascade.density import DensitySurface
+from repro.corpus import (
+    CorpusStore,
+    CorpusStoreError,
+    CorpusStoreWriter,
+    build_store,
+    clear_shard_cache,
+    export_inline_manifest,
+    mmap_npz,
+    write_deterministic_npz,
+)
+from repro.service import open_corpus
+
+
+def make_surface(seed: int = 0, n_distances: int = 4, n_hours: int = 6) -> DensitySurface:
+    rng = np.random.default_rng(seed)
+    return DensitySurface(
+        distances=np.arange(1.0, n_distances + 1.0),
+        times=np.arange(1.0, n_hours + 1.0),
+        values=np.cumsum(rng.uniform(0.1, 1.0, size=(n_hours, n_distances)), axis=0),
+        group_sizes=np.ones(n_distances),
+        metadata={"seed": seed, "ignored": object()},
+    )
+
+
+@pytest.fixture
+def corpus():
+    return {f"story-{i}": make_surface(i) for i in range(5)}
+
+
+class TestDeterministicNpz:
+    def test_byte_identical_across_writes(self, tmp_path):
+        arrays = {"a": np.arange(12.0).reshape(3, 4), "b": np.ones(3)}
+        write_deterministic_npz(tmp_path / "one.npz", arrays)
+        write_deterministic_npz(tmp_path / "two.npz", arrays)
+        assert (tmp_path / "one.npz").read_bytes() == (tmp_path / "two.npz").read_bytes()
+
+    def test_mmap_matches_np_load(self, tmp_path):
+        arrays = {"a": np.arange(12.0).reshape(3, 4), "b": np.arange(5.0)}
+        path = tmp_path / "data.npz"
+        write_deterministic_npz(path, arrays)
+        mapped = mmap_npz(path)
+        loaded = np.load(path)
+        for name in arrays:
+            assert isinstance(mapped[name], np.memmap)
+            np.testing.assert_array_equal(np.asarray(mapped[name]), loaded[name])
+
+
+class TestWriterAndRoundTrip:
+    def test_round_trip(self, tmp_path, corpus):
+        store = build_store(tmp_path / "store", corpus, metric="hops", hours=6)
+        assert len(store) == len(corpus)
+        assert store.metric == "hops"
+        assert store.hours == 6
+        for name, surface in corpus.items():
+            loaded = store.load(name)
+            np.testing.assert_array_equal(loaded.distances, surface.distances)
+            np.testing.assert_array_equal(loaded.times, surface.times)
+            np.testing.assert_array_equal(loaded.values, surface.values)
+            np.testing.assert_array_equal(loaded.group_sizes, surface.group_sizes)
+            assert loaded.unit == surface.unit
+            # Only JSON-able metadata survives the index.
+            assert loaded.metadata["seed"] == surface.metadata["seed"]
+            assert "ignored" not in loaded.metadata
+
+    def test_duplicate_story_name_rejected(self, tmp_path, corpus):
+        writer = CorpusStoreWriter(tmp_path / "store")
+        writer.add("story", make_surface(1))
+        with pytest.raises(CorpusStoreError, match="duplicate story name"):
+            writer.add("story", make_surface(2))
+
+    def test_duplicate_name_across_shards_rejected(self, tmp_path):
+        # max_shard_stories=1 flushes the first copy to its own shard before
+        # the second add, so the collision crosses a shard boundary.
+        writer = CorpusStoreWriter(tmp_path / "store", max_shard_stories=1)
+        writer.add("story", make_surface(1))
+        with pytest.raises(CorpusStoreError, match="duplicate story name"):
+            writer.add("story", make_surface(2))
+
+    def test_zero_story_store(self, tmp_path):
+        store = CorpusStoreWriter(tmp_path / "store").finalize()
+        assert len(store) == 0
+        assert store.story_names == ()
+        assert store.verify() == []
+        assert len(CorpusStore.open(tmp_path / "store")) == 0
+
+    def test_byte_identical_stores_from_same_content(self, tmp_path, corpus):
+        build_store(tmp_path / "one", corpus)
+        build_store(tmp_path / "two", corpus)
+        files = sorted(
+            p.relative_to(tmp_path / "one")
+            for p in (tmp_path / "one").rglob("*")
+            if p.is_file()
+        )
+        assert files
+        for relative in files:
+            assert (tmp_path / "one" / relative).read_bytes() == (
+                tmp_path / "two" / relative
+            ).read_bytes()
+
+    def test_shards_split_by_signature_and_size(self, tmp_path):
+        surfaces = {
+            "a": make_surface(1, n_distances=4),
+            "b": make_surface(2, n_distances=4),
+            "c": make_surface(3, n_distances=7),
+        }
+        store = build_store(tmp_path / "store", surfaces, max_shard_stories=1)
+        assert len(store.index["shards"]) == 3
+        assert store.verify() == []
+
+
+class TestLazySurface:
+    def test_handle_reads_lazily(self, tmp_path, corpus):
+        store = build_store(tmp_path / "store", corpus)
+        handle = store.handle("story-2")
+        reference = corpus["story-2"]
+        np.testing.assert_array_equal(handle.distances, reference.distances)
+        np.testing.assert_array_equal(
+            handle.profile(1.0), reference.profile(1.0)
+        )
+        with pytest.raises(KeyError):
+            handle.profile(99.0)
+        loaded = handle.load()
+        np.testing.assert_array_equal(loaded.values, reference.values)
+
+    def test_handle_is_picklable(self, tmp_path, corpus):
+        import pickle
+
+        store = build_store(tmp_path / "store", corpus)
+        handle = pickle.loads(pickle.dumps(store.handle("story-0")))
+        np.testing.assert_array_equal(
+            handle.load().values, corpus["story-0"].values
+        )
+
+    def test_missing_story_raises(self, tmp_path, corpus):
+        store = build_store(tmp_path / "store", corpus)
+        with pytest.raises(CorpusStoreError, match="'nope' is not in the corpus store"):
+            store.handle("nope")
+
+
+class TestVerify:
+    def test_detects_shard_corruption(self, tmp_path, corpus):
+        store = build_store(tmp_path / "store", corpus)
+        shard_path = tmp_path / "store" / store.index["shards"][0]["file"]
+        raw = bytearray(shard_path.read_bytes())
+        raw[-9] ^= 0xFF  # flip a bit inside the last member's data region
+        shard_path.write_bytes(bytes(raw))
+        clear_shard_cache()
+        problems = store.verify()
+        assert any("file hash mismatch" in line for line in problems)
+
+    def test_detects_content_hash_mismatch(self, tmp_path, corpus):
+        store = build_store(tmp_path / "store", corpus)
+        name = store.story_names[0]
+        index_path = tmp_path / "store" / "index.json"
+        index = json.loads(index_path.read_text())
+        index["stories"][name]["sha256"] = "0" * 64
+        index_path.write_text(json.dumps(index))
+        clear_shard_cache()
+        problems = CorpusStore.open(tmp_path / "store").verify()
+        assert any(
+            "content hash mismatch" in line and name in line for line in problems
+        )
+
+    def test_detects_missing_shard_and_dangling_reference(self, tmp_path, corpus):
+        store = build_store(tmp_path / "store", corpus)
+        index_path = tmp_path / "store" / "index.json"
+        index = json.loads(index_path.read_text())
+        name = next(iter(index["stories"]))
+        index["stories"][name]["shard"] = 99
+        index_path.write_text(json.dumps(index))
+        (tmp_path / "store" / store.index["shards"][0]["file"]).unlink()
+        clear_shard_cache()
+        problems = CorpusStore.open(tmp_path / "store").verify()
+        assert any("shard file is missing" in line for line in problems)
+        assert any("dangling shard reference" in line for line in problems)
+
+    def test_clean_store_verifies(self, tmp_path, corpus):
+        assert build_store(tmp_path / "store", corpus).verify() == []
+
+
+class TestOpenAndExport:
+    def test_open_accepts_directory_and_index_path(self, tmp_path, corpus):
+        build_store(tmp_path / "store", corpus)
+        by_dir = CorpusStore.open(tmp_path / "store")
+        by_index = CorpusStore.open(tmp_path / "store" / "index.json")
+        assert by_dir.story_names == by_index.story_names
+
+    def test_open_rejects_non_store(self, tmp_path):
+        with pytest.raises(CorpusStoreError, match="no corpus store here"):
+            CorpusStore.open(tmp_path / "missing")
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(CorpusStoreError, match="not a corpus store index"):
+            CorpusStore.open(bogus)
+
+    def test_version_mismatch_rejected(self, tmp_path, corpus):
+        build_store(tmp_path / "store", corpus)
+        index_path = tmp_path / "store" / "index.json"
+        index = json.loads(index_path.read_text())
+        index["version"] = 99
+        index_path.write_text(json.dumps(index))
+        with pytest.raises(CorpusStoreError, match="unsupported store version"):
+            CorpusStore.open(tmp_path / "store")
+
+    def test_export_round_trips_exactly(self, tmp_path, corpus):
+        store = build_store(
+            tmp_path / "store", corpus, hours=6, model="dl", models={"story-1": "logistic"}
+        )
+        payload = json.loads(json.dumps(export_inline_manifest(store)))
+        resolved = open_corpus(payload).resolve()
+        assert set(resolved.surfaces) == set(corpus)
+        for name, surface in corpus.items():
+            np.testing.assert_array_equal(
+                resolved.surfaces[name].values, surface.values
+            )
+        assert resolved.models == {"story-1": "logistic"}
+        assert resolved.default_model == "dl"
