@@ -2,11 +2,12 @@
 
 The daemon (``repro daemon``) keeps one sharded worker pool -- and its
 cached operator factorizations -- warm across many jobs, speaking a
-JSON-lines protocol over stdin/stdout or a Unix-domain socket.  This
-example drives the socket transport end to end from Python:
+JSON-lines protocol over stdin/stdout, a Unix-domain socket or TCP.  This
+example drives the Unix-socket transport end to end from Python (swap the
+address for ``tcp:HOST:PORT`` and nothing else changes):
 
 1. boot a :class:`repro.service.PredictionDaemon` on a Unix socket inside
-   this process (in production it runs as its own ``repro daemon --socket``
+   this process (in production it runs as its own ``repro daemon --listen``
    process; the protocol is identical),
 2. connect a :class:`repro.service.DaemonClient` and submit two jobs --
    manifests of inline cascade surfaces -- streaming each per-story
@@ -56,9 +57,9 @@ def build_manifest(name_prefix: str, size: int, seed: int) -> dict:
     return {"metric": "hops", "hours": HOURS, "stories": stories}
 
 
-async def submit_job(socket_path: str, job_id: str, manifest: dict) -> None:
+async def submit_job(address: str, job_id: str, manifest: dict) -> None:
     """One connection, one job: stream every event until completion."""
-    async with await DaemonClient.connect_unix(socket_path) as client:
+    async with await DaemonClient.connect(address) as client:
         async for event in client.submit(manifest, job_id=job_id, timeout=60.0):
             kind = event["event"]
             if kind == "accepted":
@@ -76,8 +77,10 @@ async def submit_job(socket_path: str, job_id: str, manifest: dict) -> None:
 async def main() -> None:
     with tempfile.TemporaryDirectory() as tmpdir:
         socket_path = os.path.join(tmpdir, "repro-daemon.sock")
-        # In production: run `repro daemon --socket <path> --autotune` as its
-        # own process and skip straight to DaemonClient.connect_unix.
+        address = f"unix:{socket_path}"
+        # In production: run `repro daemon --listen unix:<path> --autotune`
+        # (or --listen tcp:HOST:PORT) as its own process and skip straight
+        # to DaemonClient.connect(address).
         daemon = PredictionDaemon(
             parameters=PAPER_S1_HOP_PARAMETERS,
             solver=SolverConfig(points_per_unit=12, max_step=0.02),
@@ -92,11 +95,11 @@ async def main() -> None:
         # Two jobs submitted concurrently over separate connections -- they
         # share the daemon's worker pool and operator caches.
         await asyncio.gather(
-            submit_job(socket_path, "morning-batch", build_manifest("am", 6, seed=1)),
-            submit_job(socket_path, "evening-batch", build_manifest("pm", 4, seed=2)),
+            submit_job(address, "morning-batch", build_manifest("am", 6, seed=1)),
+            submit_job(address, "evening-batch", build_manifest("pm", 4, seed=2)),
         )
 
-        async with await DaemonClient.connect_unix(socket_path) as client:
+        async with await DaemonClient.connect(address) as client:
             status = await client.status("morning-batch")
             print(f"\nstatus of morning-batch: {status['status']}, {status['stories']}")
             stats = await client.stats()

@@ -24,20 +24,28 @@ Five subcommands cover the common workflows without writing any Python:
     can tell it from configuration errors (2) and total failure (1).
 ``daemon``
     Run the long-lived prediction daemon: a JSON-lines protocol over
-    stdin/stdout (default) or a Unix-domain socket (``--socket``), serving
-    submit/status/stats/shutdown requests against one shared worker pool;
+    stdin/stdout (default), a Unix-domain socket or TCP (``--listen
+    unix:PATH|tcp:HOST:PORT``; ``--socket PATH`` is the pre-transport
+    spelling of ``--listen unix:PATH``), serving submit/status/stats/
+    shutdown requests against one shared worker pool; ``--journal DIR``
+    makes job lifecycles survive a crash (a restarted daemon reports the
+    dead process's in-flight jobs as ``interrupted``), ``--max-client-jobs``
+    / ``--max-client-stories`` bound each client's share of the queue,
     ``--autotune`` sizes shards from observed solve times, ``--timeout``
     sets a default per-story wall-clock deadline, and ``--executor
     process --workers N`` runs shard solves on a crash-respawning process
     pool instead of in-process threads (``serve-batch`` takes the same
     flags).
 ``submit``
-    Submit a story manifest to a running daemon over its socket and stream
-    the per-story result events to stdout as they complete.
+    Submit a story manifest to a running daemon (``--socket PATH`` or
+    ``--connect unix:PATH|tcp:HOST:PORT``) and stream the per-story result
+    events to stdout as they complete; a daemon dying mid-stream exits 3
+    (partial failure -- already-streamed results are valid).
 ``daemon-stats``
     Fetch a running daemon's stats snapshot (job counts, service counters,
-    telemetry registry) and print it as JSON; ``--prometheus`` prints the
-    telemetry in Prometheus text exposition format instead.
+    telemetry registry) and print it as JSON (``--socket`` or ``--connect``
+    pick the daemon); ``--prometheus`` prints the telemetry in Prometheus
+    text exposition format instead.
 ``models``
     List every registered prediction model with its one-line description.
 ``compare``
@@ -392,17 +400,71 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the long-lived prediction daemon (JSON-lines protocol)",
         description=(
             "Serve prediction jobs over a JSON-lines protocol: submit/status/"
-            "stats/shutdown requests arrive over stdin (default) or a Unix-"
-            "domain socket, manifests are scored through one shared sharded "
-            "worker pool, and per-story results stream back to the "
-            "submitting client as their shards complete."
+            "stats/shutdown requests arrive over stdin (default), a Unix-"
+            "domain socket or TCP (--listen), manifests are scored through "
+            "one shared sharded worker pool, and per-story results stream "
+            "back to the submitting client as their shards complete."
         ),
     )
-    daemon.add_argument(
+    daemon_address = daemon.add_mutually_exclusive_group()
+    daemon_address.add_argument(
+        "--listen",
+        metavar="ADDR",
+        default=None,
+        help=(
+            "serve on this transport address: unix:PATH, tcp:HOST:PORT or "
+            "stdio (default stdio; tcp port 0 binds an ephemeral port)"
+        ),
+    )
+    daemon_address.add_argument(
         "--socket",
         metavar="PATH",
         default=None,
-        help="serve on this Unix-domain socket instead of stdin/stdout",
+        help=(
+            "serve on this Unix-domain socket instead of stdin/stdout "
+            "(equivalent to --listen unix:PATH)"
+        ),
+    )
+    daemon.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help=(
+            "journal job lifecycles to DIR/journal.jsonl; after a crash, a "
+            "daemon restarted with the same --journal reports the previous "
+            "process's in-flight jobs as 'interrupted' instead of forgetting "
+            "them"
+        ),
+    )
+    daemon.add_argument(
+        "--journal-fsync",
+        choices=("always", "never"),
+        default="always",
+        help=(
+            "journal durability: 'always' fsyncs every record (an "
+            "acknowledged job survives a power cut), 'never' only flushes "
+            "(default: always)"
+        ),
+    )
+    daemon.add_argument(
+        "--max-client-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-client quota: at most N jobs in flight per connection "
+            "(excess submits are rejected with a typed error event)"
+        ),
+    )
+    daemon.add_argument(
+        "--max-client-stories",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "per-client quota: at most N stories queued or running per "
+            "connection across its in-flight jobs"
+        ),
     )
     daemon.add_argument(
         "--workers",
@@ -450,14 +512,21 @@ def build_parser() -> argparse.ArgumentParser:
         "submit",
         help="submit a story manifest to a running daemon",
         description=(
-            "Connect to a daemon's Unix socket, submit one story manifest as "
-            "a job, and stream the daemon's per-story result events to "
-            "stdout as JSON lines (summary on stderr).  Exit code 3 signals "
-            "partial failure, mirroring serve-batch."
+            "Connect to a daemon (Unix socket or TCP), submit one story "
+            "manifest as a job, and stream the daemon's per-story result "
+            "events to stdout as JSON lines (summary on stderr).  Exit code "
+            "3 signals partial failure, mirroring serve-batch -- including "
+            "a daemon dying mid-stream after some results arrived."
         ),
     )
-    submit.add_argument(
-        "--socket", metavar="PATH", required=True, help="the daemon's Unix socket"
+    submit_address = submit.add_mutually_exclusive_group(required=True)
+    submit_address.add_argument(
+        "--socket", metavar="PATH", help="the daemon's Unix socket"
+    )
+    submit_address.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help="the daemon's transport address: unix:PATH or tcp:HOST:PORT",
     )
     submit.add_argument(
         "--manifest", required=True, help="path of the story-manifest JSON file"
@@ -486,13 +555,19 @@ def build_parser() -> argparse.ArgumentParser:
         "daemon-stats",
         help="print a running daemon's stats snapshot as JSON",
         description=(
-            "Connect to a daemon's Unix socket, request its stats event "
-            "(job counts, service counters incl. autotuner state, telemetry "
-            "registry snapshot) and print it as indented JSON."
+            "Connect to a daemon (Unix socket or TCP), request its stats "
+            "event (job counts, service counters incl. autotuner state, "
+            "telemetry registry snapshot) and print it as indented JSON."
         ),
     )
-    daemon_stats.add_argument(
-        "--socket", metavar="PATH", required=True, help="the daemon's Unix socket"
+    stats_address = daemon_stats.add_mutually_exclusive_group(required=True)
+    stats_address.add_argument(
+        "--socket", metavar="PATH", help="the daemon's Unix socket"
+    )
+    stats_address.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help="the daemon's transport address: unix:PATH or tcp:HOST:PORT",
     )
     daemon_stats.add_argument(
         "--prometheus",
@@ -1089,13 +1164,21 @@ def _daemon_pool_errors(args: argparse.Namespace) -> "str | None":
             return f"error: {flag} must be >= 1, got {value}"
     if args.timeout is not None and args.timeout <= 0:
         return f"error: --timeout must be > 0, got {args.timeout:g}"
+    for flag, value in (
+        ("--max-client-jobs", args.max_client_jobs),
+        ("--max-client-stories", args.max_client_stories),
+    ):
+        if value is not None and value < 1:
+            return f"error: {flag} must be >= 1, got {value}"
     return None
 
 
 def _command_daemon(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service import PredictionDaemon
+    from repro.core.errors import AddressInUseError
+    from repro.service import ClientQuota, PredictionDaemon
+    from repro.service.transport import AddressError, parse_address
 
     config_error = _resolve_solver_config(args.backend, args.operator)
     if config_error is not None:
@@ -1113,10 +1196,26 @@ def _command_daemon(args: argparse.Namespace) -> int:
     if pool_error is not None:
         print(pool_error, file=sys.stderr)
         return 2
+    # --socket PATH is the pre-transport spelling of --listen unix:PATH;
+    # the parser guarantees at most one of the two was given.
+    spec = args.listen if args.listen is not None else args.socket
+    try:
+        address = parse_address(spec) if spec is not None else parse_address("stdio")
+    except AddressError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     from repro.core.config import CalibrationConfig, SolverConfig
 
+    quota = None
+    if args.max_client_jobs is not None or args.max_client_stories is not None:
+        quota = ClientQuota(
+            max_jobs=args.max_client_jobs, max_stories=args.max_client_stories
+        )
     daemon = PredictionDaemon(
         default_timeout=args.timeout,
+        quota=quota,
+        journal_dir=args.journal,
+        journal_fsync=args.journal_fsync,
         solver=SolverConfig(backend=args.backend, operator=args.operator),
         calibration=CalibrationConfig(batch=not args.sequential_calibration),
         max_workers=args.workers,
@@ -1127,17 +1226,21 @@ def _command_daemon(args: argparse.Namespace) -> int:
         model=args.model,
     )
     try:
-        if args.socket:
+        if address.scheme != "stdio":
+            # Keep the pre-transport banner for --socket PATH (a bare
+            # path), the full address form for --listen.
+            shown = args.socket if args.listen is None else str(address)
             print(
-                f"daemon listening on {args.socket} "
+                f"daemon listening on {shown} "
                 f"({args.workers} {args.executor} workers, "
                 f"queue depth {args.queue_depth}, "
                 f"{'autotuned' if args.autotune else 'fixed'} shards)",
                 file=sys.stderr,
             )
-            asyncio.run(daemon.serve_unix(args.socket))
-        else:
-            asyncio.run(daemon.serve_stdio())
+        asyncio.run(daemon.serve(address))
+    except AddressInUseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         print("daemon interrupted", file=sys.stderr)
         return 130
@@ -1145,18 +1248,27 @@ def _command_daemon(args: argparse.Namespace) -> int:
     return 0
 
 
-def _connect_error(socket_path: str, error: OSError) -> str:
+def _client_address(args: argparse.Namespace) -> "tuple[str, str]":
+    """(daemon address, how-to-start-it hint) from --connect / --socket."""
+    if getattr(args, "connect", None):
+        return args.connect, f"repro daemon --listen {args.connect}"
+    return args.socket, f"repro daemon --socket {args.socket}"
+
+
+def _connect_error(address: str, error: OSError, hint: str) -> str:
     return (
-        f"error: cannot connect to the daemon at {socket_path}: {error}; "
-        f"is 'repro daemon --socket {socket_path}' running?"
+        f"error: cannot connect to the daemon at {address}: {error}; "
+        f"is '{hint}' running?"
     )
 
 
 def _command_submit(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.core.errors import DaemonConnectionError
     from repro.service import DaemonClient
 
+    address, hint = _client_address(args)
     if args.timeout is not None and args.timeout <= 0:
         print(f"error: --timeout must be > 0, got {args.timeout:g}", file=sys.stderr)
         return 2
@@ -1186,7 +1298,7 @@ def _command_submit(args: argparse.Namespace) -> int:
     async def run() -> "tuple[dict, dict | None, str | None]":
         counts: "dict[str, int]" = {}
         job_event = None
-        async with await DaemonClient.connect_unix(args.socket) as client:
+        async with await DaemonClient.connect(address) as client:
             async for event in client.submit(
                 manifest, job_id=args.id, timeout=args.timeout, model=args.model
             ):
@@ -1209,8 +1321,14 @@ def _command_submit(args: argparse.Namespace) -> int:
 
     try:
         counts, job_event, error = asyncio.run(run())
+    except DaemonConnectionError as conn_error:
+        # The daemon accepted the connection, then died mid-stream: results
+        # already printed are valid, so this is a partial failure (exit 3),
+        # not a connect failure (exit 2).
+        print(f"error: {conn_error}", file=sys.stderr)
+        return EXIT_PARTIAL_FAILURE
     except (ConnectionError, OSError) as oserror:
-        print(_connect_error(args.socket, oserror), file=sys.stderr)
+        print(_connect_error(address, oserror, hint), file=sys.stderr)
         return 2
     finally:
         if output_handle is not None:
@@ -1250,29 +1368,30 @@ def _command_daemon_stats(args: argparse.Namespace) -> int:
 
     from repro.service import DaemonClient
 
+    address, hint = _client_address(args)
     if args.prometheus:
         # Prometheus text exposition: one fetch, raw text to stdout so the
         # output can be served or scraped verbatim.
         async def run_metrics() -> str:
-            async with await DaemonClient.connect_unix(args.socket) as client:
+            async with await DaemonClient.connect(address) as client:
                 return await client.metrics_text()
 
         try:
             text = asyncio.run(run_metrics())
         except (ConnectionError, OSError) as error:
-            print(_connect_error(args.socket, error), file=sys.stderr)
+            print(_connect_error(address, error, hint), file=sys.stderr)
             return 2
         sys.stdout.write(text)
         return 0
 
     async def run() -> dict:
-        async with await DaemonClient.connect_unix(args.socket) as client:
+        async with await DaemonClient.connect(address) as client:
             return await client.stats()
 
     try:
         stats = asyncio.run(run())
     except (ConnectionError, OSError) as error:
-        print(_connect_error(args.socket, error), file=sys.stderr)
+        print(_connect_error(address, error, hint), file=sys.stderr)
         return 2
     print(json.dumps(stats, indent=2, sort_keys=True))
     service = stats.get("service", {})

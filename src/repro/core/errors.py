@@ -17,6 +17,20 @@ no matter which model produced it:
 * :class:`UnknownExecutorError` -- an execution-backend name is not in the
   :mod:`repro.service.execution` registry; same shape as the model error
   so CLI/service code handles both lookups identically.
+* :class:`UnknownTransportError` -- a daemon transport scheme is not in the
+  :mod:`repro.service.transport` registry; same shape again.
+* :class:`AddressInUseError` -- a daemon listener found another *live*
+  daemon already bound to its address (e.g. a Unix socket that answers a
+  connect probe).  Subclasses :class:`OSError` like the ``EADDRINUSE`` it
+  generalises.
+* :class:`DaemonConnectionError` -- the daemon hung up mid-stream (died
+  between a request and its response, or mid-way through streaming a
+  job's events).  Subclasses :class:`ConnectionError`; ``repro submit``
+  maps it to exit code 3 (partial failure) because earlier events of the
+  stream may already have been consumed.
+* :class:`QuotaExceededError` -- a client exceeded its
+  :class:`~repro.service.session.ClientQuota`; carries the structured
+  payload the daemon attaches to the rejecting ``error`` event.
 """
 
 from __future__ import annotations
@@ -75,3 +89,88 @@ class UnknownExecutorError(KeyError):
             f"unknown executor {self.name!r}; registered executors: "
             f"{sorted(self.available)}"
         )
+
+
+class UnknownTransportError(KeyError):
+    """A transport scheme is not in the daemon-transport registry.
+
+    Attributes
+    ----------
+    name:
+        The unknown scheme that was looked up.
+    available:
+        The schemes that *are* registered at lookup time.
+    """
+
+    def __init__(self, name: str, available: "tuple[str, ...]") -> None:
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        return (
+            f"unknown transport {self.name!r}; registered transports: "
+            f"{sorted(self.available)}"
+        )
+
+
+class AddressInUseError(OSError):
+    """A daemon listener's address is held by another *live* daemon.
+
+    Raised by the Unix-socket listener when the socket file at its path
+    answers a connect probe (a stale file from a crashed daemon fails the
+    probe and is reclaimed instead), and by analogy wherever a transport
+    can distinguish live from stale occupancy.
+    """
+
+
+class DaemonConnectionError(ConnectionError):
+    """The daemon connection died mid-stream.
+
+    Raised by :meth:`~repro.service.daemon.DaemonClient` when the daemon
+    hung up between a request and its response, or part-way through an
+    event stream -- as opposed to a connect-time failure (plain
+    :class:`OSError`/:class:`ConnectionError`) where no request was ever
+    accepted.  ``repro submit`` maps it to exit code 3: events already
+    streamed may have been consumed, so the failure is partial, not total.
+    """
+
+
+class QuotaExceededError(RuntimeError):
+    """A client exceeded its per-client daemon quota.
+
+    Attributes
+    ----------
+    kind:
+        Which limit tripped: ``"jobs"`` (in-flight jobs per client) or
+        ``"stories"`` (queued + running stories per client).
+    limit:
+        The configured bound.
+    in_flight:
+        The client's current usage when the request arrived.
+    requested:
+        How much the rejected request asked for (1 for a job, the story
+        count for stories).
+    """
+
+    def __init__(self, kind: str, limit: int, in_flight: int, requested: int) -> None:
+        self.kind = kind
+        self.limit = limit
+        self.in_flight = in_flight
+        self.requested = requested
+        super().__init__(
+            f"client quota exceeded: {in_flight} {kind} in flight + "
+            f"{requested} requested > limit {limit}"
+        )
+
+    def payload(self) -> "dict[str, object]":
+        """The structured fields the daemon attaches to the error event."""
+        return {
+            "error_type": "quota_exceeded",
+            "quota": {
+                "kind": self.kind,
+                "limit": self.limit,
+                "in_flight": self.in_flight,
+                "requested": self.requested,
+            },
+        }

@@ -19,8 +19,19 @@ job queue so whole corpora of cascades are scored concurrently:
 * :mod:`repro.service.telemetry` -- the in-process
   :class:`MetricsRegistry` (counters, gauges, solve-time histograms) the
   service and daemon report into.
+* :mod:`repro.service.transport` -- daemon addresses (``unix:PATH``,
+  ``tcp:HOST:PORT``, ``stdio``), :class:`Listener` implementations and the
+  transport registry behind ``repro daemon --listen`` and
+  :meth:`DaemonClient.connect`.
+* :mod:`repro.service.session` -- per-connection protocol sessions:
+  JSON-lines framing, request routing and the per-client
+  :class:`ClientQuota` (typed quota-rejection error events).
+* :mod:`repro.service.journal` -- the optional restart-surviving
+  :class:`JobJournal`: accepted jobs are journalled before they are
+  acknowledged, and a restarted daemon reports the previous process's
+  in-flight jobs as ``interrupted`` instead of forgetting them.
 * :mod:`repro.service.daemon` -- the long-lived :class:`PredictionDaemon`
-  serving a JSON-lines protocol over stdio or a Unix socket (``repro
+  composing the three layers above with the job lifecycle (``repro
   daemon`` / ``repro submit`` / ``repro daemon-stats``), plus the matching
   :class:`DaemonClient`.
 * :mod:`repro.service.manifest` -- the story-manifest format consumed by the
@@ -35,6 +46,7 @@ from repro.service.daemon import (
     PredictionDaemon,
     story_result_payload,
 )
+from repro.service.journal import JobJournal, ReplayedJob, replay_records
 from repro.service.execution import (
     ExecutionBackend,
     ProcessExecutionBackend,
@@ -67,8 +79,27 @@ from repro.service.service import (
     PredictionService,
     score_corpus_sync,
 )
+from repro.service.session import ClientQuota, ClientSession
 from repro.service.sharding import CorpusSharder, Shard, ShardAutotuner, ShardKey
 from repro.service.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.transport import (
+    Address,
+    AddressError,
+    Connection,
+    Listener,
+    StdioListener,
+    TcpListener,
+    TransportSpec,
+    UnixListener,
+    available_transports,
+    create_listener,
+    get_transport,
+    open_client_connection,
+    parse_address,
+    register_transport,
+    transport_descriptions,
+    unregister_transport,
+)
 
 __all__ = [
     "CorpusSharder",
@@ -101,6 +132,27 @@ __all__ = [
     "DaemonJob",
     "PredictionDaemon",
     "story_result_payload",
+    "Address",
+    "AddressError",
+    "Connection",
+    "Listener",
+    "StdioListener",
+    "TcpListener",
+    "TransportSpec",
+    "UnixListener",
+    "available_transports",
+    "create_listener",
+    "get_transport",
+    "open_client_connection",
+    "parse_address",
+    "register_transport",
+    "transport_descriptions",
+    "unregister_transport",
+    "ClientQuota",
+    "ClientSession",
+    "JobJournal",
+    "ReplayedJob",
+    "replay_records",
     "ManifestError",
     "ManifestStory",
     "ResolvedManifest",

@@ -1,12 +1,32 @@
-"""Long-lived prediction daemon: a JSON-lines protocol over stdio or a socket.
+"""Long-lived prediction daemon: job lifecycle over pluggable transports.
 
 :class:`PredictionDaemon` turns the one-shot
 :class:`~repro.service.service.PredictionService` into a server that
-outlives any single manifest: clients connect over stdin/stdout or a
-Unix-domain socket, submit story manifests as **jobs**, and receive
+outlives any single manifest: clients connect over stdin/stdout, a
+Unix-domain socket or TCP, submit story manifests as **jobs**, and receive
 per-story results and job-status events streamed back as they complete,
 while the daemon keeps one shared sharded worker pool (and its cached
 operator factorizations) warm across jobs.
+
+The daemon is a thin composition of three layers, each its own module:
+
+* :mod:`repro.service.transport` -- addresses (``unix:/path``,
+  ``tcp:HOST:PORT``, ``stdio``), listeners and client connections, behind
+  a transport registry.  :meth:`PredictionDaemon.serve` takes any
+  registered address; :meth:`serve_unix` / :meth:`serve_tcp` /
+  :meth:`serve_stdio` are the named shortcuts.
+* :mod:`repro.service.session` -- JSON-lines framing, request routing
+  (submit/status/stats/metrics/ping/shutdown), per-connection state and
+  the per-client :class:`~repro.service.session.ClientQuota`.
+* :mod:`repro.service.journal` -- the optional restart-surviving job
+  journal (``journal_dir=``): every accepted job is journalled before it
+  is acknowledged, and a restarted daemon replays the journal so
+  previously in-flight jobs answer ``status`` as ``interrupted`` instead
+  of silently vanishing.
+
+What stays here is the daemon's own job: the lifecycle of a submitted
+manifest (resolution, per-story submission to the shared service,
+streaming ``result`` events, the final ``job`` event, bounded history).
 
 Protocol
 --------
@@ -22,7 +42,9 @@ terminated, UTF-8).  Requests carry an ``op`` field:
     ``job`` event with final counts.
 ``{"op": "status", "id": "job-1"}``
     One ``status`` event with the job's current per-story counts.  Without
-    ``id``, a summary of every known job.
+    ``id``, a summary of every known job.  After a restart with the same
+    journal directory, previously in-flight jobs answer with status
+    ``interrupted``.
 ``{"op": "stats"}``
     One ``stats`` event: daemon uptime and job counts, the service's
     counters (including autotuner state when enabled) and the full
@@ -34,35 +56,46 @@ terminated, UTF-8).  Requests carry an ``op`` field:
 
 Events mirror requests: ``accepted``, ``result``, ``job``, ``status``,
 ``stats``, ``pong``, ``shutdown`` and ``error`` (malformed JSON, unknown
-ops and invalid manifests produce an ``error`` event on the offending
-connection, never a dead daemon).
+ops, invalid manifests and quota rejections produce an ``error`` event on
+the offending connection, never a dead daemon; quota rejections carry
+``"error_type": "quota_exceeded"`` plus the tripped limit).
 
 Results are bit-identical to the synchronous
 :class:`~repro.core.prediction.BatchPredictor` on the same stories -- the
 daemon only adds transport and scheduling, never numerics (the ``daemon``
-benchmark section and the CI ``daemon-smoke`` job assert this).
+benchmark section and the CI ``daemon-smoke`` job assert this, including
+record-for-record equality between a TCP daemon and a Unix-socket one).
 
 :class:`DaemonClient` is the matching asyncio client used by ``repro
 submit`` / ``repro daemon-stats``, the benchmark harness and
-``examples/daemon_client.py``.
+``examples/daemon_client.py``; :meth:`DaemonClient.connect` dials any
+transport address.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import json
-import os
-import sys
 import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator
 
-from repro.core.errors import UnknownModelError
+from repro.core.errors import DaemonConnectionError, QuotaExceededError, UnknownModelError
 from repro.core.prediction import PredictionResult
 from repro.models.registry import get_model
+from repro.service.journal import FSYNC_POLICIES, JobJournal
 from repro.service.manifest import ManifestError, open_corpus
 from repro.service.service import JobStatus, PredictionJob, PredictionService
+from repro.service.session import ClientQuota, ClientSession
+from repro.service.transport import (
+    Address,
+    Connection,
+    Listener,
+    create_listener,
+    open_client_connection,
+)
 
 DEFAULT_HOURS = 6
 _SUBMIT_FIELDS = {"op", "manifest", "id", "timeout", "model"}
@@ -89,7 +122,13 @@ def story_result_payload(result: PredictionResult) -> dict:
 
 @dataclass
 class DaemonJob:
-    """One submitted manifest tracked for its whole lifetime."""
+    """One submitted manifest tracked for its whole lifetime.
+
+    ``interrupted`` jobs were replayed from the journal of a daemon
+    process that died with them in flight: their per-story counts come
+    from ``replayed_counts`` (reconstructed journal state) instead of live
+    :class:`PredictionJob` objects.
+    """
 
     id: str
     submitted_at: float
@@ -97,9 +136,19 @@ class DaemonJob:
     skipped: "list[str]" = field(default_factory=list)
     story_jobs: "dict[str, PredictionJob]" = field(default_factory=dict)
     completed: bool = False
+    interrupted: bool = False
+    stories_pending: int = 0
+    replayed_counts: "dict[str, int] | None" = None
+
+    @property
+    def active(self) -> bool:
+        """True while the job is still producing events (quota accounting)."""
+        return not self.completed and not self.interrupted
 
     def story_counts(self) -> dict:
         """Per-status story counts (``skipped`` included)."""
+        if self.replayed_counts is not None:
+            return dict(self.replayed_counts)
         counts = {status.value: 0 for status in JobStatus}
         for job in self.story_jobs.values():
             counts[job.status.value] += 1
@@ -108,38 +157,16 @@ class DaemonJob:
 
     def summary(self) -> dict:
         counts = self.story_counts()
+        if self.interrupted:
+            status = "interrupted"
+        else:
+            status = "completed" if self.completed else "running"
         return {
             "id": self.id,
-            "status": "completed" if self.completed else "running",
+            "status": status,
             "stories": counts,
             "age_seconds": time.time() - self.submitted_at,
         }
-
-
-class _Connection:
-    """One JSON-lines peer: a serialized writer shared by event streamers."""
-
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        self.reader = reader
-        self.writer = writer
-        self._write_lock = asyncio.Lock()
-
-    async def send(self, payload: dict) -> None:
-        line = json.dumps(payload, sort_keys=True) + "\n"
-        # Concurrent job streamers share this connection; the lock keeps
-        # each event on its own line no matter how watchers interleave.
-        async with self._write_lock:
-            self.writer.write(line.encode("utf-8"))
-            try:
-                await self.writer.drain()
-            except (ConnectionResetError, BrokenPipeError):
-                pass  # the peer hung up; the read loop will see EOF and exit
-
-    def close(self) -> None:
-        try:
-            self.writer.close()
-        except RuntimeError:
-            pass  # event loop already closing
 
 
 class PredictionDaemon:
@@ -151,10 +178,29 @@ class PredictionDaemon:
         Per-story wall-clock deadline (seconds) applied to submissions that
         do not carry their own ``timeout``; ``None`` disables deadlines.
     max_completed_jobs:
-        How many *completed* jobs stay queryable via ``status`` before the
-        oldest are evicted (their per-story results are only streamed, so
-        eviction loses nothing but history).  Bounds the daemon's memory
-        over an arbitrarily long life; active jobs are never evicted.
+        How many *terminal* jobs (completed or interrupted) stay queryable
+        via ``status`` before the oldest are evicted (their per-story
+        results are only streamed, so eviction loses nothing but history).
+        Bounds the daemon's memory over an arbitrarily long life; active
+        jobs are never evicted.
+    quota:
+        A :class:`~repro.service.session.ClientQuota` bounding each
+        client's share of the queue (max in-flight jobs / queued stories
+        per connection); ``None`` leaves clients unlimited.  Rejections
+        are typed ``error`` events (``error_type: "quota_exceeded"``) and
+        counted in ``daemon.quota_rejections``.
+    journal_dir:
+        Directory of the restart-surviving job journal
+        (:mod:`repro.service.journal`).  Every accepted job is journalled
+        -- durably, under the default fsync policy -- *before* its
+        ``accepted`` event is sent; on start the journal is replayed and
+        jobs the previous process never finished are registered with
+        status ``interrupted``, so ``status`` answers for them instead of
+        claiming they never existed.  ``None`` (default) disables
+        journalling.
+    journal_fsync:
+        Journal fsync policy: ``"always"`` (default, sync every record)
+        or ``"never"`` (flush only; the tail may be lost on power cut).
     **service_kwargs:
         Forwarded to :class:`~repro.service.service.PredictionService`
         (workers, queue depth, shard size, autotune, backend, operator,
@@ -165,14 +211,19 @@ class PredictionDaemon:
         executor kind and worker-pool size the daemon is actually running
         with.
 
-    Call :meth:`serve_unix` (socket) or :meth:`serve_stdio` (pipe) -- both
-    run until a ``shutdown`` request (or EOF on stdio) and drain gracefully.
+    Call :meth:`serve` with any registered transport address, or the named
+    shortcuts :meth:`serve_unix` / :meth:`serve_tcp` / :meth:`serve_stdio`
+    -- all run until a ``shutdown`` request (or EOF on stdio) and drain
+    gracefully.
     """
 
     def __init__(
         self,
         default_timeout: "float | None" = None,
         max_completed_jobs: int = 256,
+        quota: "ClientQuota | None" = None,
+        journal_dir: "str | None" = None,
+        journal_fsync: str = "always",
         **service_kwargs,
     ) -> None:
         if default_timeout is not None and default_timeout <= 0:
@@ -183,6 +234,16 @@ class PredictionDaemon:
             )
         self._default_timeout = default_timeout
         self._max_completed_jobs = max_completed_jobs
+        self._quota = quota
+        self._journal_dir = journal_dir
+        # Validate the policy now (construction time), not at first serve.
+        if journal_fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got "
+                f"{journal_fsync!r}"
+            )
+        self._journal_fsync = journal_fsync
+        self._journal: "JobJournal | None" = None
         self._service_kwargs = service_kwargs
         self._service: "PredictionService | None" = None
         self._jobs: "dict[str, DaemonJob]" = {}
@@ -191,75 +252,111 @@ class PredictionDaemon:
         self._drain_on_stop = True
         self._stop: "asyncio.Event | None" = None
         self._job_tasks: "set[asyncio.Task]" = set()
-        self._connections: "set[_Connection]" = set()
+        self._connections: "set[Connection]" = set()
+        self._listener: "Listener | None" = None
         self._started_at = 0.0
 
     # ------------------------------------------------------------------ #
     # Serving
     # ------------------------------------------------------------------ #
+    async def serve(self, address: "str | Address") -> None:
+        """Serve on any registered transport address until ``shutdown``.
+
+        ``address`` follows the :func:`~repro.service.transport.parse_address`
+        grammar: ``unix:/path/to.sock``, ``tcp:HOST:PORT``, ``stdio`` or a
+        bare Unix-socket path.
+        """
+        await self._serve(create_listener(address))
+
     async def serve_unix(self, socket_path: str) -> None:
         """Serve on a Unix-domain socket until a ``shutdown`` request."""
-        # A stale socket file from a crashed daemon would fail the bind;
-        # binding over it is safe because connect() on a dead socket fails.
-        if os.path.exists(socket_path):
-            os.unlink(socket_path)
+        await self.serve(Address(scheme="unix", path=socket_path))
+
+    async def serve_tcp(self, host: str, port: int) -> None:
+        """Serve on a TCP socket until a ``shutdown`` request."""
+        await self.serve(Address(scheme="tcp", host=host, port=port))
+
+    async def serve_stdio(self) -> None:
+        """Serve one client over stdin/stdout until ``shutdown`` or EOF."""
+        await self.serve(Address(scheme="stdio"))
+
+    @property
+    def listener(self) -> "Listener | None":
+        """The live listener while serving (e.g. to read a bound TCP port)."""
+        return self._listener
+
+    async def _serve(self, listener: Listener) -> None:
         async with self._running_service():
-            server = await asyncio.start_unix_server(
-                self._handle_socket_client, path=socket_path
-            )
+            self._listener = listener
             try:
+                await listener.start(self._handle_connection)
                 assert self._stop is not None
-                await self._stop.wait()
-                server.close()
-                await server.wait_closed()
+                stop_wait = asyncio.ensure_future(self._stop.wait())
+                served = asyncio.ensure_future(listener.wait())
+                # Either a shutdown request stops us, or the transport
+                # itself finishes (stdio: the pipe client reached EOF).
+                await asyncio.wait(
+                    {stop_wait, served}, return_when=asyncio.FIRST_COMPLETED
+                )
+                for future in (stop_wait, served):
+                    if not future.done():
+                        future.cancel()
+                await asyncio.gather(stop_wait, served, return_exceptions=True)
+                self._accepting = False
+                await listener.stop()
                 await self._settle()
             finally:
                 for connection in list(self._connections):
                     connection.close()
-                if os.path.exists(socket_path):
-                    os.unlink(socket_path)
+                self._connections.clear()
+                listener.cleanup()
+                self._listener = None
 
-    async def serve_stdio(self) -> None:
-        """Serve one client over stdin/stdout until ``shutdown`` or EOF."""
-        loop = asyncio.get_running_loop()
-        reader = asyncio.StreamReader()
-        await loop.connect_read_pipe(
-            lambda: asyncio.StreamReaderProtocol(reader), sys.stdin
-        )
-        transport, protocol = await loop.connect_write_pipe(
-            asyncio.streams.FlowControlMixin, sys.stdout
-        )
-        writer = asyncio.StreamWriter(transport, protocol, reader, loop)
-        async with self._running_service():
-            connection = _Connection(reader, writer)
-            self._connections.add(connection)
-            try:
-                await self._read_loop(connection)
-                # EOF on stdin is the pipe client's shutdown: drain and exit.
-                self._accepting = False
-                await self._settle()
-            finally:
-                self._connections.discard(connection)
+    @contextlib.asynccontextmanager
+    async def _running_service(self):
+        self._service = PredictionService(**self._service_kwargs)
+        self._service.start()
+        self._stop = asyncio.Event()
+        self._accepting = True
+        self._drain_on_stop = True
+        self._started_at = time.time()
+        if self._journal_dir is not None:
+            self._journal = JobJournal(self._journal_dir, fsync=self._journal_fsync)
+            self._register_interrupted_jobs(self._journal.replay())
+        try:
+            yield self
+        finally:
+            await self._service.close(drain=self._drain_on_stop)
+            self._accepting = False
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
 
-    def _running_service(self):
-        daemon = self
+    def _register_interrupted_jobs(self, replayed) -> None:
+        """Re-register journalled jobs the previous process never finished.
 
-        class _Scope:
-            async def __aenter__(self):
-                daemon._service = PredictionService(**daemon._service_kwargs)
-                daemon._service.start()
-                daemon._stop = asyncio.Event()
-                daemon._accepting = True
-                daemon._drain_on_stop = True
-                daemon._started_at = time.time()
-                return daemon
+        They answer ``status`` as ``interrupted`` -- with per-story counts
+        reconstructed from the journal -- instead of ``unknown job``; the
+        same retention cap as completed jobs bounds them.
+        """
+        assert self._service is not None
+        for job in replayed.values():
+            self._jobs[job.id] = DaemonJob(
+                id=job.id,
+                submitted_at=job.submitted_at,
+                timeout=None,
+                skipped=list(job.skipped),
+                interrupted=True,
+                replayed_counts=job.story_counts(),
+            )
+            self._service.metrics.counter("daemon.jobs_interrupted").inc()
+        self._sync_journal_gauge()
 
-            async def __aexit__(self, exc_type, exc, tb):
-                assert daemon._service is not None
-                await daemon._service.close(drain=daemon._drain_on_stop)
-                daemon._accepting = False
-
-        return _Scope()
+    def _sync_journal_gauge(self) -> None:
+        if self._journal is not None and self._service is not None:
+            self._service.metrics.gauge("daemon.journal_records").set(
+                self._journal.records_written
+            )
 
     async def _settle(self) -> None:
         """Finish every accepted job according to the drain policy."""
@@ -270,18 +367,30 @@ class PredictionDaemon:
         if self._job_tasks:
             await asyncio.gather(*list(self._job_tasks), return_exceptions=True)
 
-    async def _handle_socket_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        connection = _Connection(reader, writer)
+    async def _handle_connection(self, connection: Connection) -> None:
+        assert self._service is not None
+        metrics = self._service.metrics
+        metrics.counter("daemon.connections").inc()
+        metrics.counter(
+            "daemon.connections", labels={"transport": connection.scheme}
+        ).inc()
+        active_gauge = metrics.gauge("daemon.active_connections")
+        active_gauge.inc()
         self._connections.add(connection)
+        session = ClientSession(self, connection, metrics, quota=self._quota)
         try:
-            await self._read_loop(connection)
+            await session.run()
         finally:
-            if self._stop is not None and self._stop.is_set():
+            active_gauge.dec()
+            if connection.scheme == "stdio":
+                # The one stdio peer reached EOF; its stdout stays open so
+                # in-flight jobs stream their results during the drain --
+                # _serve closes it after _settle().
+                pass
+            elif self._stop is not None and self._stop.is_set():
                 # Shutdown path: the read loop exits promptly, but in-flight
                 # job streamers may still owe this peer result events during
-                # the drain -- serve_unix closes every registered connection
+                # the drain -- _serve closes every registered connection
                 # after _settle().
                 pass
             else:
@@ -289,150 +398,79 @@ class PredictionDaemon:
                 self._connections.discard(connection)
                 connection.close()
 
-    async def _read_loop(self, connection: _Connection) -> None:
-        # The loop must exit the moment shutdown is requested, even while
-        # parked in readline() on an idle connection that the peer keeps
-        # open -- otherwise the stdio transport (and Server.wait_closed on
-        # Python >= 3.12, which awaits every live handler) would hang until
-        # the peer happened to hang up.
+    # ------------------------------------------------------------------ #
+    # SessionHost surface (the routing layer calls back into these)
+    # ------------------------------------------------------------------ #
+    @property
+    def stop_event(self) -> asyncio.Event:
         assert self._stop is not None
-        stop_wait = asyncio.ensure_future(self._stop.wait())
-        try:
-            while not self._stop.is_set():
-                read = asyncio.ensure_future(connection.reader.readline())
-                await asyncio.wait(
-                    {read, stop_wait}, return_when=asyncio.FIRST_COMPLETED
-                )
-                if not read.done():
-                    read.cancel()
-                    await asyncio.gather(read, return_exceptions=True)
-                    return
-                try:
-                    line = read.result()
-                except (ConnectionResetError, BrokenPipeError):
-                    return
-                if not line:
-                    return
-                text = line.decode("utf-8", errors="replace").strip()
-                if not text:
-                    continue
-                await self._dispatch(connection, text)
-        finally:
-            stop_wait.cancel()
-            await asyncio.gather(stop_wait, return_exceptions=True)
+        return self._stop
 
-    # ------------------------------------------------------------------ #
-    # Request dispatch
-    # ------------------------------------------------------------------ #
-    async def _dispatch(self, connection: _Connection, text: str) -> None:
-        assert self._service is not None
-        self._service.metrics.counter("daemon.requests").inc()
-        try:
-            message = json.loads(text)
-        except json.JSONDecodeError as error:
-            await self._error(connection, f"invalid JSON: {error}")
-            return
-        if not isinstance(message, dict):
-            await self._error(
-                connection, f"a request must be an object, got {type(message).__name__}"
-            )
-            return
-        op = message.get("op")
-        if op == "submit":
-            await self._handle_submit(connection, message)
-        elif op == "status":
-            await self._handle_status(connection, message)
-        elif op == "stats":
-            await connection.send(self._stats_payload())
-        elif op == "metrics":
-            # Prometheus text exposition of the shared telemetry registry;
-            # `repro daemon-stats --prometheus` prints it verbatim.
-            await connection.send(
-                {"event": "metrics", "text": self._service.metrics.to_prometheus()}
-            )
-        elif op == "ping":
-            await connection.send({"event": "pong"})
-        elif op == "shutdown":
-            drain = message.get("drain", True)
-            self._accepting = False
-            self._drain_on_stop = bool(drain)
-            await connection.send({"event": "shutdown", "drain": self._drain_on_stop})
-            assert self._stop is not None
-            self._stop.set()
-        else:
-            await self._error(
-                connection,
-                f"unknown op {op!r}; expected one of "
-                f"'submit', 'status', 'stats', 'metrics', 'ping', 'shutdown'",
-            )
+    def begin_shutdown(self, drain: bool) -> None:
+        """Bar new submissions and record the drain policy (shutdown op)."""
+        self._accepting = False
+        self._drain_on_stop = bool(drain)
 
-    async def _error(
-        self, connection: _Connection, message: str, job_id: "str | None" = None
-    ) -> None:
-        assert self._service is not None
-        self._service.metrics.counter("daemon.errors").inc()
-        payload = {"event": "error", "error": message}
-        if job_id is not None:
-            payload["id"] = job_id
-        await connection.send(payload)
+    def job_summaries(self) -> "list[dict]":
+        return [job.summary() for job in self._jobs.values()]
 
-    def _stats_payload(self) -> dict:
+    def job_summary(self, job_id: str) -> "dict | None":
+        job = self._jobs.get(job_id)
+        return job.summary() if job is not None else None
+
+    def metrics_text(self) -> str:
         assert self._service is not None
-        active = sum(1 for job in self._jobs.values() if not job.completed)
-        return {
+        return self._service.metrics.to_prometheus()
+
+    def stats_payload(self) -> dict:
+        assert self._service is not None
+        active = sum(1 for job in self._jobs.values() if job.active)
+        interrupted = sum(1 for job in self._jobs.values() if job.interrupted)
+        jobs = {
+            "active": active,
+            "completed": len(self._jobs) - active - interrupted,
+            "total": len(self._jobs),
+        }
+        payload = {
             "event": "stats",
             "uptime_seconds": time.time() - self._started_at,
-            "jobs": {
-                "active": active,
-                "completed": len(self._jobs) - active,
-                "total": len(self._jobs),
-            },
+            "jobs": jobs,
             "service": self._service.stats(),
             "metrics": self._service.metrics.snapshot(),
         }
-
-    async def _handle_status(self, connection: _Connection, message: dict) -> None:
-        job_id = message.get("id")
-        if job_id is None:
-            await connection.send(
-                {
-                    "event": "status",
-                    "jobs": [job.summary() for job in self._jobs.values()],
-                }
-            )
-            return
-        job = self._jobs.get(str(job_id))
-        if job is None:
-            await self._error(
-                connection, f"unknown job {job_id!r}", job_id=str(job_id)
-            )
-            return
-        await connection.send({"event": "status", **job.summary()})
+        if self._journal is not None:
+            # Journal state only appears when journalling is on, so the
+            # default stats payload stays byte-compatible.
+            jobs["interrupted"] = interrupted
+            payload["journal"] = {
+                "directory": self._journal.directory,
+                "fsync": self._journal.fsync,
+                "records_written": self._journal.records_written,
+            }
+        return payload
 
     # ------------------------------------------------------------------ #
-    # Submission
+    # Submission (job lifecycle proper)
     # ------------------------------------------------------------------ #
-    async def _handle_submit(self, connection: _Connection, message: dict) -> None:
+    async def handle_submit(self, session: ClientSession, message: dict) -> None:
         assert self._service is not None
+        connection = session.connection
         if not self._accepting:
-            await self._error(connection, "the daemon is shutting down")
+            await session.error("the daemon is shutting down")
             return
         unknown = sorted(set(message) - _SUBMIT_FIELDS)
         if unknown:
-            await self._error(
-                connection,
+            await session.error(
                 f"unknown submit field(s) {unknown}; expected a subset of "
-                f"{sorted(_SUBMIT_FIELDS - {'op'})}",
+                f"{sorted(_SUBMIT_FIELDS - {'op'})}"
             )
             return
         if "manifest" not in message:
-            await self._error(connection, "submit needs a 'manifest' field")
+            await session.error("submit needs a 'manifest' field")
             return
         job_id = str(message["id"]) if message.get("id") is not None else None
         if job_id is not None and job_id in self._jobs:
-            await self._error(
-                connection, f"job id {job_id!r} already exists", job_id=job_id
-            )
+            await session.error(f"job id {job_id!r} already exists", job_id=job_id)
             return
         timeout = message.get("timeout", self._default_timeout)
         if timeout is not None and (
@@ -440,9 +478,16 @@ class PredictionDaemon:
             or isinstance(timeout, bool)
             or timeout <= 0
         ):
-            await self._error(
-                connection, f"'timeout' must be a positive number, got {timeout!r}"
+            await session.error(
+                f"'timeout' must be a positive number, got {timeout!r}"
             )
+            return
+        try:
+            # Cheap fail-fast before any manifest work; the story quota is
+            # checked again once the manifest is resolved and counted.
+            session.check_job_quota()
+        except QuotaExceededError as error:
+            await session.reject_quota(error, job_id=job_id)
             return
         model_override = message.get("model")
         if model_override is not None:
@@ -450,14 +495,13 @@ class PredictionDaemon:
             try:
                 get_model(model_override)
             except UnknownModelError as error:
-                await self._error(connection, str(error), job_id=job_id)
+                await session.error(str(error), job_id=job_id)
                 return
         payload = message["manifest"]
         if not isinstance(payload, dict):
             # A protocol manifest is always an inline JSON object; a string
             # must never be interpreted as a server-side file path.
-            await self._error(
-                connection,
+            await session.error(
                 f"invalid manifest: the manifest must be an object, got "
                 f"{type(payload).__name__}",
                 job_id=job_id,
@@ -466,12 +510,10 @@ class PredictionDaemon:
         try:
             manifest = open_corpus(payload, source="<protocol>")
         except ManifestError as error:
-            await self._error(connection, f"invalid manifest: {error}", job_id=job_id)
+            await session.error(f"invalid manifest: {error}", job_id=job_id)
             return
         if not manifest.stories:
-            await self._error(
-                connection, "the manifest contains no stories", job_id=job_id
-            )
+            await session.error("the manifest contains no stories", job_id=job_id)
             return
         hours = manifest.hours or DEFAULT_HOURS
         training_times = [float(t) for t in range(1, hours + 1)]
@@ -485,7 +527,12 @@ class PredictionDaemon:
                 ),
             )
         except ManifestError as error:
-            await self._error(connection, f"invalid manifest: {error}", job_id=job_id)
+            await session.error(f"invalid manifest: {error}", job_id=job_id)
+            return
+        try:
+            session.check_story_quota(len(resolved.surfaces))
+        except QuotaExceededError as error:
+            await session.reject_quota(error, job_id=job_id)
             return
         if job_id is None:
             # Generated ids must also dodge client-chosen ones ("job-1" is a
@@ -501,8 +548,20 @@ class PredictionDaemon:
             submitted_at=time.time(),
             timeout=timeout,
             skipped=list(resolved.skipped),
+            stories_pending=len(resolved.surfaces),
         )
         self._jobs[job_id] = job
+        session.track_job(job)
+        if self._journal is not None:
+            # Journalled (and, under fsync="always", durably synced) BEFORE
+            # the accepted event: an acknowledged job is never lost.
+            self._journal.record_submit(
+                job_id,
+                stories=list(resolved.surfaces),
+                skipped=job.skipped,
+                timeout=timeout,
+            )
+            self._sync_journal_gauge()
         self._service.metrics.counter("daemon.jobs_submitted").inc()
         await connection.send(
             {
@@ -544,9 +603,16 @@ class PredictionDaemon:
         self._job_tasks.add(task)
         task.add_done_callback(self._job_tasks.discard)
 
+    def _record_story_terminal(self, job: DaemonJob, story: str, status: str) -> None:
+        """Story bookkeeping every terminal path shares (journal + quota)."""
+        job.stories_pending = max(0, job.stories_pending - 1)
+        if self._journal is not None:
+            self._journal.record_story(job.id, story, status)
+            self._sync_journal_gauge()
+
     async def _run_job(
         self,
-        connection: _Connection,
+        connection: Connection,
         job: DaemonJob,
         surfaces: dict,
         training_times: "list[float]",
@@ -576,6 +642,7 @@ class PredictionDaemon:
                     # ValueError: a name collision in the service's in-flight
                     # namespace.  Either way, report the story instead of
                     # letting the job task die with results half-streamed.
+                    self._record_story_terminal(job, name, "cancelled")
                     await connection.send(
                         {
                             "event": "result",
@@ -597,6 +664,9 @@ class PredictionDaemon:
                 await asyncio.gather(*watchers)
         finally:
             job.completed = True
+            if self._journal is not None:
+                self._journal.record_job(job.id, "completed")
+                self._sync_journal_gauge()
             self._prune_jobs()
             await connection.send(
                 {
@@ -609,26 +679,31 @@ class PredictionDaemon:
             )
 
     def _prune_jobs(self) -> None:
-        """Evict the oldest completed jobs beyond the retention cap.
+        """Evict the oldest terminal jobs beyond the retention cap.
 
         A long-lived daemon would otherwise retain every DaemonJob -- with
         its per-story PredictionJob objects, surfaces and results -- for the
-        life of the process.  Only completed jobs are evicted (dict order is
-        submission order, so the oldest go first); their results were
-        already streamed, so eviction only trims ``status`` history.
+        life of the process.  Only terminal jobs (completed or replayed as
+        interrupted) are evicted (dict order is submission order, so the
+        oldest go first); their results were already streamed (or lost with
+        the process that owned them), so eviction only trims ``status``
+        history.
         """
-        completed = [job_id for job_id, job in self._jobs.items() if job.completed]
-        for job_id in completed[: max(0, len(completed) - self._max_completed_jobs)]:
+        terminal = [
+            job_id for job_id, job in self._jobs.items() if not job.active
+        ]
+        for job_id in terminal[: max(0, len(terminal) - self._max_completed_jobs)]:
             del self._jobs[job_id]
 
     async def _stream_story(
         self,
-        connection: _Connection,
+        connection: Connection,
         job: DaemonJob,
         name: str,
         story_job: PredictionJob,
     ) -> None:
         await story_job.finished()
+        self._record_story_terminal(job, name, story_job.status.value)
         payload = {
             "event": "result",
             "id": job.id,
@@ -651,16 +726,18 @@ class PredictionDaemon:
 # Client
 # ---------------------------------------------------------------------- #
 class DaemonClient:
-    """Asyncio client for the daemon's JSON-lines protocol (Unix socket).
+    """Asyncio client for the daemon's JSON-lines protocol.
 
-    Use as an async context manager::
+    Connect to any transport address::
 
-        async with await DaemonClient.connect_unix(path) as client:
+        async with await DaemonClient.connect("unix:/tmp/repro.sock") as client:
             async for event in client.submit(manifest):
                 ...
 
-    One client drives one request at a time; open several connections for
-    concurrent submissions.
+    ``tcp:HOST:PORT`` and bare Unix-socket paths work too (the
+    :func:`~repro.service.transport.parse_address` grammar).  One client
+    drives one request at a time; open several connections for concurrent
+    submissions.
     """
 
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
@@ -668,9 +745,18 @@ class DaemonClient:
         self._writer = writer
 
     @classmethod
-    async def connect_unix(cls, socket_path: str) -> "DaemonClient":
-        reader, writer = await asyncio.open_unix_connection(socket_path)
+    async def connect(cls, address: "str | Address") -> "DaemonClient":
+        """Dial a daemon address (``unix:PATH``, ``tcp:HOST:PORT``, bare path)."""
+        reader, writer = await open_client_connection(address)
         return cls(reader, writer)
+
+    @classmethod
+    async def connect_unix(cls, socket_path: str) -> "DaemonClient":
+        return await cls.connect(Address(scheme="unix", path=socket_path))
+
+    @classmethod
+    async def connect_tcp(cls, host: str, port: int) -> "DaemonClient":
+        return await cls.connect(Address(scheme="tcp", host=host, port=port))
 
     async def __aenter__(self) -> "DaemonClient":
         return self
@@ -690,10 +776,32 @@ class DaemonClient:
         await self._writer.drain()
 
     async def _receive(self) -> dict:
+        """Read one event line; typed error when the daemon dies mid-stream.
+
+        EOF here means the daemon hung up *after* accepting the connection
+        -- it was stopped or killed between a request and its response (or
+        part-way through an event stream), which callers must be able to
+        tell from a connect-time failure.  A truncated or malformed line is
+        the same condition caught mid-write.
+        """
         line = await self._reader.readline()
         if not line:
-            raise ConnectionError("the daemon closed the connection")
-        return json.loads(line.decode("utf-8"))
+            raise DaemonConnectionError(
+                "the daemon closed the connection mid-stream (it may have "
+                "been stopped or killed); events already received are valid"
+            )
+        if not line.endswith(b"\n"):
+            raise DaemonConnectionError(
+                "the daemon died mid-response: the connection closed part-way "
+                "through an event line"
+            )
+        try:
+            return json.loads(line.decode("utf-8"))
+        except json.JSONDecodeError as error:
+            raise DaemonConnectionError(
+                f"the daemon sent a malformed event line ({error}); the "
+                f"connection is unusable"
+            ) from None
 
     async def request(self, payload: dict) -> dict:
         """Send one request and return its single response event."""

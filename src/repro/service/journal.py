@@ -1,0 +1,271 @@
+"""Daemon job journal: restart-surviving job lifecycle records.
+
+A long-lived daemon that dies (OOM kill, host reboot, ``kill -9``) used to
+take every in-flight job's existence with it -- a client asking ``status``
+after the restart got ``unknown job``, indistinguishable from a job that
+was never submitted.  The journal closes that gap: with ``--journal DIR``
+the daemon appends one JSON object per line to ``DIR/journal.jsonl`` at
+each lifecycle edge --
+
+``{"type": "submit", "job": ..., "stories": [...], "skipped": [...]}``
+    A job was accepted (written -- and with ``fsync="always"`` durably
+    synced -- *before* the ``accepted`` event reaches the client, so an
+    acknowledged job is never lost).
+``{"type": "story", "job": ..., "story": ..., "status": ...}``
+    One story reached a terminal status (succeeded / failed / timed_out /
+    cancelled / skipped).
+``{"type": "job", "job": ..., "status": "completed"}``
+    The job finished and streamed its final counts.
+``{"type": "interrupted", ...}``
+    Written during replay compaction: a summary of a job the previous
+    daemon process never finished.
+
+On start the daemon replays the journal: jobs with a ``submit`` record but
+no terminal ``job`` record were in flight when the process died and are
+re-registered with status ``interrupted`` -- their per-story statuses
+reconstructed from the ``story`` records, stories with no terminal record
+reported as ``interrupted`` themselves.  ``status`` then answers for every
+previously in-flight job; nothing silently vanishes.  Replay also
+**compacts**: completed jobs' records are dropped and interrupted jobs are
+rewritten as single ``interrupted`` summaries, so the journal stays
+proportional to unfinished work, not daemon lifetime.
+
+The fsync policy is configurable: ``"always"`` (default) syncs every
+record to disk -- an acknowledged submit survives a power cut;
+``"never"`` flushes to the OS but leaves syncing to the kernel, trading
+durability of the last few records for lower submit latency.
+
+A torn final line (the process died mid-write) is expected and ignored on
+replay; every complete record before it still counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+#: Valid fsync policies for :class:`JobJournal`.
+FSYNC_POLICIES = ("always", "never")
+
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+@dataclass
+class ReplayedJob:
+    """One job reconstructed from journal records.
+
+    ``story_statuses`` maps story name to its last recorded terminal
+    status; stories the dead daemon never finished are *absent* here and
+    materialise as ``interrupted`` in :meth:`story_counts`.
+    """
+
+    id: str
+    submitted_at: float
+    stories: "list[str]" = field(default_factory=list)
+    skipped: "list[str]" = field(default_factory=list)
+    story_statuses: "dict[str, str]" = field(default_factory=dict)
+    status: str = "interrupted"  # "completed" once a terminal job record is seen
+
+    @property
+    def finished(self) -> bool:
+        return self.status != "interrupted"
+
+    def story_counts(self) -> "dict[str, int]":
+        """Per-status story counts, unfinished stories as ``interrupted``."""
+        counts: "dict[str, int]" = {}
+        for story in self.stories:
+            status = self.story_statuses.get(story, "interrupted")
+            counts[status] = counts.get(status, 0) + 1
+        counts["skipped"] = counts.get("skipped", 0) + len(self.skipped)
+        return counts
+
+    def summary_record(self) -> dict:
+        """The compact ``interrupted`` record replay compaction rewrites."""
+        return {
+            "type": "interrupted",
+            "job": self.id,
+            "t": self.submitted_at,
+            "stories": self.stories,
+            "skipped": self.skipped,
+            "story_statuses": self.story_statuses,
+        }
+
+
+def _parse_records(lines: Iterable[str], source: str) -> "list[dict]":
+    """Parse journal lines, tolerating a torn final line (died mid-write)."""
+    records: "list[dict]" = []
+    pending_error: "str | None" = None
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        if pending_error is not None:
+            # A malformed line *followed by more records* is corruption,
+            # not a torn tail; refuse to guess at the job history.
+            raise ValueError(pending_error)
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            pending_error = (
+                f"{source}:{number}: malformed journal record is not the "
+                f"final line; the journal is corrupt"
+            )
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
+    """Fold journal records into per-job replay state, submission order."""
+    jobs: "dict[str, ReplayedJob]" = {}
+    for record in records:
+        kind = record.get("type")
+        job_id = str(record.get("job", ""))
+        if not job_id:
+            continue
+        if kind == "submit":
+            jobs[job_id] = ReplayedJob(
+                id=job_id,
+                submitted_at=float(record.get("t", 0.0)),
+                stories=[str(s) for s in record.get("stories", [])],
+                skipped=[str(s) for s in record.get("skipped", [])],
+            )
+        elif kind == "story":
+            job = jobs.get(job_id)
+            if job is not None:
+                job.story_statuses[str(record.get("story", ""))] = str(
+                    record.get("status", "interrupted")
+                )
+        elif kind == "job":
+            job = jobs.get(job_id)
+            if job is not None:
+                job.status = str(record.get("status", "completed"))
+        elif kind == "interrupted":
+            job = ReplayedJob(
+                id=job_id,
+                submitted_at=float(record.get("t", 0.0)),
+                stories=[str(s) for s in record.get("stories", [])],
+                skipped=[str(s) for s in record.get("skipped", [])],
+                story_statuses={
+                    str(k): str(v)
+                    for k, v in (record.get("story_statuses") or {}).items()
+                },
+            )
+            jobs[job_id] = job
+    return jobs
+
+
+class JobJournal:
+    """Append-only JSON-lines journal of daemon job lifecycles.
+
+    Create it on the daemon's journal directory, call :meth:`replay` once
+    before serving (it also opens the file for appending and compacts),
+    then record each lifecycle edge.  All writes happen on the event-loop
+    thread; the file handle is never shared across threads.
+    """
+
+    def __init__(self, directory: str, fsync: str = "always") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.directory = directory
+        self.path = os.path.join(directory, JOURNAL_FILENAME)
+        self.fsync = fsync
+        self._handle: "IO[str] | None" = None
+        self._records_written = 0
+
+    @property
+    def records_written(self) -> int:
+        """Records appended by *this* process (not replayed history)."""
+        return self._records_written
+
+    # ------------------------------------------------------------------ #
+    # Replay
+    # ------------------------------------------------------------------ #
+    def replay(self) -> "dict[str, ReplayedJob]":
+        """Read prior records, compact the file, open it for appending.
+
+        Returns every journalled job that was still unfinished when the
+        previous daemon process died (``status == "interrupted"``), in
+        submission order.  Completed jobs are dropped from the rewritten
+        journal; interrupted jobs are kept as single summary records so
+        they survive *further* restarts too.
+        """
+        if self._handle is not None:
+            raise RuntimeError("replay() must run before the journal is open")
+        os.makedirs(self.directory, exist_ok=True)
+        jobs: "dict[str, ReplayedJob]" = {}
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as handle:
+                records = _parse_records(handle, source=self.path)
+            jobs = replay_records(records)
+        interrupted = {
+            job_id: job for job_id, job in jobs.items() if not job.finished
+        }
+        # Compact: rewrite atomically so a crash mid-compaction leaves the
+        # old journal intact, then append from the rewritten file.
+        temp_path = self.path + ".compact"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            for job in interrupted.values():
+                handle.write(json.dumps(job.summary_record(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        return interrupted
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _append(self, record: dict) -> None:
+        if self._handle is None:
+            # Journal never replayed (unit use): open lazily.
+            os.makedirs(self.directory, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync == "always":
+            os.fsync(self._handle.fileno())
+        self._records_written += 1
+
+    def record_submit(
+        self,
+        job_id: str,
+        stories: "Iterable[str]",
+        skipped: "Iterable[str]",
+        timeout: "float | None" = None,
+    ) -> None:
+        """Journal an accepted job -- call *before* acknowledging it."""
+        self._append(
+            {
+                "type": "submit",
+                "job": job_id,
+                "t": time.time(),
+                "stories": list(stories),
+                "skipped": list(skipped),
+                "timeout": timeout,
+            }
+        )
+
+    def record_story(self, job_id: str, story: str, status: str) -> None:
+        """Journal one story reaching a terminal status."""
+        self._append(
+            {"type": "story", "job": job_id, "story": story, "status": status}
+        )
+
+    def record_job(self, job_id: str, status: str = "completed") -> None:
+        """Journal a job reaching its terminal status."""
+        self._append({"type": "job", "job": job_id, "status": status})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync == "always":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None

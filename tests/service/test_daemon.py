@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.core.prediction import BatchPredictor
 from repro.service import (
+    ClientQuota,
     DaemonClient,
     PredictionDaemon,
     PredictionService,
@@ -495,3 +496,117 @@ class TestStdioTransport:
         assert process.returncode == 0
         ack = json.loads(process.stdout.readline())
         assert ack == {"drain": True, "event": "shutdown"}
+
+
+class TestClientQuota:
+    """Per-client quotas: typed rejections, isolation between connections."""
+
+    def test_quota_bounds_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="max_jobs"):
+            ClientQuota(max_jobs=0)
+        with pytest.raises(ValueError, match="max_stories"):
+            ClientQuota(max_stories=-1)
+        assert ClientQuota().unlimited
+        assert not ClientQuota(max_jobs=3).unlimited
+
+    def test_job_quota_rejects_second_inflight_submit(self, tmp_path, monkeypatch):
+        original = PredictionService._solve_shard
+
+        def slow(self, jobs):
+            time.sleep(0.6)
+            return original(self, jobs)
+
+        monkeypatch.setattr(PredictionService, "_solve_shard", slow)
+
+        async def run():
+            quota = ClientQuota(max_jobs=1)
+            async with running_daemon(tmp_path, quota=quota) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as first:
+                    await first._send(
+                        {
+                            "op": "submit",
+                            "manifest": manifest_payload(inline_story("a")),
+                            "id": "hog",
+                        }
+                    )
+                    accepted = await first._receive()
+                    # The same client's second in-flight job busts the quota.
+                    await first._send(
+                        {
+                            "op": "submit",
+                            "manifest": manifest_payload(inline_story("b")),
+                            "id": "greedy",
+                        }
+                    )
+                    rejection = await first._receive()
+                    # A different connection is a different client: its
+                    # budget is untouched by the hog.
+                    async with await DaemonClient.connect_unix(socket_path) as second:
+                        _, _, other_job, other_errors = await collect_submission(
+                            second,
+                            manifest_payload(inline_story("c")),
+                            job_id="other",
+                        )
+                    # Drain the hog's stream; completion releases its slot.
+                    while True:
+                        event = await first._receive()
+                        if event.get("event") == "job":
+                            break
+                    _, _, retry_job, retry_errors = await collect_submission(
+                        first, manifest_payload(inline_story("d")), job_id="retry"
+                    )
+                    async with await DaemonClient.connect_unix(socket_path) as probe:
+                        stats = await probe.stats()
+                return accepted, rejection, (other_job, other_errors), (
+                    retry_job,
+                    retry_errors,
+                ), stats
+
+        accepted, rejection, other, retry, stats = asyncio.run(run())
+        assert accepted["event"] == "accepted" and accepted["id"] == "hog"
+        assert rejection["event"] == "error" and rejection["id"] == "greedy"
+        assert rejection["error_type"] == "quota_exceeded"
+        assert rejection["quota"] == {
+            "kind": "jobs",
+            "limit": 1,
+            "in_flight": 1,
+            "requested": 1,
+        }
+        assert "client quota exceeded" in rejection["error"]
+        other_job, other_errors = other
+        assert not other_errors and other_job["stories"]["succeeded"] == 1
+        retry_job, retry_errors = retry
+        assert not retry_errors and retry_job["stories"]["succeeded"] == 1
+        assert stats["metrics"]["daemon.quota_rejections"] == 1
+        assert stats["metrics"]['daemon.quota_rejections{kind="jobs"}'] == 1
+        # The rejected job never existed: only the accepted ones are known.
+        assert stats["jobs"]["total"] == 3
+
+    def test_story_quota_rejects_oversized_manifest_whole(self, tmp_path):
+        async def run():
+            quota = ClientQuota(max_stories=1)
+            async with running_daemon(tmp_path, quota=quota) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    _, _, _, errors = await collect_submission(
+                        client,
+                        manifest_payload(inline_story("a"), inline_story("b")),
+                        job_id="big",
+                    )
+                    # A manifest within budget still goes through afterwards.
+                    _, _, job_event, ok_errors = await collect_submission(
+                        client, manifest_payload(inline_story("solo"))
+                    )
+                return errors, job_event, ok_errors
+
+        errors, job_event, ok_errors = asyncio.run(run())
+        (rejection,) = errors
+        assert rejection["error_type"] == "quota_exceeded"
+        assert rejection["quota"] == {
+            "kind": "stories",
+            "limit": 1,
+            "in_flight": 0,
+            "requested": 2,
+        }
+        assert not ok_errors and job_event["stories"]["succeeded"] == 1
