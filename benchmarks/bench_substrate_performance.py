@@ -594,6 +594,67 @@ def _daemon_manifest(corpus: dict) -> dict:
     }
 
 
+def run_tracing_benchmark(quick: bool = False) -> dict:
+    """Zero-cost-when-disabled gate for the tracing instrumentation.
+
+    Every hot-path instrumentation site guards on ``tracer.enabled``
+    before building attribute dicts or spans, so a daemon without
+    ``--trace`` pays one attribute check per site per story.  The gate
+    multiplies the measured per-site cost of the no-op tracer by a
+    conservative per-story site count and divides by the service's
+    measured per-story solve time: ``noop_overhead_fraction`` must stay
+    under 2% (CORRECTNESS_CHECKS in check_regression.py).  Deriving the
+    fraction from the deterministic microbenchmark instead of an A/B of
+    two full service runs keeps the gate far below timer noise -- the
+    per-site check costs tens of nanoseconds against multi-millisecond
+    story solves.  ``enabled_span_call_seconds`` (a live tracer's
+    open+finish cost) is reported alongside for scale, ungated.
+    """
+    from repro.service.tracing import NOOP_TRACER, Tracer
+
+    calls = 20_000 if quick else 200_000
+
+    def per_call(tracer) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(calls):
+                # The exact hot-site pattern: guard, then open and finish.
+                if tracer.enabled:
+                    tracer.span("bench", attributes={"stories": 1}).finish()
+            best = min(best, (time.perf_counter() - start) / calls)
+        return best
+
+    noop_call = per_call(NOOP_TRACER)
+    enabled_call = per_call(Tracer(capacity=1024))
+
+    corpus_size = 10 if quick else 50
+    corpus = _service_corpus(corpus_size)
+    service_seconds, _ = best_of(
+        lambda: score_corpus_sync(
+            corpus,
+            training_times=list(SERVICE_TRAINING_TIMES),
+            evaluation_times=list(SERVICE_EVALUATION_TIMES),
+            parameters=PAPER_S1_HOP_PARAMETERS,
+            solver=SERVICE_SOLVER_CONFIG,
+        )
+    )
+    per_story = service_seconds / corpus_size
+    # Upper bound on guarded sites one story passes through: story submit,
+    # queue wait, shard solve, fit, per-story fit, two calibration phases,
+    # evaluate, result emission -- nine, padded to ten.
+    span_sites_per_story = 10
+    return {
+        "calls": calls,
+        "noop_span_call_seconds": noop_call,
+        "enabled_span_call_seconds": enabled_call,
+        "span_sites_per_story": span_sites_per_story,
+        "corpus_size": corpus_size,
+        "service_seconds_per_story": per_story,
+        "noop_overhead_fraction": span_sites_per_story * noop_call / per_story,
+    }
+
+
 def run_daemon_benchmark(quick: bool = False) -> dict:
     """Submission round-trip of the daemon protocol vs the in-process service.
 
@@ -1035,6 +1096,9 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             "scaling": run_service_scaling_benchmark(quick=quick),
         },
         "daemon": run_daemon_benchmark(quick=quick),
+        # Zero-cost-when-disabled proof for the tracing instrumentation
+        # (noop_overhead_fraction correctness-gated at 2%).
+        "tracing": run_tracing_benchmark(quick=quick),
         "corpus": {
             # Store vs inline manifest: load speedup (floor-gated), exact
             # result parity and the bounded-RSS budget (both delta-gated).
@@ -1103,7 +1167,9 @@ def main(argv=None) -> int:
             f"inline (max result delta "
             f"{report['corpus']['io']['max_result_delta_vs_inline']:.2e}, "
             f"RSS budget excess "
-            f"{report['corpus']['io']['rss_budget_excess_bytes'] / 1e6:.1f} MB)",
+            f"{report['corpus']['io']['rss_budget_excess_bytes'] / 1e6:.1f} MB); "
+            f"tracing no-op overhead "
+            f"{report['tracing']['noop_overhead_fraction'] * 100:.4f}% per story",
             file=sys.stderr,
         )
     return 0

@@ -82,6 +82,10 @@ CORRECTNESS_CHECKS = (
     # in baseline + 64 MB + corpus-bytes/4 -- a positive excess means the
     # lazy path started materializing the corpus.
     ("corpus.io.rss_budget_excess_bytes", 0.0),
+    # Tracing must be zero-cost when disabled: the per-story cost of the
+    # no-op tracer's guarded instrumentation sites, as a fraction of the
+    # measured per-story solve time, stays under 2%.
+    ("tracing.noop_overhead_fraction", 0.02),
 )
 
 #: Dotted metric paths of within-run speedup ratios gated against the baseline.

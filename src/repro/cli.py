@@ -46,6 +46,12 @@ Five subcommands cover the common workflows without writing any Python:
     telemetry registry) and print it as JSON (``--socket`` or ``--connect``
     pick the daemon); ``--prometheus`` prints the telemetry in Prometheus
     text exposition format instead.
+``trace``
+    Reconstruct one daemon job's span tree with critical-path timing, from
+    a live daemon (``--socket`` / ``--connect``, requires the daemon to run
+    with ``--trace``) or offline from a ``--trace-dir`` export; ``--chrome``
+    / ``--speedscope`` write viewer-ready JSON profiles and ``--check``
+    validates tree well-formedness for CI.
 ``models``
     List every registered prediction model with its one-line description.
 ``compare``
@@ -505,6 +511,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="calibrate with the sequential per-candidate protocol instead of the batched grid",
     )
+    daemon.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "trace every job: spans from request parse through shard solve "
+            "to result emission, queryable via the 'trace' protocol op and "
+            "'repro trace' (off by default; the no-op tracer costs nothing)"
+        ),
+    )
+    daemon.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "export finished spans to DIR/spans.jsonl (one JSON record per "
+            "line); implies --trace, and 'repro trace --trace-dir DIR' reads "
+            "the export offline after the daemon exits"
+        ),
+    )
+    daemon.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help=(
+            "emit structured JSON log records (one per job state change, "
+            "with job_id/trace_id fields) to stderr at this level"
+        ),
+    )
     _add_backend_argument(daemon)
     _add_model_argument(daemon)
 
@@ -576,6 +610,54 @@ def build_parser() -> argparse.ArgumentParser:
             "print the daemon's telemetry in Prometheus text exposition "
             "format instead of the JSON stats snapshot"
         ),
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a daemon job's span tree (live daemon or exported spans)",
+        description=(
+            "Reconstruct one job's trace as a span tree with critical-path "
+            "timing.  Reads spans from a running daemon (--socket/--connect, "
+            "the 'trace' protocol op) or offline from a --trace-dir export "
+            "(DIR/spans.jsonl, written by 'repro daemon --trace-dir').  "
+            "--chrome/--speedscope export viewer-ready JSON; --check "
+            "validates tree well-formedness for CI."
+        ),
+    )
+    trace.add_argument("job", help="id of the job to reconstruct")
+    trace_source = trace.add_mutually_exclusive_group(required=True)
+    trace_source.add_argument(
+        "--socket", metavar="PATH", help="the daemon's Unix socket"
+    )
+    trace_source.add_argument(
+        "--connect",
+        metavar="ADDR",
+        help="the daemon's transport address: unix:PATH or tcp:HOST:PORT",
+    )
+    trace_source.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="read DIR/spans.jsonl instead of querying a live daemon",
+    )
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "validate the span tree (single root, no orphans, no negative "
+            "durations) and print per-phase totals; exit 1 on problems"
+        ),
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        default=None,
+        help="also write Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    trace.add_argument(
+        "--speedscope",
+        metavar="PATH",
+        default=None,
+        help="also write a speedscope profile JSON (https://speedscope.app)",
     )
 
     subparsers.add_parser(
@@ -1211,11 +1293,17 @@ def _command_daemon(args: argparse.Namespace) -> int:
         quota = ClientQuota(
             max_jobs=args.max_client_jobs, max_stories=args.max_client_stories
         )
+    if args.log_level is not None:
+        from repro.service import configure_service_logging
+
+        configure_service_logging(args.log_level)
     daemon = PredictionDaemon(
         default_timeout=args.timeout,
         quota=quota,
         journal_dir=args.journal,
         journal_fsync=args.journal_fsync,
+        trace=args.trace,
+        trace_dir=args.trace_dir,
         solver=SolverConfig(backend=args.backend, operator=args.operator),
         calibration=CalibrationConfig(batch=not args.sequential_calibration),
         max_workers=args.workers,
@@ -1402,6 +1490,85 @@ def _command_daemon_stats(args: argparse.Namespace) -> int:
         f"{service.get('shards_solved', 0)} shards",
         file=sys.stderr,
     )
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service.tracing import (
+        SPANS_FILENAME,
+        chrome_trace,
+        load_span_file,
+        phase_totals,
+        render_trace,
+        speedscope_profile,
+        trace_for_job,
+        validate_trace,
+    )
+
+    if args.trace_dir is not None:
+        path = os.path.join(args.trace_dir, SPANS_FILENAME)
+        records = load_span_file(path)
+        if not records:
+            print(f"error: no span records in {path}", file=sys.stderr)
+            return 2
+        trace_id = trace_for_job(records, args.job)
+        if trace_id is None:
+            print(
+                f"error: no root 'job' span for job {args.job!r} in {path}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        import asyncio
+
+        from repro.service import DaemonClient
+
+        address, hint = _client_address(args)
+
+        async def run() -> dict:
+            async with await DaemonClient.connect(address) as client:
+                return await client.trace(args.job)
+
+        try:
+            event = asyncio.run(run())
+        except (ConnectionError, OSError) as error:
+            print(_connect_error(address, error, hint), file=sys.stderr)
+            return 2
+        if event.get("event") == "error":
+            print(f"error: {event.get('error')}", file=sys.stderr)
+            return 2
+        records = event.get("spans") or []
+        trace_id = event.get("trace")
+        if not records or not isinstance(trace_id, str):
+            print(
+                f"error: the daemon has no spans for job {args.job!r} (was it "
+                f"started with --trace or --trace-dir?)",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.chrome is not None:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(chrome_trace(records, trace_id), handle)
+        print(f"wrote Chrome trace events to {args.chrome}", file=sys.stderr)
+    if args.speedscope is not None:
+        with open(args.speedscope, "w", encoding="utf-8") as handle:
+            json.dump(speedscope_profile(records, trace_id), handle)
+        print(f"wrote speedscope profile to {args.speedscope}", file=sys.stderr)
+
+    print(render_trace(records, trace_id))
+    if args.check:
+        print("phases:")
+        for name, seconds in phase_totals(records, trace_id).items():
+            print(f"  {name:<20} {seconds:.6f}s")
+        problems = validate_trace(records, trace_id)
+        if problems:
+            for problem in problems:
+                print(f"problem: {problem}", file=sys.stderr)
+            return 1
+        print("trace ok: single root, no orphans, no negative durations")
     return 0
 
 
@@ -1659,6 +1826,7 @@ _COMMANDS = {
     "daemon": _command_daemon,
     "submit": _command_submit,
     "daemon-stats": _command_daemon_stats,
+    "trace": _command_trace,
     "models": _command_models,
     "compare": _command_compare,
     "report": _command_report,

@@ -38,6 +38,17 @@ job queue so whole corpora of cascades are scored concurrently:
   ``repro serve-batch`` CLI and the daemon's ``submit`` requests, opened
   through the single :func:`open_corpus` facade (inline surfaces, corpus
   refs, or a :mod:`repro.corpus` store).
+* :mod:`repro.service.tracing` -- the dependency-free :class:`Tracer` /
+  :class:`Span` API behind ``repro daemon --trace-dir`` and ``repro
+  trace``: a :class:`TraceContext` propagates from the submit request
+  through job records, :class:`ShardPayload` (across the process-executor
+  pickle boundary) and the journal, so one job reconstructs as a single
+  span tree with critical-path timing and Chrome-trace / speedscope
+  exports.  Zero-cost when disabled: the default :data:`NOOP_TRACER`
+  makes every instrumentation site a constant attribute check.
+* :mod:`repro.service.logs` -- structured JSON-lines logging for the
+  daemon's job state changes (the ``repro.service`` logger; one record
+  per event with ``job_id`` / ``trace_id`` fields).
 """
 
 from repro.service.daemon import (
@@ -52,6 +63,7 @@ from repro.service.execution import (
     ProcessExecutionBackend,
     ShardPayload,
     ShardRequest,
+    ShardSolveReport,
     ThreadExecutionBackend,
     WorkerCrashError,
     available_executors,
@@ -59,7 +71,15 @@ from repro.service.execution import (
     get_executor_factory,
     register_executor,
     solve_shard_payload,
+    solve_shard_report,
     unregister_executor,
+)
+from repro.service.logs import (
+    SERVICE_LOGGER_NAME,
+    JsonLineFormatter,
+    configure_service_logging,
+    log_job_event,
+    service_logger,
 )
 from repro.service.manifest import (
     ManifestError,
@@ -82,6 +102,22 @@ from repro.service.service import (
 from repro.service.session import ClientQuota, ClientSession
 from repro.service.sharding import CorpusSharder, Shard, ShardAutotuner, ShardKey
 from repro.service.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.tracing import (
+    NOOP_TRACER,
+    NoOpTracer,
+    Span,
+    SpanNode,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    critical_path,
+    load_span_file,
+    render_trace,
+    span_tree,
+    speedscope_profile,
+    trace_for_job,
+    validate_trace,
+)
 from repro.service.transport import (
     Address,
     AddressError,
@@ -110,6 +146,7 @@ __all__ = [
     "ProcessExecutionBackend",
     "ShardPayload",
     "ShardRequest",
+    "ShardSolveReport",
     "ThreadExecutionBackend",
     "WorkerCrashError",
     "available_executors",
@@ -117,7 +154,27 @@ __all__ = [
     "get_executor_factory",
     "register_executor",
     "solve_shard_payload",
+    "solve_shard_report",
     "unregister_executor",
+    "NOOP_TRACER",
+    "NoOpTracer",
+    "Span",
+    "SpanNode",
+    "TraceContext",
+    "Tracer",
+    "chrome_trace",
+    "critical_path",
+    "load_span_file",
+    "render_trace",
+    "span_tree",
+    "speedscope_profile",
+    "trace_for_job",
+    "validate_trace",
+    "SERVICE_LOGGER_NAME",
+    "JsonLineFormatter",
+    "configure_service_logging",
+    "log_job_event",
+    "service_logger",
     "JobCancelledError",
     "JobStatus",
     "JobTimeoutError",

@@ -16,8 +16,8 @@ The daemon is a thin composition of three layers, each its own module:
   registered address; :meth:`serve_unix` / :meth:`serve_tcp` /
   :meth:`serve_stdio` are the named shortcuts.
 * :mod:`repro.service.session` -- JSON-lines framing, request routing
-  (submit/status/stats/metrics/ping/shutdown), per-connection state and
-  the per-client :class:`~repro.service.session.ClientQuota`.
+  (submit/status/stats/metrics/trace/ping/shutdown), per-connection state
+  and the per-client :class:`~repro.service.session.ClientQuota`.
 * :mod:`repro.service.journal` -- the optional restart-surviving job
   journal (``journal_dir=``): every accepted job is journalled before it
   is acknowledged, and a restarted daemon replays the journal so
@@ -49,6 +49,9 @@ terminated, UTF-8).  Requests carry an ``op`` field:
     One ``stats`` event: daemon uptime and job counts, the service's
     counters (including autotuner state when enabled) and the full
     telemetry-registry snapshot.
+``{"op": "trace", "id": "job-1"}``
+    One ``trace`` event: the job's trace id and its buffered span records
+    (empty when tracing is disabled).  Rendered by ``repro trace``.
 ``{"op": "ping"}`` / ``{"op": "shutdown", "drain": false}``
     Liveness probe / graceful stop.  ``shutdown`` drains every queued and
     running job before exiting unless ``drain`` is false, in which case
@@ -78,6 +81,7 @@ import asyncio
 import contextlib
 import functools
 import json
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator
@@ -86,9 +90,11 @@ from repro.core.errors import DaemonConnectionError, QuotaExceededError, Unknown
 from repro.core.prediction import PredictionResult
 from repro.models.registry import get_model
 from repro.service.journal import FSYNC_POLICIES, JobJournal
+from repro.service.logs import log_job_event, service_logger
 from repro.service.manifest import ManifestError, open_corpus
 from repro.service.service import JobStatus, PredictionJob, PredictionService
 from repro.service.session import ClientQuota, ClientSession
+from repro.service.tracing import NOOP_TRACER, Span, Tracer, TracerLike
 from repro.service.transport import (
     Address,
     Connection,
@@ -139,6 +145,8 @@ class DaemonJob:
     interrupted: bool = False
     stories_pending: int = 0
     replayed_counts: "dict[str, int] | None" = None
+    trace_id: "str | None" = None
+    _span: "Span | None" = field(default=None, repr=False)
 
     @property
     def active(self) -> bool:
@@ -161,12 +169,15 @@ class DaemonJob:
             status = "interrupted"
         else:
             status = "completed" if self.completed else "running"
-        return {
+        summary = {
             "id": self.id,
             "status": status,
             "stories": counts,
             "age_seconds": time.time() - self.submitted_at,
         }
+        if self.trace_id is not None:
+            summary["trace"] = self.trace_id
+        return summary
 
 
 class PredictionDaemon:
@@ -201,6 +212,21 @@ class PredictionDaemon:
     journal_fsync:
         Journal fsync policy: ``"always"`` (default, sync every record)
         or ``"never"`` (flush only; the tail may be lost on power cut).
+    trace:
+        Enable in-memory request tracing: every accepted job gets a root
+        ``job`` span whose children cover parse, quota check, manifest
+        resolution, per-story queue wait / shard solve (down to the
+        calibration phases, across the process-executor boundary) and
+        result emission.  Spans are queryable per job via the ``trace``
+        protocol op / ``repro trace``.  Off by default: the no-op tracer
+        costs one attribute check per instrumentation site.
+    trace_dir:
+        Directory spans are additionally exported to as JSON lines
+        (``spans.jsonl``), one record per finished span.  Implies
+        ``trace=True``.
+    trace_capacity:
+        Ring-buffer capacity of the in-memory tracer (oldest spans are
+        evicted first); bounds trace memory over a long daemon life.
     **service_kwargs:
         Forwarded to :class:`~repro.service.service.PredictionService`
         (workers, queue depth, shard size, autotune, backend, operator,
@@ -224,6 +250,9 @@ class PredictionDaemon:
         quota: "ClientQuota | None" = None,
         journal_dir: "str | None" = None,
         journal_fsync: str = "always",
+        trace: bool = False,
+        trace_dir: "str | None" = None,
+        trace_capacity: int = 4096,
         **service_kwargs,
     ) -> None:
         if default_timeout is not None and default_timeout <= 0:
@@ -244,6 +273,12 @@ class PredictionDaemon:
             )
         self._journal_fsync = journal_fsync
         self._journal: "JobJournal | None" = None
+        self._tracer: TracerLike = (
+            Tracer(capacity=trace_capacity, export_dir=trace_dir)
+            if (trace or trace_dir is not None)
+            else NOOP_TRACER
+        )
+        self._log = service_logger()
         self._service_kwargs = service_kwargs
         self._service: "PredictionService | None" = None
         self._jobs: "dict[str, DaemonJob]" = {}
@@ -312,9 +347,16 @@ class PredictionDaemon:
                 listener.cleanup()
                 self._listener = None
 
+    @property
+    def tracer(self) -> TracerLike:
+        """The daemon's tracer (the shared no-op one when tracing is off)."""
+        return self._tracer
+
     @contextlib.asynccontextmanager
     async def _running_service(self):
-        self._service = PredictionService(**self._service_kwargs)
+        self._service = PredictionService(
+            tracer=self._tracer, **self._service_kwargs
+        )
         self._service.start()
         self._stop = asyncio.Event()
         self._accepting = True
@@ -331,6 +373,10 @@ class PredictionDaemon:
             if self._journal is not None:
                 self._journal.close()
                 self._journal = None
+            # Flush (but keep) the tracer: its export handle must not leak,
+            # and spans stay queryable after the server loop exits (tests,
+            # post-mortem inspection).
+            self._tracer.close()
 
     def _register_interrupted_jobs(self, replayed) -> None:
         """Re-register journalled jobs the previous process never finished.
@@ -348,8 +394,16 @@ class PredictionDaemon:
                 skipped=list(job.skipped),
                 interrupted=True,
                 replayed_counts=job.story_counts(),
+                trace_id=job.trace_id,
             )
             self._service.metrics.counter("daemon.jobs_interrupted").inc()
+            log_job_event(
+                self._log,
+                "job.interrupted",
+                job_id=job.id,
+                trace_id=job.trace_id,
+                stories=len(job.stories),
+            )
         self._sync_journal_gauge()
 
     def _sync_journal_gauge(self) -> None:
@@ -418,12 +472,41 @@ class PredictionDaemon:
         job = self._jobs.get(job_id)
         return job.summary() if job is not None else None
 
+    def _sync_uptime_gauge(self) -> None:
+        """Refresh ``daemon.uptime_seconds`` right before it is reported."""
+        assert self._service is not None
+        self._service.metrics.gauge("daemon.uptime_seconds").set(
+            time.time() - self._started_at
+        )
+
     def metrics_text(self) -> str:
         assert self._service is not None
+        self._sync_uptime_gauge()
         return self._service.metrics.to_prometheus()
+
+    def trace_payload(self, job_id: str) -> "dict | None":
+        """Recent spans of one job for the ``trace`` protocol op.
+
+        ``None`` for unknown jobs (the session answers ``unknown job``);
+        an empty span list for jobs the daemon knows but never traced
+        (tracing disabled, or the ring buffer already evicted them).
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        spans = (
+            self._tracer.spans(job.trace_id) if job.trace_id is not None else []
+        )
+        return {
+            "event": "trace",
+            "id": job_id,
+            "trace": job.trace_id,
+            "spans": spans,
+        }
 
     def stats_payload(self) -> dict:
         assert self._service is not None
+        self._sync_uptime_gauge()
         active = sum(1 for job in self._jobs.values() if job.active)
         interrupted = sum(1 for job in self._jobs.values() if job.interrupted)
         jobs = {
@@ -482,6 +565,8 @@ class PredictionDaemon:
                 f"'timeout' must be a positive number, got {timeout!r}"
             )
             return
+        quota_wall = time.time()
+        quota_start = time.perf_counter()
         try:
             # Cheap fail-fast before any manifest work; the story quota is
             # checked again once the manifest is resolved and counted.
@@ -489,6 +574,7 @@ class PredictionDaemon:
         except QuotaExceededError as error:
             await session.reject_quota(error, job_id=job_id)
             return
+        quota_seconds = time.perf_counter() - quota_start
         model_override = message.get("model")
         if model_override is not None:
             model_override = str(model_override)
@@ -517,6 +603,8 @@ class PredictionDaemon:
             return
         hours = manifest.hours or DEFAULT_HOURS
         training_times = [float(t) for t in range(1, hours + 1)]
+        resolve_wall = time.time()
+        resolve_start = time.perf_counter()
         try:
             # Resolution may build a synthetic corpus (seconds of CPU); keep
             # the event loop -- and every other client -- responsive.
@@ -529,6 +617,7 @@ class PredictionDaemon:
         except ManifestError as error:
             await session.error(f"invalid manifest: {error}", job_id=job_id)
             return
+        resolve_seconds = time.perf_counter() - resolve_start
         try:
             session.check_story_quota(len(resolved.surfaces))
         except QuotaExceededError as error:
@@ -552,6 +641,44 @@ class PredictionDaemon:
         )
         self._jobs[job_id] = job
         session.track_job(job)
+        if self._tracer.enabled:
+            # The root span of everything this job does; the service and
+            # the workers parent their spans under it via the TraceContext
+            # threaded through submit().  The parse / quota / resolve work
+            # already happened, so those children are recorded
+            # retroactively from the measured intervals.
+            span = self._tracer.span(
+                "job",
+                attributes={
+                    "job": job_id,
+                    "stories": len(resolved.surfaces),
+                    "skipped": len(job.skipped),
+                },
+            )
+            job.trace_id = span.trace_id
+            job._span = span
+            if session.last_parse is not None:
+                parse_wall, parse_seconds = session.last_parse
+                self._tracer.record_span(
+                    "session.parse",
+                    parent=span,
+                    start=parse_wall,
+                    duration=parse_seconds,
+                    attributes={"transport": connection.scheme},
+                )
+            self._tracer.record_span(
+                "quota.check",
+                parent=span,
+                start=quota_wall,
+                duration=quota_seconds,
+            )
+            self._tracer.record_span(
+                "manifest.resolve",
+                parent=span,
+                start=resolve_wall,
+                duration=resolve_seconds,
+                attributes={"stories": len(resolved.surfaces)},
+            )
         if self._journal is not None:
             # Journalled (and, under fsync="always", durably synced) BEFORE
             # the accepted event: an acknowledged job is never lost.
@@ -560,9 +687,19 @@ class PredictionDaemon:
                 stories=list(resolved.surfaces),
                 skipped=job.skipped,
                 timeout=timeout,
+                trace_id=job.trace_id,
             )
             self._sync_journal_gauge()
         self._service.metrics.counter("daemon.jobs_submitted").inc()
+        log_job_event(
+            self._log,
+            "job.accepted",
+            job_id=job_id,
+            trace_id=job.trace_id,
+            stories=len(resolved.surfaces),
+            skipped=len(job.skipped),
+            transport=connection.scheme,
+        )
         await connection.send(
             {
                 "event": "accepted",
@@ -635,6 +772,7 @@ class PredictionDaemon:
                         evaluation_times,
                         timeout=job.timeout,
                         model=story_models.get(name),
+                        trace=job._span.context if job._span is not None else None,
                     )
                 except (RuntimeError, ValueError) as error:
                     # RuntimeError: the service stopped accepting (abort
@@ -668,12 +806,26 @@ class PredictionDaemon:
                 self._journal.record_job(job.id, "completed")
                 self._sync_journal_gauge()
             self._prune_jobs()
+            counts = job.story_counts()
+            if job._span is not None:
+                for status, count in counts.items():
+                    if count:
+                        job._span.set_attribute(status, count)
+                job._span.finish()
+            log_job_event(
+                self._log,
+                "job.completed",
+                job_id=job.id,
+                trace_id=job.trace_id,
+                seconds=time.time() - job.submitted_at,
+                stories=counts,
+            )
             await connection.send(
                 {
                     "event": "job",
                     "id": job.id,
                     "status": "completed",
-                    "stories": job.story_counts(),
+                    "stories": counts,
                     "seconds": time.time() - job.submitted_at,
                 }
             )
@@ -703,12 +855,13 @@ class PredictionDaemon:
         story_job: PredictionJob,
     ) -> None:
         await story_job.finished()
-        self._record_story_terminal(job, name, story_job.status.value)
+        status = story_job.status.value
+        self._record_story_terminal(job, name, status)
         payload = {
             "event": "result",
             "id": job.id,
             "story": name,
-            "status": story_job.status.value,
+            "status": status,
         }
         if story_job.status is JobStatus.SUCCEEDED:
             assert story_job.result is not None
@@ -719,7 +872,26 @@ class PredictionDaemon:
             payload["model"] = story_job.key.model
             if story_job.error is not None:
                 payload["error"] = str(story_job.error)
+        emit_wall = time.time()
+        emit_start = time.perf_counter()
         await connection.send(payload)
+        if self._tracer.enabled:
+            self._tracer.record_span(
+                "result.emit",
+                parent=story_job._span,
+                start=emit_wall,
+                duration=time.perf_counter() - emit_start,
+                attributes={"story": name, "status": status},
+            )
+        log_job_event(
+            self._log,
+            "story.result",
+            job_id=job.id,
+            trace_id=job.trace_id,
+            level=logging.DEBUG,
+            story=name,
+            status=status,
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -847,6 +1019,10 @@ class DaemonClient:
 
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
+
+    async def trace(self, job_id: str) -> dict:
+        """One job's buffered span records (``trace`` event or ``error``)."""
+        return await self.request({"op": "trace", "id": job_id})
 
     async def metrics_text(self) -> str:
         """The daemon's telemetry in Prometheus text exposition format."""

@@ -44,16 +44,18 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Union
 
 from repro.cascade.density import DensitySurface
 from repro.core.config import ModelSpec
 from repro.core.errors import UnknownExecutorError
 from repro.service.sharding import ShardKey
+from repro.service.tracing import NOOP_TRACER, TraceContext, Tracer, TracerLike
 
 
 class WorkerCrashError(RuntimeError):
@@ -86,6 +88,116 @@ class ShardPayload:
     key: ShardKey
     spec: ModelSpec
     surfaces: "dict[str, DensitySurface | object]"
+    #: Trace context of the shard span this solve belongs to.  Rides the
+    #: pickle into process workers so spans recorded there carry the same
+    #: trace id and re-parent under the service-side shard span.
+    trace: "TraceContext | None" = None
+
+
+@dataclass
+class ShardSolveReport:
+    """Everything a shard solve produced, in picklable form.
+
+    ``outcomes`` is the classic story-name -> result/exception mapping;
+    ``spans`` carries span *records* collected in the worker (empty when the
+    solve recorded straight into a live tracer, i.e. on the thread path);
+    ``phase_seconds`` holds the fit/evaluate wall times feeding the
+    ``service.solve_phase_seconds`` histograms, and the cache counters are
+    the operator-cache hit/miss delta across this solve.
+    """
+
+    outcomes: "dict[str, object]"
+    spans: "list[dict[str, Any]]" = field(default_factory=list)
+    phase_seconds: "dict[str, float]" = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+#: What a backend's ``solve`` may hand back alongside the worker label:
+#: the plain outcomes dict (thread path -- spans/phases were recorded in
+#: process) or a full report (process path -- shipped across the pickle).
+ShardOutcomes = Union["dict[str, object]", ShardSolveReport]
+
+
+@dataclass
+class _SolveInstrumentation:
+    """Ambient per-solve instrumentation state (thread-local)."""
+
+    tracer: TracerLike
+    parent: "TraceContext | None"
+    report: ShardSolveReport
+
+
+_ACTIVE = threading.local()
+
+
+def _operator_cache_counts() -> "tuple[int, int]":
+    """(hits, misses) summed over every operator cache; (0, 0) on failure."""
+    try:
+        from repro.numerics.operator_cache import cache_stats
+
+        stats = cache_stats()
+        hits = sum(int(entry.get("hits", 0)) for entry in stats.values())
+        misses = sum(int(entry.get("misses", 0)) for entry in stats.values())
+        return hits, misses
+    except Exception:  # noqa: BLE001 - instrumentation must never fail a solve
+        return 0, 0
+
+
+def _record_calibration_phases(
+    tracer: TracerLike,
+    parent: "TraceContext | None",
+    fitter: object,
+    name: str,
+    fit_start: float,
+    fit_seconds: float,
+) -> None:
+    """Split a story's fit span into grid-search vs LM-refinement children.
+
+    Duck-typed against the ``dl`` fitter (``fitter.predictor`` exposing
+    per-story ``_calibration_details`` with a ``refinement.seconds`` wall
+    time); models without calibration details simply get no sub-phases.
+    """
+    try:
+        predictor = getattr(fitter, "predictor", None)
+        details_by_story = getattr(predictor, "_calibration_details", None)
+        if not isinstance(details_by_story, dict):
+            return
+        entry = details_by_story.get(name)
+        details = entry.get("details") if isinstance(entry, dict) else None
+        if not isinstance(details, dict):
+            return
+        refinement = details.get("refinement")
+        refine_seconds = (
+            float(refinement.get("seconds", 0.0))
+            if isinstance(refinement, dict)
+            else 0.0
+        )
+        grid_seconds = max(fit_seconds - refine_seconds, 0.0)
+        attributes: "dict[str, Any]" = {"story": name}
+        engine = details.get("engine")
+        if engine is not None:
+            attributes["engine"] = engine
+        candidates = details.get("candidates_evaluated")
+        if candidates is not None:
+            attributes["candidates"] = candidates
+        tracer.record_span(
+            "calibration.grid",
+            parent=parent,
+            start=fit_start,
+            duration=grid_seconds,
+            attributes=attributes,
+        )
+        if refine_seconds > 0.0:
+            tracer.record_span(
+                "calibration.refine",
+                parent=parent,
+                start=fit_start + grid_seconds,
+                duration=refine_seconds,
+                attributes={"story": name},
+            )
+    except Exception:  # noqa: BLE001 - instrumentation must never fail a solve
+        return
 
 
 def solve_shard_payload(
@@ -100,9 +212,19 @@ def solve_shard_payload(
     thread and the process backend land here, which is what makes their
     results bit-identical: the backends only choose *where* this function
     runs, never *how* it computes.
+
+    When invoked under :func:`solve_shard_report`, phase timings and spans
+    are recorded through the ambient instrumentation state; called directly
+    (tests, warm-up) it behaves exactly as before -- a plain dict in, plain
+    dict out numerics function with zero tracing overhead.
     """
     from repro.corpus.store import materialize_surface
     from repro.models.registry import get_model
+
+    inst: "_SolveInstrumentation | None" = getattr(_ACTIVE, "current", None)
+    tracer: TracerLike = inst.tracer if inst is not None else NOOP_TRACER
+    parent = inst.parent if inst is not None else None
+    traced = tracer.enabled
 
     key = payload.key
     fitter = get_model(key.model).batch_fitter(payload.spec)
@@ -115,20 +237,112 @@ def solve_shard_payload(
     }
     outcomes: "dict[str, object]" = {}
     fitted: "list[str]" = []
+    fit_t0 = time.perf_counter() if inst is not None else 0.0
+    fit_span = (
+        tracer.span("solve.fit", parent=parent, attributes={"stories": len(surfaces)})
+        if traced
+        else None
+    )
     for name, surface in surfaces.items():
+        story_start = time.time()
+        story_t0 = time.perf_counter()
         try:
             fitter.fit_story(name, surface, key.training_times)
             fitted.append(name)
         except Exception as error:  # noqa: BLE001 - per-story failure
             outcomes[name] = error
+            if traced:
+                tracer.record_span(
+                    "story.fit",
+                    parent=fit_span,
+                    start=story_start,
+                    duration=time.perf_counter() - story_t0,
+                    attributes={"story": name, "error": type(error).__name__},
+                )
+            continue
+        if traced:
+            fit_seconds = time.perf_counter() - story_t0
+            story_ctx = tracer.record_span(
+                "story.fit",
+                parent=fit_span,
+                start=story_start,
+                duration=fit_seconds,
+                attributes={"story": name},
+            )
+            _record_calibration_phases(
+                tracer, story_ctx, fitter, name, story_start, fit_seconds
+            )
+    if fit_span is not None:
+        fit_span.finish()
+    if inst is not None:
+        inst.report.phase_seconds["fit"] = time.perf_counter() - fit_t0
     if fitted:
+        evaluate_span = (
+            tracer.span(
+                "solve.evaluate", parent=parent, attributes={"stories": len(fitted)}
+            )
+            if traced
+            else None
+        )
+        evaluate_t0 = time.perf_counter() if inst is not None else 0.0
         results = fitter.evaluate(
             {name: surfaces[name] for name in fitted},
             times=key.evaluation_times,
         )
+        if inst is not None:
+            inst.report.phase_seconds["evaluate"] = (
+                time.perf_counter() - evaluate_t0
+            )
+        if evaluate_span is not None:
+            evaluate_span.finish()
         for name in fitted:
             outcomes[name] = results[name]
     return outcomes
+
+
+def solve_shard_report(
+    payload: ShardPayload, tracer: "TracerLike | None" = None
+) -> ShardSolveReport:
+    """Solve a shard with instrumentation; the traced sibling of
+    :func:`solve_shard_payload`.
+
+    ``tracer`` is the live tracer on the thread path (spans are recorded
+    straight into it); when ``None`` and the payload carries a trace
+    context, a local collecting :class:`~repro.service.tracing.Tracer` is
+    created -- the process-worker case -- and its records are returned in
+    ``report.spans`` for the service to ingest and re-parent.  Phase wall
+    times and the operator-cache delta are measured either way (they feed
+    always-on histograms), and the numerics still route through the
+    module-level :func:`solve_shard_payload` name so monkeypatched fault
+    injection intercepts every backend identically.
+    """
+    collector: "Tracer | None" = None
+    if tracer is not None and tracer.enabled:
+        active: TracerLike = tracer
+    elif tracer is None and payload.trace is not None:
+        collector = Tracer(capacity=512)
+        active = collector
+    else:
+        active = NOOP_TRACER
+    report = ShardSolveReport(outcomes={})
+    hits_before, misses_before = _operator_cache_counts()
+    inst = _SolveInstrumentation(tracer=active, parent=payload.trace, report=report)
+    previous = getattr(_ACTIVE, "current", None)
+    _ACTIVE.current = inst
+    try:
+        # Resolved via the module global on purpose: monkeypatching
+        # ``execution.solve_shard_payload`` (crash injection, fault tests)
+        # must intercept the instrumented path too.
+        outcomes = solve_shard_payload(payload)
+    finally:
+        _ACTIVE.current = previous
+    report.outcomes = outcomes
+    hits_after, misses_after = _operator_cache_counts()
+    report.cache_hits = max(hits_after - hits_before, 0)
+    report.cache_misses = max(misses_after - misses_before, 0)
+    if collector is not None:
+        report.spans = collector.spans()
+    return report
 
 
 @dataclass
@@ -178,8 +392,8 @@ class ExecutionBackend(ABC):
     @abstractmethod
     async def solve(
         self, request: ShardRequest
-    ) -> "tuple[str, dict[str, object]]":
-        """Run one shard; returns ``(worker_label, outcomes)``."""
+    ) -> "tuple[str, ShardOutcomes]":
+        """Run one shard; returns ``(worker_label, outcomes-or-report)``."""
 
     def describe(self) -> dict:
         """Plain-dict state for ``stats`` payloads."""
@@ -207,12 +421,12 @@ class ThreadExecutionBackend(ExecutionBackend):
 
     async def solve(
         self, request: ShardRequest
-    ) -> "tuple[str, dict[str, object]]":
+    ) -> "tuple[str, ShardOutcomes]":
         import asyncio
 
         assert self._pool is not None, "backend not started"
 
-        def entry() -> "tuple[str, dict[str, object]]":
+        def entry() -> "tuple[str, ShardOutcomes]":
             return threading.current_thread().name, request.run_local()
 
         return await asyncio.get_running_loop().run_in_executor(self._pool, entry)
@@ -240,11 +454,18 @@ def _process_worker_init(warmup: "bytes | None") -> None:
             pass
 
 
-def _solve_pickled_payload(data: bytes) -> "tuple[str, dict[str, object]]":
-    """Process-pool entry point: unpickle, solve, label with the worker name."""
+def _solve_pickled_payload(data: bytes) -> "tuple[str, ShardSolveReport]":
+    """Process-pool entry point: unpickle, solve, label with the worker name.
+
+    Returns a full :class:`ShardSolveReport` so phase timings and any spans
+    collected in this worker ride the pickle back to the service, which
+    ingests them into its own tracer (the trace/span ids in the records
+    already point at the service-side shard span, so they re-parent
+    correctly).
+    """
     payload = pickle.loads(data)
-    outcomes = solve_shard_payload(payload)
-    return multiprocessing.current_process().name, outcomes
+    report = solve_shard_report(payload)
+    return multiprocessing.current_process().name, report
 
 
 def _default_start_method() -> str:
@@ -348,7 +569,7 @@ class ProcessExecutionBackend(ExecutionBackend):
 
     async def solve(
         self, request: ShardRequest
-    ) -> "tuple[str, dict[str, object]]":
+    ) -> "tuple[str, ShardOutcomes]":
         import asyncio
 
         with self._lock:

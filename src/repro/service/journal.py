@@ -68,6 +68,9 @@ class ReplayedJob:
     skipped: "list[str]" = field(default_factory=list)
     story_statuses: "dict[str, str]" = field(default_factory=dict)
     status: str = "interrupted"  # "completed" once a terminal job record is seen
+    #: Trace id the job's spans were recorded under (tracing enabled only);
+    #: survives the restart so an exported spans.jsonl stays correlatable.
+    trace_id: "str | None" = None
 
     @property
     def finished(self) -> bool:
@@ -84,7 +87,7 @@ class ReplayedJob:
 
     def summary_record(self) -> dict:
         """The compact ``interrupted`` record replay compaction rewrites."""
-        return {
+        record = {
             "type": "interrupted",
             "job": self.id,
             "t": self.submitted_at,
@@ -92,6 +95,9 @@ class ReplayedJob:
             "skipped": self.skipped,
             "story_statuses": self.story_statuses,
         }
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        return record
 
 
 def _parse_records(lines: Iterable[str], source: str) -> "list[dict]":
@@ -128,11 +134,13 @@ def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
         if not job_id:
             continue
         if kind == "submit":
+            trace = record.get("trace")
             jobs[job_id] = ReplayedJob(
                 id=job_id,
                 submitted_at=float(record.get("t", 0.0)),
                 stories=[str(s) for s in record.get("stories", [])],
                 skipped=[str(s) for s in record.get("skipped", [])],
+                trace_id=str(trace) if trace is not None else None,
             )
         elif kind == "story":
             job = jobs.get(job_id)
@@ -145,6 +153,7 @@ def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
             if job is not None:
                 job.status = str(record.get("status", "completed"))
         elif kind == "interrupted":
+            trace = record.get("trace")
             job = ReplayedJob(
                 id=job_id,
                 submitted_at=float(record.get("t", 0.0)),
@@ -154,6 +163,7 @@ def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
                     str(k): str(v)
                     for k, v in (record.get("story_statuses") or {}).items()
                 },
+                trace_id=str(trace) if trace is not None else None,
             )
             jobs[job_id] = job
     return jobs
@@ -239,18 +249,25 @@ class JobJournal:
         stories: "Iterable[str]",
         skipped: "Iterable[str]",
         timeout: "float | None" = None,
+        trace_id: "str | None" = None,
     ) -> None:
-        """Journal an accepted job -- call *before* acknowledging it."""
-        self._append(
-            {
-                "type": "submit",
-                "job": job_id,
-                "t": time.time(),
-                "stories": list(stories),
-                "skipped": list(skipped),
-                "timeout": timeout,
-            }
-        )
+        """Journal an accepted job -- call *before* acknowledging it.
+
+        ``trace_id`` correlates the journal record with the job's spans
+        when tracing is enabled; omitted records stay byte-identical to the
+        pre-tracing format.
+        """
+        record: dict = {
+            "type": "submit",
+            "job": job_id,
+            "t": time.time(),
+            "stories": list(stories),
+            "skipped": list(skipped),
+            "timeout": timeout,
+        }
+        if trace_id is not None:
+            record["trace"] = trace_id
+        self._append(record)
 
     def record_story(self, job_id: str, story: str, status: str) -> None:
         """Journal one story reaching a terminal status."""

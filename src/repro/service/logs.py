@@ -1,0 +1,111 @@
+"""Structured JSON logging for the service layer.
+
+The daemon emits one JSON object per log line on the ``repro.service``
+logger -- one record per job state change, always carrying ``job_id`` and
+``trace_id`` so log lines, metrics and spans correlate.  Nothing is emitted
+unless a handler is attached (``repro daemon --log-level`` installs one),
+so library users who never configure logging pay only the stdlib's
+disabled-logger fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, IO
+
+__all__ = [
+    "SERVICE_LOGGER_NAME",
+    "JsonLineFormatter",
+    "service_logger",
+    "configure_service_logging",
+    "log_job_event",
+]
+
+#: The logger every service-layer component logs through.
+SERVICE_LOGGER_NAME = "repro.service"
+
+#: ``--log-level`` choices, mapped to stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Render each log record as a single JSON object.
+
+    The event name is the log message; structured fields ride in the
+    record's ``fields`` attribute (set via ``extra=``) and are merged into
+    the top level so consumers can filter on ``job_id`` / ``trace_id``
+    directly.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: "dict[str, Any]" = {
+            "ts": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def service_logger() -> logging.Logger:
+    return logging.getLogger(SERVICE_LOGGER_NAME)
+
+
+def configure_service_logging(
+    level: str = "info", stream: "IO[str] | None" = None
+) -> logging.Logger:
+    """Attach a JSON-lines handler to the service logger (idempotent).
+
+    Returns the configured logger.  ``level`` is one of :data:`LOG_LEVELS`.
+    """
+    try:
+        resolved = LOG_LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {sorted(LOG_LEVELS)}"
+        ) from None
+    logger = service_logger()
+    logger.setLevel(resolved)
+    logger.propagate = False
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) and handler.stream is target:
+            handler.setLevel(resolved)
+            break
+    else:
+        handler = logging.StreamHandler(target)
+        handler.setLevel(resolved)
+        handler.setFormatter(JsonLineFormatter())
+        logger.addHandler(handler)
+    return logger
+
+
+def log_job_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    job_id: str,
+    trace_id: "str | None" = None,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit one structured record for a job state change."""
+    if not logger.isEnabledFor(level):
+        return
+    payload: "dict[str, Any]" = {"job_id": job_id, "trace_id": trace_id}
+    payload.update(fields)
+    logger.log(level, event, extra={"fields": payload})

@@ -74,13 +74,15 @@ from repro.service.execution import (
     ExecutionBackend,
     ShardPayload,
     ShardRequest,
+    ShardSolveReport,
     WorkerCrashError,
     create_executor,
     get_executor_factory,
-    solve_shard_payload,
+    solve_shard_report,
 )
 from repro.service.sharding import CorpusSharder, ShardAutotuner, ShardKey
 from repro.service.telemetry import MetricsRegistry
+from repro.service.tracing import NOOP_TRACER, Span, TraceContext, TracerLike
 
 DEFAULT_MAX_WORKERS = 4
 DEFAULT_QUEUE_DEPTH = 128
@@ -144,9 +146,26 @@ class PredictionJob:
     error: "BaseException | None" = None
     timeout: "float | None" = None
     attempts: int = 0
+    #: Trace context this job's spans parent to (e.g. the daemon's root
+    #: ``job`` span); ``None`` starts a fresh trace per story when tracing
+    #: is enabled.
+    trace: "TraceContext | None" = None
     _done: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
     _service: "PredictionService | None" = field(default=None, repr=False)
     _deadline_handle: "asyncio.TimerHandle | None" = field(default=None, repr=False)
+    #: Live ``story`` span (tracing enabled only); finished by _complete.
+    _span: "Span | None" = field(default=None, repr=False)
+    #: Wall-clock / monotonic enqueue stamps feeding queue-wait telemetry;
+    #: reset on requeue so the wait reflects the latest enqueue.
+    _enqueued_at: float = field(default=0.0, repr=False)
+    _enqueued_pc: float = field(default=0.0, repr=False)
+    #: Context of the most recent shard span this job was solved under;
+    #: a retried job's next shard span parents here (the re-parenting link
+    #: from a bisected half back to the failed shard).
+    _shard_trace: "TraceContext | None" = field(default=None, repr=False)
+    #: Side channel for the thread path: _solve_shard parks the shard's
+    #: ShardSolveReport here (on the batch's first job) for _run_shard.
+    _solve_report: "ShardSolveReport | None" = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:
@@ -257,6 +276,11 @@ class PredictionService:
     metrics:
         A :class:`~repro.service.telemetry.MetricsRegistry` to update; one
         is created when omitted (see :attr:`metrics`).
+    tracer:
+        A :class:`~repro.service.tracing.Tracer` receiving spans for every
+        hot boundary (queue wait, shard solve, fit/evaluate phases);
+        defaults to the zero-cost no-op tracer, so an untraced service pays
+        only an ``enabled`` attribute check per site.
 
     Use as an async context manager (``async with PredictionService() as
     service:``) or call :meth:`start` / :meth:`close` explicitly.
@@ -286,6 +310,7 @@ class PredictionService:
         executor_options: "Mapping[str, object] | None" = None,
         solver: "SolverConfig | None" = None,
         calibration: "CalibrationConfig | None" = None,
+        tracer: "TracerLike | None" = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -358,6 +383,11 @@ class PredictionService:
         self._shard_seconds = self._metrics.histogram("service.shard_solve_seconds")
         self._story_seconds = self._metrics.histogram("service.story_solve_seconds")
         self._queue_gauge = self._metrics.gauge("service.queue_depth")
+        self._queue_wait_seconds = self._metrics.histogram("service.queue_wait_seconds")
+        # The no-op tracer is the default: every instrumentation site checks
+        # ``self._tracer.enabled`` (one attribute read) before building any
+        # span or attribute dict, so an untraced service pays ~nothing.
+        self._tracer: TracerLike = tracer if tracer is not None else NOOP_TRACER
 
         self._started = False
         self._closed = False
@@ -379,6 +409,11 @@ class PredictionService:
     def metrics(self) -> MetricsRegistry:
         """The telemetry registry this service updates."""
         return self._metrics
+
+    @property
+    def tracer(self) -> TracerLike:
+        """The tracer this service records spans into (no-op by default)."""
+        return self._tracer
 
     @property
     def model_spec(self) -> ModelSpec:
@@ -504,6 +539,7 @@ class PredictionService:
         evaluation_times: "Sequence[float] | None" = None,
         timeout: "float | None" = None,
         model: "str | None" = None,
+        trace: "TraceContext | None" = None,
     ) -> PredictionJob:
         """Queue one story; suspends while the service is at ``queue_depth``.
 
@@ -526,6 +562,11 @@ class PredictionService:
         A job past its deadline completes as ``TIMED_OUT`` the moment the
         deadline fires -- even while its shard is still solving -- so no
         waiter is ever stalled by one slow story.
+
+        ``trace`` is an optional parent :class:`TraceContext` (e.g. the
+        daemon's root ``job`` span): when the service carries a live tracer,
+        this story's spans attach under it, correlating daemon, service and
+        worker timings in one trace.
         """
         self._require_open()
         if timeout is not None and timeout <= 0:
@@ -561,8 +602,17 @@ class PredictionService:
             surface=surface,
             key=key,
             timeout=timeout if timeout is not None else self._job_timeout,
+            trace=trace,
             _service=self,
         )
+        job._enqueued_at = time.time()
+        job._enqueued_pc = time.perf_counter()
+        if self._tracer.enabled:
+            job._span = self._tracer.span(
+                "story",
+                parent=trace,
+                attributes={"story": name, "model": key.model},
+            )
         self._pending.setdefault(key, []).append(job)
         self._counts[JobStatus.PENDING] += 1
         self._metrics.counter("service.jobs_submitted").inc()
@@ -745,6 +795,13 @@ class PredictionService:
         job.result = result
         job.error = error
         self._transition(job, status)
+        if job._span is not None:
+            # Finished but left attached: the daemon parents its
+            # result-emission span to the story span after completion.
+            job._span.set_attribute("status", status.value)
+            if job.attempts:
+                job._span.set_attribute("attempts", job.attempts)
+            job._span.finish()
         if job._deadline_handle is not None:
             job._deadline_handle.cancel()
             job._deadline_handle = None
@@ -815,8 +872,14 @@ class PredictionService:
             return
         self._shards_retried += 1
         self._metrics.counter("service.shards_retried").inc()
+        requeued_at = time.time()
+        requeued_pc = time.perf_counter()
         for job in retryable:
             self._transition(job, JobStatus.PENDING)
+            # Queue-wait restarts at requeue; the retry's shard span keeps
+            # the link to the failed shard via the job's _shard_trace.
+            job._enqueued_at = requeued_at
+            job._enqueued_pc = requeued_pc
         half = (len(retryable) + 1) // 2
         for batch in (retryable[:half], retryable[half:]):
             if batch:
@@ -836,6 +899,40 @@ class PredictionService:
             return
         for job in jobs:
             self._transition(job, JobStatus.RUNNING)
+        dequeued_pc = time.perf_counter()
+        for job in jobs:
+            self._queue_wait_seconds.observe(max(dequeued_pc - job._enqueued_pc, 0.0))
+        shard_span: "Span | None" = None
+        if self._tracer.enabled:
+            for job in jobs:
+                self._tracer.record_span(
+                    "queue.wait",
+                    parent=job._span,
+                    start=job._enqueued_at,
+                    duration=max(dequeued_pc - job._enqueued_pc, 0.0),
+                    attributes={"story": job.name},
+                )
+            # A retried half links back to the failed shard: its jobs carry
+            # the failed shard span's context in _shard_trace, which becomes
+            # the retry span's parent (and its retry_of attribute).
+            retry_of = jobs[0]._shard_trace
+            key = jobs[0].key
+            attributes: "dict[str, object]" = {
+                "shard": key.signature(),
+                "model": key.model,
+                "stories": len(jobs),
+                "attempt": jobs[0].attempts,
+            }
+            if retry_of is not None:
+                attributes["retry_of"] = retry_of.span_id
+            shard_span = self._tracer.span(
+                "shard.solve",
+                parent=retry_of if retry_of is not None else jobs[0]._span,
+                attributes=attributes,
+            )
+            shard_ctx = shard_span.context
+            for job in jobs:
+                job._shard_trace = shard_ctx
         try:
             start = time.perf_counter()
             request = ShardRequest(
@@ -845,8 +942,17 @@ class PredictionService:
                 run_local=lambda: self._solve_shard(jobs),
                 make_payload=lambda: self._payload_for(jobs),
             )
-            worker, outcomes = await self._backend.solve(request)
+            worker, raw = await self._backend.solve(request)
             elapsed = time.perf_counter() - start
+            if isinstance(raw, ShardSolveReport):
+                report: "ShardSolveReport | None" = raw
+                outcomes = raw.outcomes
+            else:
+                outcomes = raw
+                report = jobs[0]._solve_report
+                jobs[0]._solve_report = None
+            if report is not None:
+                self._absorb_report(report, worker, shard_span)
             worker_label = {"worker": worker}
             self._shard_seconds.observe(elapsed)
             self._story_seconds.observe(elapsed / len(jobs))
@@ -891,9 +997,41 @@ class PredictionService:
                 # The backend already respawned its pool; count the crash so
                 # operators can tell worker death from poisoned shards.
                 self._metrics.counter("service.worker_crashes").inc()
+            if shard_span is not None:
+                shard_span.set_attribute("error", type(error).__name__)
             self._fail_or_requeue([job for job in jobs if not job.done], error)
         finally:
+            if shard_span is not None:
+                shard_span.finish()
             self._workers.release()
+
+    def _absorb_report(
+        self,
+        report: ShardSolveReport,
+        worker: str,
+        shard_span: "Span | None",
+    ) -> None:
+        """Fold a shard's solve report into telemetry and the trace.
+
+        Worker-collected spans (the process path) are ingested into the
+        service tracer -- their trace/span ids already point at the shard
+        span that rode out in the payload, so they re-parent with no
+        rewriting.  Phase wall times feed the per-phase histograms, and the
+        operator-cache delta lands as shard-span attributes.
+        """
+        for phase, seconds in report.phase_seconds.items():
+            self._metrics.histogram(
+                "service.solve_phase_seconds", labels={"phase": phase}
+            ).observe(seconds)
+        if self._tracer.enabled and report.spans:
+            self._tracer.ingest(
+                [dict(record, attributes=dict(record.get("attributes") or {}, worker=worker))
+                 for record in report.spans]
+            )
+        if shard_span is not None:
+            shard_span.set_attribute("worker", worker)
+            shard_span.set_attribute("cache_hits", report.cache_hits)
+            shard_span.set_attribute("cache_misses", report.cache_misses)
 
     def _spec_for(self, model_name: str) -> ModelSpec:
         """The workload spec of one shard's model.
@@ -925,6 +1063,7 @@ class PredictionService:
             key=key,
             spec=self._spec_for(key.model),
             surfaces={job.name: job.surface for job in jobs},
+            trace=jobs[0]._shard_trace,
         )
 
     def _solve_shard(
@@ -943,8 +1082,16 @@ class PredictionService:
         without poisoning its shard-mates; only a failure of the joint
         evaluate solve is shard-wide (and surfaces through the caller's
         except path).
+
+        Runs through :func:`~repro.service.execution.solve_shard_report` so
+        phase timings (and spans, when tracing is on) are captured on the
+        thread path too; the report rides back to ``_run_shard`` on the
+        batch's first job, keeping this method's classic dict contract for
+        the tests that wrap it.
         """
-        return solve_shard_payload(self._payload_for(jobs))
+        report = solve_shard_report(self._payload_for(jobs), tracer=self._tracer)
+        jobs[0]._solve_report = report
+        return report.outcomes
 
 
 def score_corpus_sync(

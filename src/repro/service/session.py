@@ -3,7 +3,8 @@
 One :class:`ClientSession` serves one :class:`~repro.service.transport.Connection`
 for its whole lifetime: it owns the JSON-lines read loop, parses and
 validates each request, routes the ``submit`` / ``status`` / ``stats`` /
-``metrics`` / ``ping`` / ``shutdown`` ops, and emits ``error`` events for
+``metrics`` / ``trace`` / ``ping`` / ``shutdown`` ops, and emits ``error``
+events for
 everything malformed -- never a dead daemon.  Domain work (manifest
 resolution, job creation, result streaming) stays on the host daemon
 behind the narrow :class:`SessionHost` protocol, so the protocol surface
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -88,11 +90,13 @@ class SessionHost(Protocol):
 
     def metrics_text(self) -> str: ...
 
+    def trace_payload(self, job_id: str) -> "dict | None": ...
+
     def begin_shutdown(self, drain: bool) -> None: ...
 
 
 #: The ops a request may carry, in the order the error message lists them.
-KNOWN_OPS = ("submit", "status", "stats", "metrics", "ping", "shutdown")
+KNOWN_OPS = ("submit", "status", "stats", "metrics", "trace", "ping", "shutdown")
 
 
 class ClientSession:
@@ -110,6 +114,10 @@ class ClientSession:
         self._metrics = metrics
         self._quota = quota
         self._jobs: "list[TrackedJob]" = []
+        #: ``(wall_start, seconds)`` of the last request's parse+validation,
+        #: read by the daemon to record a retroactive ``session.parse`` span
+        #: under the job it accepts.
+        self.last_parse: "tuple[float, float] | None" = None
 
     # ------------------------------------------------------------------ #
     # Quota accounting
@@ -191,6 +199,8 @@ class ClientSession:
     async def dispatch(self, text: str) -> None:
         """Parse one request line and route its op."""
         self._metrics.counter("daemon.requests").inc()
+        wall_start = time.time()
+        parse_start = time.perf_counter()
         try:
             message = json.loads(text)
         except json.JSONDecodeError as error:
@@ -202,6 +212,7 @@ class ClientSession:
             )
             return
         op = message.get("op")
+        self.last_parse = (wall_start, time.perf_counter() - parse_start)
         if op == "submit":
             await self._host.handle_submit(self, message)
         elif op == "status":
@@ -214,6 +225,8 @@ class ClientSession:
             await self.connection.send(
                 {"event": "metrics", "text": self._host.metrics_text()}
             )
+        elif op == "trace":
+            await self._handle_trace(message)
         elif op == "ping":
             await self.connection.send({"event": "pong"})
         elif op == "shutdown":
@@ -239,6 +252,17 @@ class ClientSession:
             await self.error(f"unknown job {job_id!r}", job_id=str(job_id))
             return
         await self.connection.send({"event": "status", **summary})
+
+    async def _handle_trace(self, message: dict) -> None:
+        job_id = message.get("id")
+        if job_id is None:
+            await self.error("a trace request needs an 'id' field")
+            return
+        payload = self._host.trace_payload(str(job_id))
+        if payload is None:
+            await self.error(f"unknown job {job_id!r}", job_id=str(job_id))
+            return
+        await self.connection.send(payload)
 
     async def error(
         self,

@@ -66,6 +66,18 @@ class ShardKey:
     evaluation_times: "tuple[float, ...] | None" = None
     model: str = "dl"
 
+    def signature(self) -> str:
+        """Compact deterministic label for trace attributes and logs.
+
+        Deliberately not ``hash()``-based (string hashing is randomized per
+        process), so the same shard labels identically across daemon
+        restarts and process workers.
+        """
+        return (
+            f"{self.model}@[{self.lower:g},{self.upper:g}]"
+            f":ppu{self.points_per_unit}:{self.backend}:{self.operator}"
+        )
+
 
 @dataclass
 class Shard:

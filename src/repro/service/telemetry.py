@@ -276,40 +276,49 @@ class MetricsRegistry:
         histograms emit the standard cumulative ``_bucket{le=...}`` series
         plus ``_sum`` / ``_count``.  Dots and dashes in registry names map
         to underscores; instrument labels (e.g. ``model="dl"``) are
-        preserved as Prometheus labels.  The rendering is taken under the
-        registry lock, so it is a consistent point-in-time view -- the same
-        guarantee ``snapshot()`` gives.
+        preserved as Prometheus labels.
+
+        Label variants of the same base metric are grouped under a single
+        ``# HELP`` / ``# TYPE`` comment pair, as the exposition format
+        requires -- plain lexicographic ordering of registry keys would
+        let an unrelated metric name sort *between* a bare series and its
+        ``{label}`` variants and split the group.  The rendering is taken
+        under the registry lock, so it is a consistent point-in-time view
+        -- the same guarantee ``snapshot()`` gives.
         """
         with self._lock:
-            items = sorted(self._metrics.items())
-            lines: "list[str]" = []
-            typed: "set[str]" = set()
-
-            def emit_type(metric_name: str, kind: str) -> None:
-                if metric_name not in typed:
-                    typed.add(metric_name)
-                    lines.append(f"# TYPE {metric_name} {kind}")
-
-            for full_name, metric in items:
+            groups: "dict[tuple[str, str], list[tuple[str, Counter | Gauge | Histogram]]]" = {}
+            for full_name, metric in self._metrics.items():
                 base, labels = _split_labels(full_name)
-                name = _prometheus_name(base, namespace)
                 if isinstance(metric, Counter):
-                    emit_type(f"{name}_total", "counter")
-                    lines.append(
-                        f"{name}_total{labels} {_format_value(metric._value)}"
-                    )
+                    kind = "counter"
                 elif isinstance(metric, Gauge):
-                    emit_type(name, "gauge")
-                    lines.append(f"{name}{labels} {_format_value(metric._value)}")
+                    kind = "gauge"
                 else:
-                    emit_type(name, "histogram")
-                    snap = metric._snapshot_locked()
-                    inner = labels[1:-1] if labels else ""
-                    for bound, count in snap["buckets"].items():
-                        label_set = ",".join(
-                            part for part in (inner, f'le="{bound}"') if part
+                    kind = "histogram"
+                groups.setdefault((base, kind), []).append((labels, metric))
+            lines: "list[str]" = []
+            for base, kind in sorted(groups):
+                name = _prometheus_name(base, namespace)
+                series = f"{name}_total" if kind == "counter" else name
+                lines.append(f"# HELP {series} Registry metric {base}.")
+                lines.append(f"# TYPE {series} {kind}")
+                variants = sorted(groups[(base, kind)], key=lambda pair: pair[0])
+                for labels, metric in variants:
+                    if isinstance(metric, Histogram):
+                        snap = metric._snapshot_locked()
+                        inner = labels[1:-1] if labels else ""
+                        for bound, count in snap["buckets"].items():
+                            label_set = ",".join(
+                                part for part in (inner, f'le="{bound}"') if part
+                            )
+                            lines.append(f"{name}_bucket{{{label_set}}} {count}")
+                        lines.append(
+                            f"{name}_sum{labels} {_format_value(snap['sum'])}"
                         )
-                        lines.append(f"{name}_bucket{{{label_set}}} {count}")
-                    lines.append(f"{name}_sum{labels} {_format_value(snap['sum'])}")
-                    lines.append(f"{name}_count{labels} {snap['count']}")
+                        lines.append(f"{name}_count{labels} {snap['count']}")
+                    else:
+                        lines.append(
+                            f"{series}{labels} {_format_value(metric._value)}"
+                        )
             return "\n".join(lines) + "\n" if lines else ""

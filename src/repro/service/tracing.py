@@ -1,0 +1,738 @@
+"""Dependency-free tracing for the service stack.
+
+One job flows through five layers (CLI -> transport/session -> daemon job
+lifecycle -> service shard queue -> thread/process executor -> solver), and
+aggregate metrics cannot say *where* a slow job spent its time.  This module
+provides the correlation substrate:
+
+* :class:`TraceContext` -- an immutable ``(trace_id, span_id)`` pair that is
+  cheap to copy, picklable, and JSON-serializable, so it can ride inside
+  ``submit`` requests, job records, :class:`~repro.service.execution.ShardPayload`
+  (across the process-pool pickle boundary) and the journal.
+* :class:`Span` -- a named timed region with wall-clock ``start``, a
+  monotonic-clock ``duration``, attributes, and a parent link.
+* :class:`Tracer` -- thread-safe in-memory ring buffer of finished span
+  records, with optional JSON-lines export (``--trace-dir``).
+* :class:`NoOpTracer` / :data:`NOOP_TRACER` -- the zero-cost default: every
+  instrumentation site first checks ``tracer.enabled`` (a plain attribute
+  read) and otherwise receives the shared :data:`NULL_SPAN` whose methods do
+  nothing, so a service constructed without a tracer pays only an attribute
+  lookup per site.
+
+Span *records* (the unit stored, exported, and shipped back from process
+workers) are plain dicts::
+
+    {"name": ..., "trace_id": ..., "span_id": ..., "parent_id": ...,
+     "start": <epoch seconds>, "duration": <seconds>, "attributes": {...}}
+
+The analysis helpers at the bottom (:func:`span_tree`, :func:`critical_path`,
+:func:`phase_totals`, :func:`validate_trace`, :func:`render_trace`,
+:func:`chrome_trace`, :func:`speedscope_profile`) power the ``repro trace``
+CLI and the daemon-smoke well-formedness check; they operate on record lists
+so they work identically on live daemon responses and on exported
+``spans.jsonl`` files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, IO, Mapping, Sequence, Union
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "NoOpTracer",
+    "NOOP_TRACER",
+    "NULL_SPAN",
+    "SPANS_FILENAME",
+    "span_tree",
+    "SpanNode",
+    "trace_for_job",
+    "validate_trace",
+    "phase_totals",
+    "critical_path",
+    "render_trace",
+    "chrome_trace",
+    "speedscope_profile",
+    "load_span_file",
+]
+
+#: File name used for JSON-lines span export inside ``--trace-dir``.
+SPANS_FILENAME = "spans.jsonl"
+
+
+def _new_id() -> str:
+    """A 64-bit random hex id -- unique enough for per-process correlation."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of a span: which trace, which parent."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> "dict[str, str]":
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data: object) -> "TraceContext | None":
+        if not isinstance(data, Mapping):
+            return None
+        trace_id = data.get("trace_id")
+        span_id = data.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+ParentLike = Union[TraceContext, "Span", None]
+
+
+def _parent_context(parent: ParentLike) -> "TraceContext | None":
+    if parent is None:
+        return None
+    if isinstance(parent, TraceContext):
+        return parent
+    return parent.context
+
+
+class Span:
+    """A timed region.  Use as a context manager or call :meth:`finish`.
+
+    ``start`` is wall-clock epoch seconds (for cross-process alignment);
+    ``duration`` is measured on the monotonic clock so NTP steps can never
+    produce negative phases.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attributes",
+        "_t0",
+        "_tracer",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer | None",
+        name: str,
+        *,
+        trace_id: "str | None" = None,
+        parent_id: "str | None" = None,
+        attributes: "dict[str, Any] | None" = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id if trace_id is not None else _new_id()
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start = time.time()
+        self.duration: "float | None" = None
+        self.attributes: "dict[str, Any]" = dict(attributes) if attributes else {}
+        self._t0 = time.perf_counter()
+        self._tracer = tracer
+        self._finished = False
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity, for parenting children (picklable)."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def finish(self, duration: "float | None" = None) -> None:
+        """Close the span (idempotent) and hand the record to the tracer."""
+        if self._finished:
+            return
+        self._finished = True
+        self.duration = duration if duration is not None else time.perf_counter() - self._t0
+        if self._tracer is not None:
+            self._tracer._store(self.to_record())
+
+    def to_record(self) -> "dict[str, Any]":
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration if self.duration is not None else 0.0,
+            "attributes": dict(self.attributes),
+        }
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is not None:
+            self.attributes.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, trace={self.trace_id}, span={self.span_id})"
+
+
+class Tracer:
+    """Thread-safe ring buffer of finished spans with optional JSONL export."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        export_dir: "str | Path | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self._lock = threading.Lock()
+        self._records: "deque[dict[str, Any]]" = deque(maxlen=capacity)
+        self._export_path: "Path | None" = None
+        self._export_handle: "IO[str] | None" = None
+        if export_dir is not None:
+            directory = Path(export_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._export_path = directory / SPANS_FILENAME
+
+    @property
+    def export_path(self) -> "Path | None":
+        return self._export_path
+
+    def span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        attributes: "dict[str, Any] | None" = None,
+    ) -> Span:
+        """Open a live span; close it via ``with`` or :meth:`Span.finish`."""
+        ctx = _parent_context(parent)
+        return Span(
+            self,
+            name,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            parent_id=ctx.span_id if ctx is not None else None,
+            attributes=attributes,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        parent: ParentLike = None,
+        start: float,
+        duration: float,
+        attributes: "dict[str, Any] | None" = None,
+    ) -> TraceContext:
+        """Record a span retroactively from an already-measured interval.
+
+        Used for phases whose boundaries are only known after the fact
+        (queue wait is measured at dequeue time, request parse before any
+        tracer decision was possible).
+        """
+        ctx = _parent_context(parent)
+        trace_id = ctx.trace_id if ctx is not None else _new_id()
+        span_id = _new_id()
+        self._store(
+            {
+                "name": name,
+                "trace_id": trace_id,
+                "span_id": span_id,
+                "parent_id": ctx.span_id if ctx is not None else None,
+                "start": start,
+                "duration": float(duration),
+                "attributes": dict(attributes) if attributes else {},
+            }
+        )
+        return TraceContext(trace_id=trace_id, span_id=span_id)
+
+    def ingest(self, records: "Sequence[Mapping[str, Any]]") -> None:
+        """Adopt foreign span records (e.g. shipped back from a worker)."""
+        for record in records:
+            if isinstance(record, Mapping) and "span_id" in record and "name" in record:
+                self._store(dict(record))
+
+    def spans(self, trace_id: "str | None" = None) -> "list[dict[str, Any]]":
+        """Snapshot of buffered records, optionally filtered to one trace."""
+        with self._lock:
+            snapshot = list(self._records)
+        if trace_id is None:
+            return snapshot
+        return [r for r in snapshot if r.get("trace_id") == trace_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._export_handle is not None:
+                self._export_handle.close()
+                self._export_handle = None
+
+    def _store(self, record: "dict[str, Any]") -> None:
+        with self._lock:
+            self._records.append(record)
+            if self._export_path is not None:
+                if self._export_handle is None:
+                    self._export_handle = open(self._export_path, "a", encoding="utf-8")
+                self._export_handle.write(json.dumps(record, default=str) + "\n")
+                self._export_handle.flush()
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NoOpTracer`."""
+
+    __slots__ = ()
+
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    start = 0.0
+    duration = 0.0
+    attributes: "dict[str, Any]" = {}
+
+    @property
+    def context(self) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+    def finish(self, duration: "float | None" = None) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NoOpTracer:
+    """The zero-cost default tracer: every operation is a constant no-op."""
+
+    enabled = False
+    export_path = None
+
+    def span(
+        self,
+        name: str,
+        parent: ParentLike = None,
+        attributes: "dict[str, Any] | None" = None,
+    ) -> _NullSpan:
+        return NULL_SPAN
+
+    def record_span(
+        self,
+        name: str,
+        *,
+        parent: ParentLike = None,
+        start: float,
+        duration: float,
+        attributes: "dict[str, Any] | None" = None,
+    ) -> "TraceContext | None":
+        return _parent_context(parent)
+
+    def ingest(self, records: "Sequence[Mapping[str, Any]]") -> None:
+        return None
+
+    def spans(self, trace_id: "str | None" = None) -> "list[dict[str, Any]]":
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
+NOOP_TRACER = NoOpTracer()
+
+TracerLike = Union[Tracer, NoOpTracer]
+
+
+# ---------------------------------------------------------------------------
+# Trace analysis: tree reconstruction, validation, timing, exports.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed node of a span tree."""
+
+    record: "dict[str, Any]"
+    children: "list[SpanNode]"
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", ""))
+
+    @property
+    def span_id(self) -> str:
+        return str(self.record.get("span_id", ""))
+
+    @property
+    def start(self) -> float:
+        return float(self.record.get("start", 0.0))
+
+    @property
+    def duration(self) -> float:
+        return float(self.record.get("duration", 0.0))
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def _dedupe(records: "Sequence[Mapping[str, Any]]") -> "list[dict[str, Any]]":
+    """Keep the last record per span_id (re-exported spans win)."""
+    by_id: "dict[str, dict[str, Any]]" = {}
+    for record in records:
+        span_id = record.get("span_id")
+        if isinstance(span_id, str):
+            by_id[span_id] = dict(record)
+    return list(by_id.values())
+
+
+def span_tree(
+    records: "Sequence[Mapping[str, Any]]",
+    trace_id: "str | None" = None,
+) -> "list[SpanNode]":
+    """Reconstruct the span forest for one trace (or all records).
+
+    Returns the list of roots: spans with no parent, or whose parent is not
+    present in ``records`` (orphans -- :func:`validate_trace` flags those).
+    Children are sorted by start time.
+    """
+    selected = [
+        r
+        for r in _dedupe(records)
+        if trace_id is None or r.get("trace_id") == trace_id
+    ]
+    nodes = {str(r["span_id"]): SpanNode(record=r, children=[]) for r in selected}
+    roots: "list[SpanNode]" = []
+    for node in nodes.values():
+        parent_id = node.record.get("parent_id")
+        parent = nodes.get(parent_id) if isinstance(parent_id, str) else None
+        if parent is not None and parent is not node:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.start)
+    roots.sort(key=lambda node: node.start)
+    return roots
+
+
+def trace_for_job(
+    records: "Sequence[Mapping[str, Any]]", job_id: str
+) -> "str | None":
+    """Find the trace id of a daemon job from its root ``job`` span."""
+    for record in records:
+        attributes = record.get("attributes")
+        if (
+            record.get("name") == "job"
+            and isinstance(attributes, Mapping)
+            and attributes.get("job") == job_id
+        ):
+            trace_id = record.get("trace_id")
+            if isinstance(trace_id, str):
+                return trace_id
+    return None
+
+
+def validate_trace(
+    records: "Sequence[Mapping[str, Any]]", trace_id: str
+) -> "list[str]":
+    """Well-formedness problems of one trace; empty list means OK.
+
+    Checks: exactly one root, no orphan spans (parent id referenced but
+    missing from the record set), and no negative durations.
+    """
+    selected = [r for r in _dedupe(records) if r.get("trace_id") == trace_id]
+    problems: "list[str]" = []
+    if not selected:
+        return [f"trace {trace_id}: no spans"]
+    ids = {r.get("span_id") for r in selected}
+    roots = [r for r in selected if r.get("parent_id") is None]
+    orphans = [
+        r
+        for r in selected
+        if r.get("parent_id") is not None and r.get("parent_id") not in ids
+    ]
+    if len(roots) != 1:
+        names = sorted(str(r.get("name")) for r in roots)
+        problems.append(f"expected exactly 1 root span, found {len(roots)} ({names})")
+    for record in orphans:
+        problems.append(
+            f"orphan span {record.get('name')} ({record.get('span_id')}): "
+            f"parent {record.get('parent_id')} not in trace"
+        )
+    for record in selected:
+        duration = record.get("duration")
+        if not isinstance(duration, (int, float)) or duration < 0:
+            problems.append(
+                f"span {record.get('name')} ({record.get('span_id')}): "
+                f"bad duration {duration!r}"
+            )
+    return problems
+
+
+def phase_totals(
+    records: "Sequence[Mapping[str, Any]]", trace_id: "str | None" = None
+) -> "dict[str, float]":
+    """Total seconds per span name (one trace or all), sorted descending."""
+    totals: "dict[str, float]" = {}
+    for record in _dedupe(records):
+        if trace_id is not None and record.get("trace_id") != trace_id:
+            continue
+        name = str(record.get("name", ""))
+        duration = record.get("duration")
+        if isinstance(duration, (int, float)):
+            totals[name] = totals.get(name, 0.0) + float(duration)
+    return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+
+def _subtree_weight(node: SpanNode) -> float:
+    return node.duration + sum(_subtree_weight(child) for child in node.children)
+
+
+def critical_path(root: SpanNode) -> "list[SpanNode]":
+    """Chain from the root to the leaf that finishes last in each subtree.
+
+    The classic longest-pole walk: at every level descend into the child
+    with the latest end time, which is the child actually holding the
+    parent's completion open.  Children whose ends are indistinguishable
+    (within 0.1% of the parent's duration -- e.g. four shard-mates all
+    completed by the same solve) tie-break toward the heaviest subtree, so
+    the walk descends into the story that actually carries the shard spans.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        latest = max(child.end for child in node.children)
+        epsilon = max(node.duration * 1e-3, 1e-4)
+        candidates = [c for c in node.children if latest - c.end <= epsilon]
+        node = max(candidates, key=_subtree_weight)
+        path.append(node)
+    return path
+
+
+_INTERESTING_ATTRS = (
+    "story",
+    "stories",
+    "shard",
+    "model",
+    "worker",
+    "attempt",
+    "retry_of",
+    "status",
+    "cache_hits",
+    "cache_misses",
+    "error",
+)
+
+
+def _format_node(node: SpanNode) -> str:
+    attributes = node.record.get("attributes")
+    parts = [f"{node.name}", f"{node.duration * 1000.0:.1f}ms"]
+    if isinstance(attributes, Mapping):
+        for key in _INTERESTING_ATTRS:
+            if key in attributes:
+                parts.append(f"{key}={attributes[key]}")
+    return "  ".join(parts)
+
+
+def render_trace(
+    records: "Sequence[Mapping[str, Any]]", trace_id: str
+) -> str:
+    """Human-readable span tree plus critical path for one trace."""
+    roots = span_tree(records, trace_id)
+    if not roots:
+        return f"trace {trace_id}: no spans"
+    lines: "list[str]" = [f"trace {trace_id}"]
+
+    def walk(node: SpanNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_format_node(node))
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + _format_node(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        for index, child in enumerate(node.children):
+            walk(child, child_prefix, index == len(node.children) - 1, False)
+
+    for root in roots:
+        walk(root, "", True, True)
+
+    main = max(roots, key=lambda node: node.duration)
+    path = critical_path(main)
+    total = main.duration if main.duration > 0 else 1.0
+    lines.append("")
+    lines.append("critical path (self = time not accounted to the next step):")
+    for index, node in enumerate(path):
+        on_path_child = path[index + 1] if index + 1 < len(path) else None
+        self_seconds = node.duration - (
+            on_path_child.duration if on_path_child is not None else 0.0
+        )
+        lines.append(
+            f"  {node.duration * 1000.0:9.1f}ms  "
+            f"self {max(self_seconds, 0.0) * 1000.0:8.1f}ms  {node.name}"
+        )
+    # The acceptance-criterion view: the critical story's direct children
+    # are its sequential phases (queue wait, shard solve, result emission);
+    # their sum should track the job's wall-clock closely.
+    base = next((n for n in path if n.name == "story"), main)
+    phase_sum = sum(child.duration for child in base.children)
+    lines.append(
+        f"  sequential phases under '{base.name}' cover {phase_sum:.3f}s "
+        f"of {main.duration:.3f}s wall-clock ({100.0 * phase_sum / total:.0f}%)"
+    )
+    return "\n".join(lines)
+
+
+def _lane(record: "Mapping[str, Any]") -> str:
+    attributes = record.get("attributes")
+    if isinstance(attributes, Mapping):
+        worker = attributes.get("worker")
+        if isinstance(worker, str) and worker:
+            return worker
+    return "service"
+
+
+def chrome_trace(
+    records: "Sequence[Mapping[str, Any]]", trace_id: "str | None" = None
+) -> "dict[str, Any]":
+    """Chrome trace-event JSON (load via chrome://tracing or Perfetto)."""
+    selected = [
+        r
+        for r in _dedupe(records)
+        if trace_id is None or r.get("trace_id") == trace_id
+    ]
+    if not selected:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    t0 = min(float(r.get("start", 0.0)) for r in selected)
+    lanes = sorted({_lane(r) for r in selected})
+    tid_of = {lane: index + 1 for index, lane in enumerate(lanes)}
+    events: "list[dict[str, Any]]" = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": lane},
+        }
+        for lane, tid in tid_of.items()
+    ]
+    for record in selected:
+        events.append(
+            {
+                "name": str(record.get("name", "")),
+                "ph": "X",
+                "pid": 1,
+                "tid": tid_of[_lane(record)],
+                "ts": (float(record.get("start", 0.0)) - t0) * 1e6,
+                "dur": float(record.get("duration", 0.0)) * 1e6,
+                "args": dict(record.get("attributes") or {}),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def speedscope_profile(
+    records: "Sequence[Mapping[str, Any]]", trace_id: str
+) -> "dict[str, Any]":
+    """Speedscope ``evented`` profile (https://speedscope.app) for one trace.
+
+    Child intervals are clamped into their parent and opened/closed in DFS
+    order so the event stream is always properly nested, as the format
+    requires, even when wall-clock starts from different processes disagree
+    by a few milliseconds.
+    """
+    roots = span_tree(records, trace_id)
+    frames: "list[dict[str, str]]" = []
+    frame_index: "dict[str, int]" = {}
+
+    def frame_of(name: str) -> int:
+        if name not in frame_index:
+            frame_index[name] = len(frames)
+            frames.append({"name": name})
+        return frame_index[name]
+
+    events: "list[dict[str, Any]]" = []
+    if not roots:
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "shared": {"frames": []},
+            "profiles": [],
+        }
+    t0 = min(node.start for node in roots)
+    end_value = max(node.end for node in roots) - t0
+
+    def emit(node: SpanNode, lo: float, hi: float, cursor: float) -> float:
+        start = min(max(node.start - t0, lo, cursor), hi)
+        end = min(max(node.end - t0, start), hi)
+        frame = frame_of(node.name)
+        events.append({"type": "O", "frame": frame, "at": start})
+        inner = start
+        for child in node.children:
+            inner = emit(child, start, end, inner)
+        events.append({"type": "C", "frame": frame, "at": end})
+        return end
+
+    cursor = 0.0
+    for root in roots:
+        cursor = emit(root, 0.0, end_value, cursor)
+
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [
+            {
+                "type": "evented",
+                "name": f"trace {trace_id}",
+                "unit": "seconds",
+                "startValue": 0.0,
+                "endValue": end_value,
+                "events": events,
+            }
+        ],
+    }
+
+
+def load_span_file(path: "str | Path") -> "list[dict[str, Any]]":
+    """Read a ``spans.jsonl`` export, tolerating a torn final line."""
+    records: "list[dict[str, Any]]" = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    records.append(record)
+    except FileNotFoundError:
+        return []
+    return records

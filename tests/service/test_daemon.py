@@ -610,3 +610,128 @@ class TestClientQuota:
             "requested": 2,
         }
         assert not ok_errors and job_event["stories"]["succeeded"] == 1
+
+
+class TestTraceOp:
+    def test_trace_op_returns_well_formed_span_tree(self, tmp_path):
+        from repro.service.tracing import span_tree, validate_trace
+
+        async def run():
+            async with running_daemon(tmp_path, trace=True) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    await collect_submission(
+                        client, manifest_payload(inline_story("a")), job_id="traced"
+                    )
+                    return await client.trace("traced")
+
+        payload = asyncio.run(run())
+        assert payload["event"] == "trace" and payload["id"] == "traced"
+        trace_id = payload["trace"]
+        records = payload["spans"]
+        assert trace_id and records
+        assert validate_trace(records, trace_id) == []
+        (root,) = span_tree(records, trace_id)
+        assert root.name == "job"
+        assert root.record["attributes"]["job"] == "traced"
+        names = {r["name"] for r in records}
+        # Every hot boundary shows up: request parse, quota check, manifest
+        # resolution, queueing, the solve itself and the result emission.
+        assert {
+            "session.parse",
+            "quota.check",
+            "manifest.resolve",
+            "story",
+            "queue.wait",
+            "shard.solve",
+            "result.emit",
+        } <= names
+
+    def test_trace_op_unknown_job_and_disabled_daemon(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    missing = await client.trace("ghost")
+                    await collect_submission(
+                        client, manifest_payload(inline_story("a")), job_id="plain"
+                    )
+                    untraced = await client.trace("plain")
+                    return missing, untraced
+
+        missing, untraced = asyncio.run(run())
+        assert missing["event"] == "error"
+        assert "unknown job" in missing["error"]
+        # Without --trace the op still answers, with an empty span list.
+        assert untraced["event"] == "trace"
+        assert untraced["trace"] is None and untraced["spans"] == []
+
+    def test_trace_dir_exports_replayable_span_file(self, tmp_path):
+        from repro.service.tracing import (
+            SPANS_FILENAME,
+            load_span_file,
+            trace_for_job,
+            validate_trace,
+        )
+
+        trace_dir = tmp_path / "traces"
+
+        async def run():
+            async with running_daemon(tmp_path, trace_dir=str(trace_dir)) as (
+                socket_path,
+                _,
+            ):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    await collect_submission(
+                        client, manifest_payload(inline_story("a")), job_id="filed"
+                    )
+
+        asyncio.run(run())
+        records = load_span_file(trace_dir / SPANS_FILENAME)
+        trace_id = trace_for_job(records, "filed")
+        assert trace_id is not None
+        assert validate_trace(records, trace_id) == []
+
+    def test_uptime_gauge_in_stats_and_prometheus(self, tmp_path):
+        async def run():
+            async with running_daemon(tmp_path) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    stats = await client.stats()
+                    text = await client.metrics_text()
+                    return stats, text
+
+        stats, text = asyncio.run(run())
+        assert stats["metrics"]["daemon.uptime_seconds"] > 0.0
+        uptime_lines = [
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_daemon_uptime_seconds ")
+        ]
+        assert len(uptime_lines) == 1
+        assert float(uptime_lines[0].split()[-1]) > 0.0
+
+    def test_journal_replay_preserves_trace_ids(self, tmp_path, monkeypatch):
+        # An interrupted job's trace id must survive the journal round-trip
+        # so operators can still `repro trace` it against the span file.
+        from repro.service.journal import replay_records
+
+        journal_dir = tmp_path / "journal"
+
+        async def run():
+            async with running_daemon(
+                tmp_path, trace=True, journal_dir=str(journal_dir)
+            ) as (socket_path, _):
+                async with await DaemonClient.connect_unix(socket_path) as client:
+                    await collect_submission(
+                        client, manifest_payload(inline_story("a")), job_id="kept"
+                    )
+                    payload = await client.trace("kept")
+                    return payload["trace"]
+
+        trace_id = asyncio.run(run())
+        journal_file = next(journal_dir.glob("*.jsonl"))
+        with open(journal_file, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        submits = [r for r in records if r.get("type") == "submit"]
+        assert submits and submits[0]["trace"] == trace_id
+        # replay_records carries the id through to the replayed job.
+        replayed = replay_records(records)
+        assert replayed["kept"].trace_id == trace_id

@@ -101,3 +101,26 @@ class TestPrometheusExposition:
         registry.counter("jobs", labels={"model": 'my"mo\\del'}).inc()
         text = registry.to_prometheus()
         assert 'repro_jobs_total{model="my\\"mo\\\\del"} 1' in text
+
+    def test_help_and_type_once_per_base_with_variants_adjacent(self):
+        # Registry keys sort lexicographically, which would interleave an
+        # unrelated metric between a bare series and its labeled variants
+        # ("jobs" < "jobs_other" < 'jobs{model=...}').  Exposition must
+        # still group each base name under exactly one HELP/TYPE header.
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.counter("jobs_other").inc()
+        registry.counter("jobs", labels={"model": "dl"}).inc(2)
+        registry.counter("jobs", labels={"model": "sis"}).inc(3)
+        text = registry.to_prometheus()
+        assert text.count("# HELP repro_jobs_total ") == 1
+        assert text.count("# TYPE repro_jobs_total counter") == 1
+        assert text.count("# HELP repro_jobs_other_total ") == 1
+        lines = text.splitlines()
+        start = lines.index("# TYPE repro_jobs_total counter")
+        block = lines[start + 1 : start + 4]
+        assert block == [
+            "repro_jobs_total 1",
+            'repro_jobs_total{model="dl"} 2',
+            'repro_jobs_total{model="sis"} 3',
+        ]
