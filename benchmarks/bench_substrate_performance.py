@@ -33,6 +33,11 @@ dimensions cover the PR-2/PR-3 machinery:
   backends at 1/2/4/ncpu workers on a calibration-heavy corpus: the process
   backend must stay bit-identical to the thread reference and its 4-vs-1
   worker speedup is gated as a core-count-normalized scaling efficiency.
+  The ``service.cluster`` subsection scores the same explicit-parameter
+  corpus through the ``cluster`` backend against fleets of 1 and 2
+  localhost worker daemons: results must stay bit-identical to the thread
+  executor (``max_result_delta_cluster_vs_thread``, gated at 1e-12) and
+  the routing overhead is ceiling-gated as ``efficiency_vs_thread``.
 * ``daemon`` -- submission round-trip of the JSON-lines daemon (submit over
   a Unix socket, stream every per-story result back) vs the same corpus
   scored through the in-process service, with the result delta against the
@@ -81,7 +86,12 @@ from repro.core.accuracy import build_accuracy_table
 from repro.core.config import ModelSpec, SolverConfig
 from repro.core.prediction import BatchPredictor, DiffusionPredictor
 from repro.models import get_model
-from repro.service import DaemonClient, PredictionDaemon, score_corpus_sync
+from repro.service import (
+    DaemonClient,
+    PredictionDaemon,
+    PredictionService,
+    score_corpus_sync,
+)
 from repro.network.distance import friendship_hop_distances
 from repro.network.generators import DiggLikeGraphConfig, generate_digg_like_graph
 from repro.numerics import operator_cache
@@ -575,6 +585,121 @@ def run_service_scaling_benchmark(quick: bool = False) -> dict:
         report[executor]["speedup_4v1"] = speedup
         report[executor]["scaling_efficiency"] = speedup / min(4, cpus)
     report["max_result_delta_process_vs_thread"] = max_delta
+    return report
+
+
+def run_service_cluster_benchmark(quick: bool = False) -> dict:
+    """Routing overhead and result parity of the cluster backend.
+
+    The same explicit-parameter corpus is scored through the in-process
+    thread executor (the reference) and through the ``cluster`` backend
+    against fleets of 1 and 2 worker daemons served on localhost TCP in
+    this process's event loop.  ``max_shard_size=1`` pins shard
+    composition, so every configuration solves the same shards and the
+    cluster results can be checked bit-for-bit against the thread
+    reference (``max_result_delta_cluster_vs_thread``, gated at 1e-12 by
+    ``check_regression.py``).
+
+    The cluster adds pickling, base64 framing and a socket round-trip per
+    shard on top of the thread path -- with the workers sharing the
+    router's cores, it can only *cost* time here, so the gated number is
+    a floor on ``efficiency_vs_thread`` (thread seconds / 2-worker fleet
+    seconds): a ceiling on routing overhead, deliberately loose because
+    the corpus is small and the overhead per shard is fixed.
+    """
+    size = 6 if quick else 12
+    repeats = 2
+    parameters = PAPER_S1_HOP_PARAMETERS
+    training = list(SERVICE_TRAINING_TIMES)
+    evaluation = list(SERVICE_EVALUATION_TIMES)
+    corpus = _service_corpus(size)
+
+    def run_thread():
+        return score_corpus_sync(
+            corpus,
+            training_times=training,
+            evaluation_times=evaluation,
+            parameters=parameters,
+            solver=SERVICE_SOLVER_CONFIG,
+            max_workers=2,
+            max_shard_size=1,
+        )
+
+    thread_seconds, thread_results = best_of(run_thread, repeats)
+
+    async def cluster_run(fleet_size: int) -> "tuple[float, dict]":
+        workers, tasks = [], []
+        try:
+            for _ in range(fleet_size):
+                worker = PredictionDaemon(max_workers=2)
+                tasks.append(
+                    asyncio.ensure_future(worker.serve_tcp("127.0.0.1", 0))
+                )
+                while worker.listener is None or worker.listener.address.port in (
+                    None,
+                    0,
+                ):
+                    await asyncio.sleep(0.005)
+                workers.append(worker)
+            addresses = [str(worker.listener.address) for worker in workers]
+            async with PredictionService(
+                parameters=parameters,
+                solver=SERVICE_SOLVER_CONFIG,
+                max_workers=2,
+                max_shard_size=1,
+                executor="cluster",
+                executor_options={"workers": addresses},
+            ) as service:
+                start = time.perf_counter()
+                results = await service.score_corpus(corpus, training, evaluation)
+                elapsed = time.perf_counter() - start
+            return elapsed, results
+        finally:
+            for worker in workers:
+                worker.stop_event.set()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    report: dict = {
+        "stories": size,
+        "max_shard_size": 1,
+        "thread_seconds": thread_seconds,
+        "fleets": {},
+    }
+    max_delta = 0.0
+    for fleet_size in (1, 2):
+        best_seconds, best_results = float("inf"), None
+        for _ in range(repeats):
+            clear_operator_caches()
+            elapsed, results = asyncio.run(cluster_run(fleet_size))
+            if elapsed < best_seconds:
+                best_seconds, best_results = elapsed, results
+        delta = max(
+            float(
+                np.max(
+                    np.abs(
+                        best_results[name].predicted.values
+                        - thread_results[name].predicted.values
+                    )
+                )
+            )
+            for name in corpus
+        )
+        max_delta = max(max_delta, delta)
+        report["fleets"][str(fleet_size)] = {
+            "workers": fleet_size,
+            "seconds": best_seconds,
+            "stories_per_second": size / best_seconds,
+            "efficiency_vs_thread": thread_seconds / best_seconds,
+            "max_result_delta_vs_thread": delta,
+        }
+    report["efficiency_vs_thread"] = report["fleets"]["2"]["efficiency_vs_thread"]
+    report["routing_overhead_seconds"] = (
+        report["fleets"]["2"]["seconds"] - thread_seconds
+    )
+    report["per_story_overhead_seconds"] = (
+        report["routing_overhead_seconds"] / size
+    )
+    report["max_result_delta_cluster_vs_thread"] = max_delta
     return report
 
 
@@ -1094,6 +1219,9 @@ def run_batched_solver_benchmark(quick: bool = False) -> dict:
             # Thread vs process execution backends at 1/2/4/ncpu workers on
             # a calibration-heavy corpus (delta- and efficiency-gated).
             "scaling": run_service_scaling_benchmark(quick=quick),
+            # The cluster backend against 1/2 localhost worker daemons
+            # (delta-gated at 1e-12, routing overhead ceiling-gated).
+            "cluster": run_service_cluster_benchmark(quick=quick),
         },
         "daemon": run_daemon_benchmark(quick=quick),
         # Zero-cost-when-disabled proof for the tracing instrumentation
@@ -1163,6 +1291,10 @@ def main(argv=None) -> int:
             f"at 4 workers on {service['scaling']['cpus']} cpus "
             f"(max delta vs thread "
             f"{service['scaling']['max_result_delta_process_vs_thread']:.2e}); "
+            f"cluster backend {service['cluster']['efficiency_vs_thread']:.2f}x "
+            f"thread at 2 workers "
+            f"(max delta vs thread "
+            f"{service['cluster']['max_result_delta_cluster_vs_thread']:.2e}); "
             f"corpus store load {report['corpus']['io']['load_speedup_vs_inline']:.1f}x "
             f"inline (max result delta "
             f"{report['corpus']['io']['max_result_delta_vs_inline']:.2e}, "

@@ -27,7 +27,9 @@ Three families of checks run:
   within 2.5x of the in-process service on the same corpus (efficiency
   floor 0.4), the process execution backend must reach a
   core-count-normalized scaling efficiency of 0.625 at 4 workers vs 1
-  (>= 2.5x speedup on any >=4-core runner), and the corpus store must
+  (>= 2.5x speedup on any >=4-core runner), the cluster backend's routing
+  overhead against a 2-worker localhost fleet must stay within 4x of the
+  thread executor (efficiency floor 0.25), and the corpus store must
   open+resolve at least 2x faster than the inline-manifest path while
   scoring bit-identically inside its bounded-RSS budget.
 
@@ -74,6 +76,10 @@ CORRECTNESS_CHECKS = (
     # but ships the same payloads through the same solver: every process
     # run must match the single-threaded reference bit for bit.
     ("service.scaling.max_result_delta_process_vs_thread", 1e-12),
+    # The cluster backend ships the same payloads to worker daemons over
+    # pickle + base64 + sockets -- transport, never numerics -- so every
+    # fleet size must match the thread reference bit for bit.
+    ("service.cluster.max_result_delta_cluster_vs_thread", 1e-12),
     # The corpus store is a lossless float64 container: scoring lazily from
     # the store must match the inline-manifest path bit for bit.
     ("corpus.io.max_result_delta_vs_inline", 1e-12),
@@ -126,6 +132,15 @@ FLOOR_CHECKS = (
     # process-level parallelism, only its absence of pathological
     # overhead is checked).
     ("service.scaling.process.scaling_efficiency", 0.625),
+    # Routing-overhead ceiling of the cluster backend: scoring through a
+    # 2-worker localhost fleet (pickle + base64 + socket round-trip per
+    # shard, workers sharing the router's cores) must stay within 4x of
+    # the thread executor on the same corpus.  A corpus-level wall-clock
+    # ratio (same noise caveat as daemon.efficiency_vs_inprocess), so it
+    # is floor-gated rather than baseline-banded, and deliberately loose:
+    # it catches the transport becoming pathologically slow, not small
+    # drifts.
+    ("service.cluster.efficiency_vs_thread", 0.25),
     # Acceptance criterion of the corpus store: opening + resolving a
     # generated corpus from the store (lazy handles off the index) must be
     # at least 2x faster than parsing the equivalent inline manifest.

@@ -228,9 +228,10 @@ def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help=(
             "execution backend shard solves run on: 'thread' (in-process "
-            "pool, default) or 'process' (process pool: per-process "
+            "pool, default), 'process' (process pool: per-process "
             "operator caches, crash respawn, scales calibration-heavy "
-            "corpora past the GIL)"
+            "corpora past the GIL) or 'cluster' (fan shards out to worker "
+            "daemons declared with --worker/--workers-file)"
         ),
     )
 
@@ -450,6 +451,36 @@ def build_parser() -> argparse.ArgumentParser:
             "journal durability: 'always' fsyncs every record (an "
             "acknowledged job survives a power cut), 'never' only flushes "
             "(default: always)"
+        ),
+    )
+    daemon.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "with --journal: re-run jobs the previous process left in "
+            "flight (their journalled manifests are re-submitted under the "
+            "original job ids and counted in daemon.jobs_resumed) instead "
+            "of only reporting them as 'interrupted'"
+        ),
+    )
+    daemon.add_argument(
+        "--worker",
+        action="append",
+        default=None,
+        metavar="ADDR",
+        dest="workers_cluster",
+        help=(
+            "with --executor cluster: a worker daemon's address (unix:PATH "
+            "or tcp:HOST:PORT); repeat the flag once per worker"
+        ),
+    )
+    daemon.add_argument(
+        "--workers-file",
+        metavar="FILE",
+        default=None,
+        help=(
+            "with --executor cluster: read worker addresses from FILE (one "
+            "per line, '#' comments); combines with --worker"
         ),
     )
     daemon.add_argument(
@@ -1278,6 +1309,53 @@ def _command_daemon(args: argparse.Namespace) -> int:
     if pool_error is not None:
         print(pool_error, file=sys.stderr)
         return 2
+    if args.resume and args.journal is None:
+        print("error: --resume requires --journal DIR", file=sys.stderr)
+        return 2
+    worker_addresses: "list[str]" = []
+    for spec in args.workers_cluster or []:
+        try:
+            worker = parse_address(spec)
+        except AddressError as error:
+            print(f"error: --worker {spec}: {error}", file=sys.stderr)
+            return 2
+        if worker.scheme == "stdio":
+            print(
+                f"error: --worker {spec}: 'stdio' is not a dialable worker "
+                f"address; use unix:PATH or tcp:HOST:PORT",
+                file=sys.stderr,
+            )
+            return 2
+        worker_addresses.append(str(worker))
+    if args.workers_file is not None:
+        from repro.service.transport import load_worker_addresses
+
+        try:
+            worker_addresses.extend(
+                str(worker) for worker in load_worker_addresses(args.workers_file)
+            )
+        except FileNotFoundError:
+            print(
+                f"error: workers file {args.workers_file} does not exist",
+                file=sys.stderr,
+            )
+            return 2
+        except AddressError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if worker_addresses and args.executor != "cluster":
+        print(
+            "error: --worker/--workers-file require --executor cluster",
+            file=sys.stderr,
+        )
+        return 2
+    if args.executor == "cluster" and not worker_addresses:
+        print(
+            "error: --executor cluster needs at least one worker address "
+            "(--worker ADDR, repeatable, or --workers-file FILE)",
+            file=sys.stderr,
+        )
+        return 2
     # --socket PATH is the pre-transport spelling of --listen unix:PATH;
     # the parser guarantees at most one of the two was given.
     spec = args.listen if args.listen is not None else args.socket
@@ -1297,17 +1375,22 @@ def _command_daemon(args: argparse.Namespace) -> int:
         from repro.service import configure_service_logging
 
         configure_service_logging(args.log_level)
+    executor_options: "dict[str, object]" = {}
+    if args.executor == "cluster":
+        executor_options["workers"] = worker_addresses
     daemon = PredictionDaemon(
         default_timeout=args.timeout,
         quota=quota,
         journal_dir=args.journal,
         journal_fsync=args.journal_fsync,
+        resume=args.resume,
         trace=args.trace,
         trace_dir=args.trace_dir,
         solver=SolverConfig(backend=args.backend, operator=args.operator),
         calibration=CalibrationConfig(batch=not args.sequential_calibration),
         max_workers=args.workers,
         executor=args.executor,
+        executor_options=executor_options,
         queue_depth=args.queue_depth,
         max_shard_size=args.shard_size,
         autotune=args.autotune,
@@ -1318,9 +1401,14 @@ def _command_daemon(args: argparse.Namespace) -> int:
             # Keep the pre-transport banner for --socket PATH (a bare
             # path), the full address form for --listen.
             shown = args.socket if args.listen is None else str(address)
+            fleet = (
+                f"fleet of {len(worker_addresses)}, "
+                if args.executor == "cluster"
+                else ""
+            )
             print(
                 f"daemon listening on {shown} "
-                f"({args.workers} {args.executor} workers, "
+                f"({args.workers} {args.executor} workers, {fleet}"
                 f"queue depth {args.queue_depth}, "
                 f"{'autotuned' if args.autotune else 'fixed'} shards)",
                 file=sys.stderr,
@@ -1383,10 +1471,17 @@ def _command_submit(args: argparse.Namespace) -> int:
         if output_handle is not None:
             output_handle.write(line + "\n")
 
+    # --connect implies a daemon that may still be binding (a supervisor
+    # just spawned it); a few capped-backoff retries absorb the race.  The
+    # legacy --socket path keeps its immediate-failure behaviour.
+    connect_retries = 3 if getattr(args, "connect", None) else 0
+
     async def run() -> "tuple[dict, dict | None, str | None]":
         counts: "dict[str, int]" = {}
         job_event = None
-        async with await DaemonClient.connect(address) as client:
+        async with await DaemonClient.connect(
+            address, retries=connect_retries, backoff=0.25
+        ) as client:
             async for event in client.submit(
                 manifest, job_id=args.id, timeout=args.timeout, model=args.model
             ):
@@ -1490,6 +1585,24 @@ def _command_daemon_stats(args: argparse.Namespace) -> int:
         f"{service.get('shards_solved', 0)} shards",
         file=sys.stderr,
     )
+    executor_info = service.get("executor_info", {})
+    fleet = executor_info.get("fleet")
+    if fleet:
+        # Cluster routers get a per-worker fleet table on stderr.
+        print(
+            f"fleet: {sum(1 for w in fleet if w.get('alive'))}/{len(fleet)} "
+            f"workers alive, {executor_info.get('shards_stolen', 0)} stolen, "
+            f"{executor_info.get('reroutes', 0)} rerouted",
+            file=sys.stderr,
+        )
+        for worker in fleet:
+            state = "alive" if worker.get("alive") else "dead"
+            print(
+                f"  {worker.get('worker'):<28} {state:<6} "
+                f"inflight {worker.get('inflight', 0):<4} "
+                f"solved {worker.get('shards_solved', 0)}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -1505,6 +1618,7 @@ def _command_trace(args: argparse.Namespace) -> int:
         speedscope_profile,
         trace_for_job,
         validate_trace,
+        worker_attribution,
     )
 
     if args.trace_dir is not None:
@@ -1563,6 +1677,14 @@ def _command_trace(args: argparse.Namespace) -> int:
         print("phases:")
         for name, seconds in phase_totals(records, trace_id).items():
             print(f"  {name:<20} {seconds:.6f}s")
+        workers = worker_attribution(records, trace_id)
+        if workers:
+            # Which pool member (thread/process name, or the cluster
+            # worker daemon's address) produced how many spans -- the CI
+            # cluster-smoke job greps this for worker-attributed shards.
+            print("workers:")
+            for worker, spans in workers.items():
+                print(f"  {worker:<28} {spans} spans")
         problems = validate_trace(records, trace_id)
         if problems:
             for problem in problems:

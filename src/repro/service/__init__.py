@@ -16,6 +16,10 @@ job queue so whole corpora of cascades are scored concurrently:
   registry deciding *where* shard solves run: the in-process ``thread``
   pool or the ``process`` pool (picklable :class:`ShardPayload` per shard,
   per-process operator caches, crashed-worker respawn).
+* :mod:`repro.service.cluster` -- the ``cluster`` backend: a router
+  daemon's :class:`WorkerPool` fans shards out to N worker daemons over
+  the socket protocol, hash-routed for worker-cache affinity with work
+  stealing and dead-worker rerouting into the bisection-retry path.
 * :mod:`repro.service.telemetry` -- the in-process
   :class:`MetricsRegistry` (counters, gauges, solve-time histograms) the
   service and daemon report into.
@@ -51,6 +55,12 @@ job queue so whole corpora of cascades are scored concurrently:
   per event with ``job_id`` / ``trace_id`` fields).
 """
 
+from repro.service.cluster import (
+    ClusterExecutionBackend,
+    ClusterShardError,
+    WorkerPool,
+    route_hash,
+)
 from repro.service.daemon import (
     DaemonClient,
     DaemonJob,
@@ -117,6 +127,7 @@ from repro.service.tracing import (
     speedscope_profile,
     trace_for_job,
     validate_trace,
+    worker_attribution,
 )
 from repro.service.transport import (
     Address,
@@ -130,6 +141,7 @@ from repro.service.transport import (
     available_transports,
     create_listener,
     get_transport,
+    load_worker_addresses,
     open_client_connection,
     parse_address,
     register_transport,
@@ -142,6 +154,10 @@ __all__ = [
     "Shard",
     "ShardAutotuner",
     "ShardKey",
+    "ClusterExecutionBackend",
+    "ClusterShardError",
+    "WorkerPool",
+    "route_hash",
     "ExecutionBackend",
     "ProcessExecutionBackend",
     "ShardPayload",
@@ -170,6 +186,7 @@ __all__ = [
     "speedscope_profile",
     "trace_for_job",
     "validate_trace",
+    "worker_attribution",
     "SERVICE_LOGGER_NAME",
     "JsonLineFormatter",
     "configure_service_logging",
@@ -200,6 +217,7 @@ __all__ = [
     "available_transports",
     "create_listener",
     "get_transport",
+    "load_worker_addresses",
     "open_client_connection",
     "parse_address",
     "register_transport",

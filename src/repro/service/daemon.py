@@ -52,6 +52,15 @@ terminated, UTF-8).  Requests carry an ``op`` field:
 ``{"op": "trace", "id": "job-1"}``
     One ``trace`` event: the job's trace id and its buffered span records
     (empty when tracing is disabled).  Rendered by ``repro trace``.
+``{"op": "worker", "id": "w-1", "payload": "<base64 pickle>"}``
+    Cluster mode: solve one pickled
+    :class:`~repro.service.execution.ShardPayload` and answer with a
+    ``worker_result`` event carrying the pickled
+    :class:`~repro.service.execution.ShardSolveReport` (same base64
+    encoding).  The router daemon's
+    :class:`~repro.service.cluster.WorkerPool` is the only intended
+    caller; every ordinary ``repro daemon`` answers the op, which is what
+    makes any daemon usable as a cluster worker.
 ``{"op": "ping"}`` / ``{"op": "shutdown", "drain": false}``
     Liveness probe / graceful stop.  ``shutdown`` drains every queued and
     running job before exiting unless ``drain`` is false, in which case
@@ -78,10 +87,13 @@ transport address.
 from __future__ import annotations
 
 import asyncio
+import base64
 import contextlib
 import functools
 import json
 import logging
+import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import AsyncIterator
@@ -89,7 +101,8 @@ from typing import AsyncIterator
 from repro.core.errors import DaemonConnectionError, QuotaExceededError, UnknownModelError
 from repro.core.prediction import PredictionResult
 from repro.models.registry import get_model
-from repro.service.journal import FSYNC_POLICIES, JobJournal
+from repro.service.execution import solve_shard_report
+from repro.service.journal import FSYNC_POLICIES, JobJournal, ReplayedJob
 from repro.service.logs import log_job_event, service_logger
 from repro.service.manifest import ManifestError, open_corpus
 from repro.service.service import JobStatus, PredictionJob, PredictionService
@@ -212,6 +225,18 @@ class PredictionDaemon:
     journal_fsync:
         Journal fsync policy: ``"always"`` (default, sync every record)
         or ``"never"`` (flush only; the tail may be lost on power cut).
+    resume:
+        With ``resume=True`` (and a journal), jobs replayed as
+        ``interrupted`` are *re-run* instead of only reported: each
+        interrupted job whose journalled submit record carried its
+        manifest is re-submitted to the fresh service under its original
+        id (counted in ``daemon.jobs_resumed``); its results are
+        recomputed but not streamed anywhere -- the submitting client's
+        connection died with the previous process -- so ``status``
+        answers with live (then ``completed``) counts instead of a
+        permanent ``interrupted``.  Jobs journalled before manifests were
+        recorded (or by daemons without ``resume``) stay report-only
+        ``interrupted``.
     trace:
         Enable in-memory request tracing: every accepted job gets a root
         ``job`` span whose children cover parse, quota check, manifest
@@ -250,6 +275,7 @@ class PredictionDaemon:
         quota: "ClientQuota | None" = None,
         journal_dir: "str | None" = None,
         journal_fsync: str = "always",
+        resume: bool = False,
         trace: bool = False,
         trace_dir: "str | None" = None,
         trace_capacity: int = 4096,
@@ -272,6 +298,7 @@ class PredictionDaemon:
                 f"{journal_fsync!r}"
             )
         self._journal_fsync = journal_fsync
+        self._resume = bool(resume)
         self._journal: "JobJournal | None" = None
         self._tracer: TracerLike = (
             Tracer(capacity=trace_capacity, export_dir=trace_dir)
@@ -383,7 +410,11 @@ class PredictionDaemon:
 
         They answer ``status`` as ``interrupted`` -- with per-story counts
         reconstructed from the journal -- instead of ``unknown job``; the
-        same retention cap as completed jobs bounds them.
+        same retention cap as completed jobs bounds them.  With
+        ``resume=True``, jobs whose submit record carried the manifest are
+        additionally re-run on the fresh service (their interrupted entry
+        is replaced by a live one); jobs without a journalled manifest
+        cannot be reconstructed and stay report-only.
         """
         assert self._service is not None
         for job in replayed.values():
@@ -404,7 +435,95 @@ class PredictionDaemon:
                 trace_id=job.trace_id,
                 stories=len(job.stories),
             )
+            if self._resume and job.manifest is not None:
+                task = asyncio.get_running_loop().create_task(
+                    self._resume_job(job)
+                )
+                self._job_tasks.add(task)
+                task.add_done_callback(self._job_tasks.discard)
         self._sync_journal_gauge()
+
+    async def _resume_job(self, replayed: ReplayedJob) -> None:
+        """Re-run one interrupted job from its journalled manifest.
+
+        The submitting client's connection died with the previous daemon
+        process, so the recomputed results stream into a null connection
+        (they are discarded); what resume restores is the *work* and the
+        job's queryable lifecycle -- ``status`` answers ``running`` then
+        ``completed`` with real per-story counts, and a fresh submit
+        record (manifest included) keeps the job resumable across a
+        second crash.  A manifest that no longer resolves (e.g. a corpus
+        store deleted since) leaves the job in its ``interrupted`` state.
+        """
+        assert self._service is not None
+        manifest_payload = replayed.manifest
+        assert manifest_payload is not None
+        try:
+            manifest = open_corpus(manifest_payload, source="<journal>")
+            hours = manifest.hours or DEFAULT_HOURS
+            training_times = [float(t) for t in range(1, hours + 1)]
+            resolved = await asyncio.get_running_loop().run_in_executor(
+                None,
+                functools.partial(manifest.resolve, training_times=training_times),
+            )
+        except (ManifestError, OSError) as error:
+            log_job_event(
+                self._log,
+                "job.resume_failed",
+                job_id=replayed.id,
+                trace_id=replayed.trace_id,
+                level=logging.WARNING,
+                error=str(error),
+            )
+            return
+        job = DaemonJob(
+            id=replayed.id,
+            submitted_at=time.time(),
+            timeout=replayed.timeout,
+            skipped=list(resolved.skipped),
+            stories_pending=len(resolved.surfaces),
+        )
+        if self._tracer.enabled:
+            span = self._tracer.span(
+                "job",
+                attributes={
+                    "job": job.id,
+                    "stories": len(resolved.surfaces),
+                    "skipped": len(job.skipped),
+                    "resumed": True,
+                },
+            )
+            job.trace_id = span.trace_id
+            job._span = span
+        # Replace the interrupted entry: the job is live again.
+        self._jobs[job.id] = job
+        if self._journal is not None:
+            self._journal.record_submit(
+                job.id,
+                stories=list(resolved.surfaces),
+                skipped=job.skipped,
+                timeout=job.timeout,
+                trace_id=job.trace_id,
+                manifest=manifest_payload,
+            )
+            self._sync_journal_gauge()
+        self._service.metrics.counter("daemon.jobs_resumed").inc()
+        log_job_event(
+            self._log,
+            "job.resumed",
+            job_id=job.id,
+            trace_id=job.trace_id,
+            stories=len(resolved.surfaces),
+            skipped=len(job.skipped),
+        )
+        default_model = str(self._service_kwargs.get("model", "dl"))
+        story_models = {
+            story.name: resolved.model_for(story.name, None) or default_model
+            for story in manifest.stories
+        }
+        await self._run_job(
+            _NullConnection(), job, resolved.surfaces, training_times, story_models
+        )
 
     def _sync_journal_gauge(self) -> None:
         if self._journal is not None and self._service is not None:
@@ -503,6 +622,60 @@ class PredictionDaemon:
             "trace": job.trace_id,
             "spans": spans,
         }
+
+    async def handle_worker(self, session: ClientSession, message: dict) -> None:
+        """Solve one shipped :class:`ShardPayload` (the ``worker`` op).
+
+        This is what makes every ordinary daemon usable as a cluster
+        worker: the router's :class:`~repro.service.cluster.WorkerPool`
+        ships a pickled payload, this daemon solves it on the default
+        loop executor (deliberately bypassing its own service queue --
+        the router's worker count bounds in-flight shards fleet-wide)
+        and answers with a ``worker_result`` event carrying the pickled
+        :class:`~repro.service.execution.ShardSolveReport`, so the
+        router's spans re-parent exactly as the process executor's do.
+        """
+        assert self._service is not None
+        request_id = message.get("id")
+        request_id = str(request_id) if request_id is not None else None
+        data = message.get("payload")
+        if not isinstance(data, str):
+            await session.error(
+                "a worker request needs a base64 'payload' field",
+                job_id=request_id,
+            )
+            return
+        try:
+            payload = pickle.loads(base64.b64decode(data, validate=True))
+        except Exception as error:  # binascii.Error, UnpicklingError, ...
+            self._service.metrics.counter("daemon.worker_op_errors").inc()
+            await session.error(
+                f"undecodable worker payload: {error}", job_id=request_id
+            )
+            return
+        try:
+            report = await asyncio.get_running_loop().run_in_executor(
+                None, solve_shard_report, payload
+            )
+        except Exception as error:
+            # The router maps this error event onto the shard's bisection
+            # path; the worker stays alive for the next shard.
+            self._service.metrics.counter("daemon.worker_op_errors").inc()
+            await session.error(
+                f"worker shard solve failed: {error}", job_id=request_id
+            )
+            return
+        self._service.metrics.counter("daemon.worker_shards_solved").inc()
+        await session.connection.send(
+            {
+                "event": "worker_result",
+                "id": request_id,
+                "worker": f"pid-{os.getpid()}",
+                "report": base64.b64encode(
+                    pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+                ).decode("ascii"),
+            }
+        )
 
     def stats_payload(self) -> dict:
         assert self._service is not None
@@ -688,6 +861,9 @@ class PredictionDaemon:
                 skipped=job.skipped,
                 timeout=timeout,
                 trace_id=job.trace_id,
+                # The manifest itself makes the record re-runnable: a
+                # restart with --resume re-submits it under the same id.
+                manifest=payload,
             )
             self._sync_journal_gauge()
         self._service.metrics.counter("daemon.jobs_submitted").inc()
@@ -894,6 +1070,23 @@ class PredictionDaemon:
         )
 
 
+class _NullConnection:
+    """Sink for events of resumed jobs (their submitting client is gone).
+
+    Quacks like :class:`~repro.service.transport.Connection` for the send
+    side only; the daemon's job pipeline streams ``result`` / ``job``
+    events into it and they are discarded.
+    """
+
+    scheme = "null"
+
+    async def send(self, payload: dict) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+
 # ---------------------------------------------------------------------- #
 # Client
 # ---------------------------------------------------------------------- #
@@ -917,10 +1110,38 @@ class DaemonClient:
         self._writer = writer
 
     @classmethod
-    async def connect(cls, address: "str | Address") -> "DaemonClient":
-        """Dial a daemon address (``unix:PATH``, ``tcp:HOST:PORT``, bare path)."""
-        reader, writer = await open_client_connection(address)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        address: "str | Address",
+        retries: int = 0,
+        backoff: float = 0.1,
+    ) -> "DaemonClient":
+        """Dial a daemon address (``unix:PATH``, ``tcp:HOST:PORT``, bare path).
+
+        ``retries`` extra attempts are made after a refused or failed
+        connection, sleeping ``backoff * 2**attempt`` seconds between them
+        (capped at 2 s per sleep), so callers racing a daemon that is
+        still binding its socket -- the router's
+        :class:`~repro.service.cluster.WorkerPool` at fleet startup,
+        ``repro submit --connect`` against a freshly spawned daemon --
+        need no hand-rolled wait loops.  Address errors (a malformed or
+        ``stdio`` address) never retry: they cannot heal.
+        """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0:
+            raise ValueError(f"backoff must be > 0, got {backoff}")
+        attempt = 0
+        while True:
+            try:
+                reader, writer = await open_client_connection(address)
+            except (ConnectionError, OSError):
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(min(backoff * (2 ** attempt), 2.0))
+                attempt += 1
+            else:
+                return cls(reader, writer)
 
     @classmethod
     async def connect_unix(cls, socket_path: str) -> "DaemonClient":
@@ -942,6 +1163,16 @@ class DaemonClient:
             await self._writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
+
+    def close_nowait(self) -> None:
+        """Close without awaiting the transport teardown.
+
+        For synchronous shutdown paths -- an
+        :class:`~repro.service.execution.ExecutionBackend.shutdown` is a
+        plain method -- where awaiting ``wait_closed()`` is impossible;
+        the event loop finishes the close in the background.
+        """
+        self._writer.close()
 
     async def _send(self, payload: dict) -> None:
         self._writer.write((json.dumps(payload) + "\n").encode("utf-8"))
@@ -974,6 +1205,21 @@ class DaemonClient:
                 f"the daemon sent a malformed event line ({error}); the "
                 f"connection is unusable"
             ) from None
+
+    async def send(self, payload: dict) -> None:
+        """Send one request line without awaiting its response.
+
+        With :meth:`receive`, the pipelined half of the API: the cluster
+        :class:`~repro.service.cluster.WorkerPool` keeps several worker
+        requests in flight per connection and matches ``worker_result``
+        events back by id, which the strict :meth:`request` call-and-wait
+        shape cannot express.
+        """
+        await self._send(payload)
+
+    async def receive(self) -> dict:
+        """Read one event line (see :meth:`send` for the pipelined use)."""
+        return await self._receive()
 
     async def request(self, payload: dict) -> dict:
         """Send one request and return its single response event."""

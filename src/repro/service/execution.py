@@ -395,6 +395,16 @@ class ExecutionBackend(ABC):
     ) -> "tuple[str, ShardOutcomes]":
         """Run one shard; returns ``(worker_label, outcomes-or-report)``."""
 
+    def bind_metrics(self, registry) -> None:
+        """Adopt the service's :class:`~repro.service.telemetry.MetricsRegistry`.
+
+        Called by :meth:`PredictionService.start` before the backend starts,
+        so backends with their own telemetry (the cluster backend's
+        per-worker queue-depth gauges and steal/reroute counters) report
+        into the same registry the daemon exposes.  A no-op by default --
+        the in-process backends are already instrumented by the service.
+        """
+
     def describe(self) -> dict:
         """Plain-dict state for ``stats`` payloads."""
         return {"executor": self.kind, "workers": self.workers}

@@ -71,6 +71,12 @@ class ReplayedJob:
     #: Trace id the job's spans were recorded under (tracing enabled only);
     #: survives the restart so an exported spans.jsonl stays correlatable.
     trace_id: "str | None" = None
+    #: Per-story timeout the original submission carried.
+    timeout: "float | None" = None
+    #: The submitted manifest document, when the daemon journalled it --
+    #: what ``--resume`` needs to re-run the job.  ``None`` for records
+    #: written before manifests were journalled.
+    manifest: "dict | None" = None
 
     @property
     def finished(self) -> bool:
@@ -97,6 +103,12 @@ class ReplayedJob:
         }
         if self.trace_id is not None:
             record["trace"] = self.trace_id
+        if self.timeout is not None:
+            record["timeout"] = self.timeout
+        if self.manifest is not None:
+            # The manifest must survive compaction, or a job would stop
+            # being resumable after the first restart that didn't resume it.
+            record["manifest"] = self.manifest
         return record
 
 
@@ -135,12 +147,16 @@ def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
             continue
         if kind == "submit":
             trace = record.get("trace")
+            timeout = record.get("timeout")
+            manifest = record.get("manifest")
             jobs[job_id] = ReplayedJob(
                 id=job_id,
                 submitted_at=float(record.get("t", 0.0)),
                 stories=[str(s) for s in record.get("stories", [])],
                 skipped=[str(s) for s in record.get("skipped", [])],
                 trace_id=str(trace) if trace is not None else None,
+                timeout=float(timeout) if timeout is not None else None,
+                manifest=manifest if isinstance(manifest, dict) else None,
             )
         elif kind == "story":
             job = jobs.get(job_id)
@@ -154,6 +170,8 @@ def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
                 job.status = str(record.get("status", "completed"))
         elif kind == "interrupted":
             trace = record.get("trace")
+            timeout = record.get("timeout")
+            manifest = record.get("manifest")
             job = ReplayedJob(
                 id=job_id,
                 submitted_at=float(record.get("t", 0.0)),
@@ -164,6 +182,8 @@ def replay_records(records: Iterable[dict]) -> "dict[str, ReplayedJob]":
                     for k, v in (record.get("story_statuses") or {}).items()
                 },
                 trace_id=str(trace) if trace is not None else None,
+                timeout=float(timeout) if timeout is not None else None,
+                manifest=manifest if isinstance(manifest, dict) else None,
             )
             jobs[job_id] = job
     return jobs
@@ -250,12 +270,15 @@ class JobJournal:
         skipped: "Iterable[str]",
         timeout: "float | None" = None,
         trace_id: "str | None" = None,
+        manifest: "dict | None" = None,
     ) -> None:
         """Journal an accepted job -- call *before* acknowledging it.
 
         ``trace_id`` correlates the journal record with the job's spans
         when tracing is enabled; omitted records stay byte-identical to the
-        pre-tracing format.
+        pre-tracing format.  ``manifest`` (the submitted document itself)
+        is what makes the record re-runnable by ``--resume``; daemons that
+        don't pass it journal the same records as before.
         """
         record: dict = {
             "type": "submit",
@@ -267,6 +290,8 @@ class JobJournal:
         }
         if trace_id is not None:
             record["trace"] = trace_id
+        if manifest is not None:
+            record["manifest"] = manifest
         self._append(record)
 
     def record_story(self, job_id: str, story: str, status: str) -> None:

@@ -454,6 +454,10 @@ class PredictionService:
         self._backend = create_executor(
             self._executor_name, self._max_workers, self._executor_options
         )
+        # Bind before start(): backends with their own telemetry (cluster)
+        # must register their series in the shared registry so the daemon's
+        # stats/metrics commands see them from the first shard on.
+        self._backend.bind_metrics(self._metrics)
         self._backend.start()
         self._metrics.gauge(
             "service.worker_pool_size", labels={"executor": self._backend.kind}

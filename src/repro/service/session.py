@@ -3,8 +3,8 @@
 One :class:`ClientSession` serves one :class:`~repro.service.transport.Connection`
 for its whole lifetime: it owns the JSON-lines read loop, parses and
 validates each request, routes the ``submit`` / ``status`` / ``stats`` /
-``metrics`` / ``trace`` / ``ping`` / ``shutdown`` ops, and emits ``error``
-events for
+``metrics`` / ``trace`` / ``worker`` / ``ping`` / ``shutdown`` ops, and
+emits ``error`` events for
 everything malformed -- never a dead daemon.  Domain work (manifest
 resolution, job creation, result streaming) stays on the host daemon
 behind the narrow :class:`SessionHost` protocol, so the protocol surface
@@ -92,11 +92,22 @@ class SessionHost(Protocol):
 
     def trace_payload(self, job_id: str) -> "dict | None": ...
 
+    async def handle_worker(self, session: "ClientSession", message: dict) -> None: ...
+
     def begin_shutdown(self, drain: bool) -> None: ...
 
 
 #: The ops a request may carry, in the order the error message lists them.
-KNOWN_OPS = ("submit", "status", "stats", "metrics", "trace", "ping", "shutdown")
+KNOWN_OPS = (
+    "submit",
+    "status",
+    "stats",
+    "metrics",
+    "trace",
+    "worker",
+    "ping",
+    "shutdown",
+)
 
 
 class ClientSession:
@@ -227,6 +238,10 @@ class ClientSession:
             )
         elif op == "trace":
             await self._handle_trace(message)
+        elif op == "worker":
+            # Cluster mode: a router daemon ships one pickled ShardPayload
+            # for this daemon to solve and return as a ShardSolveReport.
+            await self._host.handle_worker(self, message)
         elif op == "ping":
             await self.connection.send({"event": "pong"})
         elif op == "shutdown":

@@ -23,7 +23,11 @@ Instruments may carry **labels** (``registry.counter("service.jobs_succeeded",
 labels={"model": "dl"})``): each label combination is its own instrument,
 keyed ``name{key="value",...}`` in the snapshot, and the exposition
 renderer emits them as proper Prometheus labels -- this is how per-model
-traffic through the multi-model service stays attributable.
+traffic through the multi-model service stays attributable, and how the
+cluster backend's per-worker series
+(``cluster.worker_queue_depth{worker="tcp:host:port"}``, alongside the
+unlabelled ``cluster.shards_stolen`` / ``cluster.reroutes`` counters)
+attribute fleet load to individual worker daemons.
 """
 
 from __future__ import annotations

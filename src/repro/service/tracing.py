@@ -57,6 +57,7 @@ __all__ = [
     "trace_for_job",
     "validate_trace",
     "phase_totals",
+    "worker_attribution",
     "critical_path",
     "render_trace",
     "chrome_trace",
@@ -508,6 +509,32 @@ def phase_totals(
         if isinstance(duration, (int, float)):
             totals[name] = totals.get(name, 0.0) + float(duration)
     return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+
+def worker_attribution(
+    records: "Sequence[Mapping[str, Any]]", trace_id: "str | None" = None
+) -> "dict[str, int]":
+    """Span count per ``worker`` attribute (one trace or all), name-sorted.
+
+    The fleet's answer to "which worker did what": thread/process workers
+    label their shard spans with thread or process names, and the cluster
+    backend labels them with the worker daemon's address -- an empty
+    result for a cluster-executed job means worker spans never made it
+    back, which is exactly what ``repro trace --check`` guards in the CI
+    ``cluster-smoke`` job.
+    """
+    counts: "dict[str, int]" = {}
+    for record in _dedupe(records):
+        if trace_id is not None and record.get("trace_id") != trace_id:
+            continue
+        attributes = record.get("attributes")
+        if not isinstance(attributes, Mapping):
+            continue
+        worker = attributes.get("worker")
+        if worker is None:
+            continue
+        counts[str(worker)] = counts.get(str(worker), 0) + 1
+    return dict(sorted(counts.items()))
 
 
 def _subtree_weight(node: SpanNode) -> float:

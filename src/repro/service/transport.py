@@ -100,6 +100,35 @@ def parse_address(spec: "str | Address") -> Address:
     return Address(scheme="unix", path=text)
 
 
+def load_worker_addresses(path: str) -> "list[Address]":
+    """Parse a cluster workers file: one dialable address per line.
+
+    The file format of ``repro daemon --workers-file``: each non-blank
+    line is one worker address under the :func:`parse_address` grammar
+    (``unix:PATH``, ``tcp:HOST:PORT``, bare Unix path); ``#`` starts a
+    comment, inline or whole-line.  ``stdio`` is rejected -- a router
+    must be able to *dial* every worker.  Errors carry ``file:line`` so
+    a typo in a 40-host fleet file points at its own line.
+    """
+    addresses: "list[Address]" = []
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            text = line.split("#", 1)[0].strip()
+            if not text:
+                continue
+            try:
+                address = parse_address(text)
+            except AddressError as error:
+                raise AddressError(f"{path}:{number}: {error}") from None
+            if address.scheme == "stdio":
+                raise AddressError(
+                    f"{path}:{number}: 'stdio' is not a dialable worker "
+                    f"address; use unix:PATH or tcp:HOST:PORT"
+                )
+            addresses.append(address)
+    return addresses
+
+
 class Connection:
     """One JSON-lines peer: a serialized writer shared by event streamers."""
 
